@@ -1,0 +1,193 @@
+"""E11: countermeasure effectiveness (Section 5).
+
+Paper: "Blink could monitor the RTT distribution over a large number of
+flows, approximate the expected RTO distribution upon a failure, and
+use it to distinguish between actual failures and malicious events. /
+Pytheas could look at the distribution of throughput across all clients
+in a group ... the low-throughput clients can be tackled separately. /
+PCC could monitor when packets are dropped in every +ε or −ε phase as
+well as limit the amplitude of the oscillations by decreasing the range
+of ε."
+
+Each defense is evaluated on two axes: does it neutralise/detect the
+attack, and does it leave benign operation intact (false positives,
+decision latency)?  Also covers the supervisor's synchronous-vs-
+asynchronous trade-off and the point-V obfuscation gain.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import PytheasPoisoningAttack, UtilityEqualizer
+from repro.blink import BlinkPrefixMonitor, minimum_qm
+from repro.core import Signal, SignalKind, SupervisedDriver, Supervisor
+from repro.defenses import (
+    BlinkParameterRandomizer,
+    MadOutlierFilter,
+    PhaseLossAuditor,
+    RtoPlausibilityModel,
+    attack_success_under_randomization,
+    clamped_controller_kwargs,
+    supervised_blink,
+)
+from repro.flows import FiveTuple
+from repro.pcc import PathModel, PccSimulation
+
+PREFIX = "198.51.100.0/24"
+
+
+def _flow(i):
+    return FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.1", 1000 + i, 443)
+
+
+def _signal(flow, time, retrans=False, malicious=False):
+    return Signal(
+        SignalKind.HEADER_FIELD,
+        "tcp.packet",
+        {"flow": flow, "retransmission": retrans, "malicious": malicious},
+        time=time,
+    )
+
+
+def _blink_episode(supervised: SupervisedDriver, gap: float, malicious: bool):
+    released = []
+    for i in range(40):
+        released += supervised.observe(_signal(_flow(i), time=0.0))
+    for i in range(40):
+        released += supervised.observe(
+            _signal(_flow(i), time=gap, retrans=True, malicious=malicious)
+        )
+    return released
+
+
+def _blink_defense():
+    outcomes = {}
+    for label, gap, malicious in (
+        ("attack (0.5s fakes)", 0.5, True),
+        ("genuine failure (1.3s RTO)", 1.3, False),
+    ):
+        monitor = BlinkPrefixMonitor(PREFIX, ["nh1", "nh2"], cells=8)
+        supervised = supervised_blink(monitor)
+        released = _blink_episode(supervised, gap, malicious)
+        outcomes[label] = {
+            "released": len(released),
+            "vetoed": len(supervised.suppressed),
+        }
+    return outcomes
+
+
+def _pytheas_defense():
+    attack = PytheasPoisoningAttack()
+    undefended = attack.run(attacker_fraction=0.15, rounds=80, seed=3)
+    defended = attack.run(
+        attacker_fraction=0.15, rounds=80, seed=3, report_filter=MadOutlierFilter()
+    )
+    benign_defended = attack.run(
+        attacker_fraction=0.0, rounds=80, seed=3, report_filter=MadOutlierFilter()
+    )
+    return undefended, defended, benign_defended
+
+
+def _pcc_defense():
+    def run(tampered, **controller_kwargs):
+        simulation = PccSimulation(
+            PathModel(capacity=100.0),
+            flows=1,
+            tamper=UtilityEqualizer(attack_start_time=20.0) if tampered else None,
+            seed=0,
+            controller_kwargs=controller_kwargs or None,
+        )
+        simulation.run(700)
+        return simulation
+
+    auditor = PhaseLossAuditor()
+    lossy = PccSimulation(PathModel(capacity=100.0, base_loss=0.005), flows=1, seed=1)
+    lossy.run(700)
+    detection = {
+        "attacked": auditor.audit(run(True).records).suspicious,
+        "benign": auditor.audit(run(False).records).suspicious,
+        "benign lossy": auditor.audit(lossy.records).suspicious,
+    }
+    amplitude = {
+        "no clamp (5%)": run(True).rate_amplitude(0, 200),
+        "clamped (2%)": run(True, **clamped_controller_kwargs(0.02)).rate_amplitude(0, 200),
+    }
+    return detection, amplitude
+
+
+def _obfuscation():
+    qm = minimum_qm(32, 8.37, budget=510.0, confidence=0.6)
+    randomizer = BlinkParameterRandomizer(
+        reset_range=(120.0, 510.0), threshold_range=(32, 56), seed=2
+    )
+    return attack_success_under_randomization(qm, 8.37, randomizer, draws=200)
+
+
+def _experiment():
+    return _blink_defense(), _pytheas_defense(), _pcc_defense(), _obfuscation()
+
+
+def test_countermeasures(benchmark):
+    blink, (undefended, defended, benign), (detection, amplitude), obfuscation = run_once(
+        benchmark, _experiment
+    )
+
+    banner("E11 — Section 5 countermeasures")
+    rows = [
+        {"episode": label, "reroutes released": data["released"], "vetoed": data["vetoed"]}
+        for label, data in blink.items()
+    ]
+    print(ascii_table(rows, title="Blink: RTO-plausibility supervisor"))
+    print()
+
+    rows = [
+        {"setting": "attack, undefended", "group flipped": undefended.details["group_flipped"],
+         "QoE loss": round(undefended.details["qoe_loss"], 1)},
+        {"setting": "attack + MAD filter", "group flipped": defended.details["group_flipped"],
+         "QoE loss": round(defended.details["qoe_loss"], 1)},
+        {"setting": "benign + MAD filter", "group flipped": benign.details["group_flipped"],
+         "QoE loss": round(benign.details["qoe_loss"], 1)},
+    ]
+    print(ascii_table(rows, title="Pytheas: robust per-group report filtering"))
+    print()
+
+    rows = [
+        {"trace": name, "auditor flags it": suspicious}
+        for name, suspicious in detection.items()
+    ]
+    print(ascii_table(rows, title="PCC: phase-loss auditor"))
+    rows = [
+        {"configuration": name, "swing under attack": f"{value:.1%}"}
+        for name, value in amplitude.items()
+    ]
+    print(ascii_table(rows, title="PCC: epsilon clamp bounds the damage"))
+    print()
+
+    rows = [
+        {
+            "attacker sized for published defaults": f"{obfuscation['success_fixed_parameters']:.0%}",
+            "vs randomized parameters": f"{obfuscation['success_randomized_parameters']:.0%}",
+            "obfuscation gain": f"{obfuscation['obfuscation_gain']:.0%}",
+        }
+    ]
+    print(ascii_table(rows, title="Blink: parameter randomization (point V)"))
+
+    # Shape assertions: each defense blocks its attack and spares the
+    # benign/genuine case.
+    assert blink["attack (0.5s fakes)"]["released"] == 0
+    assert blink["attack (0.5s fakes)"]["vetoed"] >= 1
+    assert blink["genuine failure (1.3s RTO)"]["released"] == 1
+    assert undefended.details["group_flipped"] and not defended.details["group_flipped"]
+    assert not benign.details["group_flipped"]
+    assert detection["attacked"] and not detection["benign"]
+    assert amplitude["clamped (2%)"] < amplitude["no clamp (5%)"]
+    assert obfuscation["obfuscation_gain"] > 0.0
+
+    benchmark.extra_info.update(
+        {
+            "blink_attack_vetoed": blink["attack (0.5s fakes)"]["vetoed"],
+            "pytheas_defended_flip": defended.details["group_flipped"],
+            "pcc_clamped_swing": amplitude["clamped (2%)"],
+            "obfuscation_gain": obfuscation["obfuscation_gain"],
+        }
+    )

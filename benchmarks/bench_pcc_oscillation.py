@@ -1,0 +1,91 @@
+"""E7: PCC utility-equalisation — forced ±5 % oscillation.
+
+Paper (Section 4.2): "the attacker can cause PCC flows to fluctuate by
+±5%, without allowing them to converge to the right rate.  Further, by
+doing this across a large number of PCC flows towards the same
+destination, the attacker can create sizable traffic fluctuations at
+the destination."
+
+Single-flow reproduction plus the multi-flow destination-fluctuation
+variant, plus the ε-cap ablation from DESIGN.md §6 (the oscillation
+amplitude tracks the cap exactly).
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import PccOscillationAttack
+
+
+def _experiment():
+    attack = PccOscillationAttack()
+    single = attack.run(mis=1000, warmup_mis=200, seed=0)
+    many = attack.run(
+        mis=1200, warmup_mis=200, flows=10, capacity=500.0, seed=1,
+        coherent=True, tail_mis=400,
+    )
+    cap_sweep = {
+        cap: attack.run(mis=700, warmup_mis=200, epsilon_max=cap, seed=2)
+        for cap in (0.05, 0.03, 0.02)
+    }
+    return single, many, cap_sweep
+
+
+def test_pcc_oscillation(benchmark):
+    single, many, cap_sweep = run_once(benchmark, _experiment)
+
+    banner("E7 — PCC forced oscillation (single flow)")
+    d = single.details
+    rows = [
+        {"metric": "mean rate, baseline (Mbps)", "value": round(d["mean_rate_baseline"], 1)},
+        {"metric": "mean rate, attacked (Mbps)", "value": round(d["mean_rate_attacked"], 1)},
+        {"metric": "oscillation CV, baseline", "value": round(d["oscillation_cv_baseline"], 4)},
+        {"metric": "oscillation CV, attacked [paper: ±5%]", "value": round(d["oscillation_cv_attacked"], 4)},
+        {"metric": "peak-to-peak swing [paper: 2x5% = 10%]", "value": f"{d['rate_amplitude_attacked']:.1%}"},
+        {"metric": "MIs stuck in decision state", "value": f"{d['fraction_mis_in_decision_attacked']:.0%}"},
+        {"metric": "epsilon pinned at the 5% cap", "value": f"{d['epsilon_pinned_fraction']:.0%}"},
+        {"metric": "traffic the MitM must drop", "value": f"{d['attack_budget_fraction']:.1%}"},
+    ]
+    print(ascii_table(rows, title="Paper's claims, reproduced"))
+    print()
+
+    dm = many.details
+    rows = [
+        {"metric": "aggregate peak-to-peak swing, baseline", "value": f"{dm['aggregate_swing_baseline']:.1%}"},
+        {"metric": "aggregate peak-to-peak swing, attacked", "value": f"{dm['aggregate_swing_attacked']:.1%}"},
+        {"metric": "aggregate oscillation CV, baseline", "value": round(dm["aggregate_oscillation_baseline"], 4)},
+        {"metric": "aggregate oscillation CV, attacked", "value": round(dm["aggregate_oscillation_attacked"], 4)},
+    ]
+    print(ascii_table(
+        rows,
+        title="10 flows, coherent (swaying-anchor) variant: fluctuation at the destination",
+    ))
+    print()
+
+    rows = [
+        {
+            "epsilon cap": f"{cap:.0%}",
+            "peak-to-peak swing": f"{res.details['rate_amplitude_attacked']:.1%}",
+            "expected (2x cap)": f"{2 * cap:.0%}",
+        }
+        for cap, res in cap_sweep.items()
+    ]
+    print(ascii_table(rows, title="Ablation: the swing tracks the epsilon cap (Section 5 defense lever)"))
+
+    # Shape assertions, per the paper.
+    assert single.success
+    assert d["epsilon_pinned_fraction"] > 0.9
+    assert abs(d["rate_amplitude_attacked"] - 0.10) < 0.04
+    assert d["mean_rate_attacked"] < d["mean_rate_baseline"]
+    assert dm["aggregate_swing_attacked"] > 1.5 * dm["aggregate_swing_baseline"]
+    swings = [res.details["rate_amplitude_attacked"] for res in cap_sweep.values()]
+    assert swings == sorted(swings, reverse=True)  # smaller cap, smaller swing
+
+    benchmark.extra_info.update(
+        {
+            "oscillation_cv_attacked": d["oscillation_cv_attacked"],
+            "amplitude_attacked": d["rate_amplitude_attacked"],
+            "epsilon_pinned_fraction": d["epsilon_pinned_fraction"],
+            "attack_budget_fraction": d["attack_budget_fraction"],
+        }
+    )

@@ -1,0 +1,68 @@
+"""E6: CDN-imbalance — throttling one site herds groups onto the other.
+
+Paper (Section 4.1): "Another possible attack with MitM or operator
+privilege is to throttle user flows to/from a particular content
+distribution network (CDN) site, while prioritizing traffic to others.
+This way, the attacker can create imbalance and potentially overload
+one site as entire groups of clients switch to it."
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import PytheasImbalanceAttack
+
+
+def _experiment():
+    attack = PytheasImbalanceAttack()
+    baseline_vs_attacked = attack.run(rounds=120, groups=5, seed=0)
+    penalty_sweep = {
+        penalty: attack.run(rounds=100, groups=5, seed=1, throttle_penalty=penalty)
+        for penalty in (10.0, 25.0, 40.0)
+    }
+    return baseline_vs_attacked, penalty_sweep
+
+
+def test_cdn_imbalance(benchmark):
+    result, sweep = run_once(benchmark, _experiment)
+
+    banner("E6 — CDN imbalance via MitM throttling")
+    d = result.details
+    rows = [
+        {"metric": "share of sessions on cdn-B, baseline", "value": f"{d['share_b_baseline']:.0%}"},
+        {"metric": "share of sessions on cdn-B, attacked", "value": f"{d['share_b_attacked']:.0%}"},
+        {"metric": "peak cdn-B load / capacity, baseline", "value": round(d["peak_overload_baseline"], 2)},
+        {"metric": "peak cdn-B load / capacity, attacked", "value": round(d["peak_overload_attacked"], 2)},
+        {"metric": "benign QoE, baseline", "value": round(d["benign_qoe_baseline"], 1)},
+        {"metric": "benign QoE, attacked", "value": round(d["benign_qoe_attacked"], 1)},
+        {"metric": "sessions throttled by the MitM", "value": d["sessions_throttled"]},
+    ]
+    print(ascii_table(rows, title="Herding outcome (paper: 'overload one site as entire groups switch')"))
+    print()
+
+    rows = [
+        {
+            "throttle penalty (QoE pts)": penalty,
+            "share on cdn-B": f"{res.details['share_b_attacked']:.0%}",
+            "benign QoE": round(res.details["benign_qoe_attacked"], 1),
+        }
+        for penalty, res in sweep.items()
+    ]
+    print(ascii_table(rows, title="Throttle-strength sweep"))
+
+    # Shape: attacked run pushes substantially more load onto the
+    # constrained site, overloads it, and costs everyone QoE.
+    assert result.success
+    assert d["share_b_attacked"] > d["share_b_baseline"] + 0.2
+    assert d["peak_overload_attacked"] > 1.2
+    assert d["benign_qoe_attacked"] < d["benign_qoe_baseline"] - 5.0
+    shares = [res.details["share_b_attacked"] for res in sweep.values()]
+    assert shares == sorted(shares)  # stronger throttle, more herding
+
+    benchmark.extra_info.update(
+        {
+            "share_b_attacked": d["share_b_attacked"],
+            "peak_overload_attacked": d["peak_overload_attacked"],
+            "qoe_drop": d["benign_qoe_baseline"] - d["benign_qoe_attacked"],
+        }
+    )

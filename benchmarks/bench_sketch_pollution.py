@@ -1,0 +1,95 @@
+"""E10: polluting probabilistic monitoring structures.
+
+Paper (Section 3.2): "These data structures are vulnerable against
+adversarial inputs because they are often dimensioned for the average
+case, rather than the worst case.  An attacker can pollute, or even
+saturate a bloom filter, resulting in inaccurate network statistics."
+
+Sweeps the attack volume against a bloom filter, FlowRadar's encoded
+flowset (showing the sharp decode cliff) and LossRadar's difference
+digest.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import (
+    BloomSaturationAttack,
+    FlowRadarOverloadAttack,
+    LossRadarPollutionAttack,
+)
+
+
+def _experiment():
+    bloom = {
+        mult: BloomSaturationAttack().run(design_capacity=5000, attack_multiplier=mult)
+        for mult in (0.5, 1.0, 2.0, 4.0)
+    }
+    flowradar = {
+        mult: FlowRadarOverloadAttack().run(design_capacity=2000, attack_multiplier=mult)
+        for mult in (0.1, 0.3, 0.5, 1.0, 2.0)
+    }
+    lossradar = {
+        packets: LossRadarPollutionAttack().run(
+            cells=2048, legit_packets=20000, true_losses=200, attack_packets=packets
+        )
+        for packets in (500, 1500, 4000)
+    }
+    return bloom, flowradar, lossradar
+
+
+def test_sketch_pollution(benchmark):
+    bloom, flowradar, lossradar = run_once(benchmark, _experiment)
+
+    banner("E10 — sketch pollution: bloom / FlowRadar / LossRadar")
+    rows = [
+        {
+            "attack volume (x design)": mult,
+            "false-positive rate": round(r.details["fpr_after"], 4),
+            "fill factor": round(r.details["fill_factor_after"], 3),
+        }
+        for mult, r in bloom.items()
+    ]
+    print(ascii_table(rows, title="Bloom filter saturation (designed for 1% FPR)"))
+    print()
+
+    rows = [
+        {
+            "attack flows (x design)": mult,
+            "decode success": round(r.details["decode_success_after"], 3),
+            "load factor": round(r.details["load_factor_after"], 2),
+        }
+        for mult, r in flowradar.items()
+    ]
+    print(ascii_table(rows, title="FlowRadar decode cliff (benign success ~1.0)"))
+    print()
+
+    rows = [
+        {
+            "injected packets": packets,
+            "decode complete": r.details["report_after"]["decode_complete"],
+            "loss recall": round(r.details["report_after"]["recall"], 3),
+            "spurious reports": r.details["report_after"]["spurious"],
+        }
+        for packets, r in lossradar.items()
+    ]
+    print(ascii_table(rows, title="LossRadar: locating 200 real losses under injection"))
+
+    # Shape: bloom FPR explodes monotonically; FlowRadar falls off a
+    # cliff between 0.3x and 2x; LossRadar loses the real losses once
+    # the difference digest overflows.
+    fprs = [r.details["fpr_after"] for r in bloom.values()]
+    assert fprs == sorted(fprs)
+    assert fprs[-1] > 0.5
+    assert flowradar[0.1].details["decode_success_after"] > 0.9
+    assert flowradar[2.0].details["decode_success_after"] < 0.2
+    assert lossradar[500].details["report_after"]["recall"] == 1.0
+    assert lossradar[4000].details["report_after"]["recall"] < 0.5
+
+    benchmark.extra_info.update(
+        {
+            "bloom_fpr_at_4x": fprs[-1],
+            "flowradar_success_at_2x": flowradar[2.0].details["decode_success_after"],
+            "lossradar_recall_at_4000": lossradar[4000].details["report_after"]["recall"],
+        }
+    )

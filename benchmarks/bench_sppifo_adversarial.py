@@ -1,0 +1,72 @@
+"""E9: adversarial rank sequences against SP-PIFO.
+
+Paper (Section 3.2): "The proposed heuristic is based on the assumption
+that given a rank distribution, the order in which packet ranks arrive
+is random.  An attacker could send packet sequences of particular
+ranks, resulting in packets being delayed or even dropped."
+
+Compares inversion rates for random vs adversarial (descending
+sawtooth) arrivals across queue counts, and sweeps the attacker's share
+of the arrival stream.
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import SpPifoAdversarialAttack
+
+
+def _experiment():
+    attack = SpPifoAdversarialAttack()
+    queue_sweep = {
+        queues: attack.run(packets=12000, queues=queues, seed=0)
+        for queues in (4, 8, 16, 32)
+    }
+    share_sweep = {
+        share: attack.run(packets=12000, attacker_fraction=share, seed=1)
+        for share in (0.25, 0.5, 0.75, 1.0)
+    }
+    return queue_sweep, share_sweep
+
+
+def test_sppifo_adversarial_ranks(benchmark):
+    queue_sweep, share_sweep = run_once(benchmark, _experiment)
+
+    banner("E9 — SP-PIFO under adversarial rank sequences")
+    rows = [
+        {
+            "queues": queues,
+            "random inversion rate": round(r.details["benign_inversion_rate"], 3),
+            "adversarial inversion rate": round(r.details["adversarial_inversion_rate"], 3),
+            "inflation": round(r.details["inflation_factor"], 2),
+            "ideal PIFO inversions": r.details["ideal_pifo_inversions"],
+        }
+        for queues, r in queue_sweep.items()
+    ]
+    print(ascii_table(rows, title="Random vs adversarial arrivals (same rank distribution)"))
+    print()
+
+    rows = [
+        {
+            "attacker share of arrivals": f"{share:.0%}",
+            "inversion rate": round(r.details["adversarial_inversion_rate"], 3),
+        }
+        for share, r in share_sweep.items()
+    ]
+    print(ascii_table(rows, title="Partial attacker-share sweep"))
+
+    # Shape: adversarial order inflates inversions at every queue count
+    # (an ideal PIFO never inverts), and damage grows with the share.
+    for result in queue_sweep.values():
+        assert result.details["adversarial_inversion_rate"] > 1.5 * result.details["benign_inversion_rate"]
+        assert result.details["ideal_pifo_inversions"] == 0
+    rates = [r.details["adversarial_inversion_rate"] for r in share_sweep.values()]
+    assert rates[-1] == max(rates)
+    assert rates[-1] > rates[0]
+
+    benchmark.extra_info.update(
+        {
+            "inflation_8_queues": queue_sweep[8].details["inflation_factor"],
+            "rate_full_attacker": rates[-1],
+        }
+    )

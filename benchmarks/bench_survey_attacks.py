@@ -1,0 +1,146 @@
+"""E12: the remaining Section 3.2 survey attacks.
+
+Covers every other system the paper names:
+
+* DAPPER — "an attacker can implicate either of these three [sender /
+  network / receiver] for performance problems by manipulating TCP
+  packets";
+* RON — "an attacker in the path between two nodes could drop or delay
+  RON's probes, so as to divert traffic to another next-hop";
+* Espresso / Edge Fabric — "an attacker could lower the performance
+  (e.g., increase the delay) of the flows destined to these networks so
+  that they use another path";
+* SilkRoad — per-connection state in limited switch memory is "more
+  vulnerable to DDoS attacks than their software-based counterparts";
+* in-network binary neural networks — "neural networks are vulnerable
+  to adversarial examples, and thus are particularly exposed in a
+  setting where anyone can inject inputs over the Internet".
+"""
+
+from conftest import banner, run_once
+
+from repro.analysis import ascii_table
+from repro.attacks import (
+    DapperMisdiagnosisAttack,
+    EgressDivertAttack,
+    InNetworkEvasionAttack,
+    RonDivertAttack,
+    StateExhaustionAttack,
+)
+
+
+def _experiment():
+    dapper = DapperMisdiagnosisAttack().run(connections=300, seed=0)
+    ron_c = RonDivertAttack().run(desired_via="c", seed=0)
+    ron_d = RonDivertAttack().run(desired_via="d", seed=0)
+    ron_drop_sweep = {
+        fraction: RonDivertAttack().run(drop_fraction=fraction, seed=1)
+        for fraction in (0.1, 0.3, 0.6, 0.9)
+    }
+    egress = EgressDivertAttack().run(seed=0)
+    silkroad = {
+        mode: StateExhaustionAttack().run(
+            capacity=5000,
+            attack_connections=6000,
+            legitimate_connections=1000,
+            reject_when_full=(mode == "reject"),
+        )
+        for mode in ("stateless-fallback", "reject")
+    }
+    innet = InNetworkEvasionAttack().run(seed=0)
+    return dapper, ron_c, ron_d, ron_drop_sweep, egress, silkroad, innet
+
+
+def test_survey_attacks(benchmark):
+    dapper, ron_c, ron_d, sweep, egress, silkroad, innet = run_once(
+        benchmark, _experiment
+    )
+
+    banner("E12 — DAPPER misdiagnosis and RON probe manipulation")
+    rows = [
+        {"forced diagnosis": "receiver-limited", "manipulation": "clamp advertised rwnd",
+         "flip rate": f"{dapper.details['flip_rate_to_receiver']:.0%}"},
+        {"forced diagnosis": "network-limited", "manipulation": "inject duplicate segments",
+         "flip rate": f"{dapper.details['flip_rate_to_network']:.0%}"},
+        {"forced diagnosis": "sender-limited", "manipulation": "stretch ACK clocking",
+         "flip rate": f"{dapper.details['flip_rate_to_sender']:.0%}"},
+    ]
+    print(ascii_table(rows, title="DAPPER: healthy connections misdiagnosed on demand"))
+    print()
+
+    rows = [
+        {
+            "attacker's chosen detour": via,
+            "route before": " -> ".join(r.details["route_before"]),
+            "route after": " -> ".join(r.details["route_after"]),
+            "true latency inflation": f"{r.details['latency_inflation']:.1f}x",
+        }
+        for via, r in (("c", ron_c), ("d", ron_d))
+    ]
+    print(ascii_table(rows, title="RON: probe drops steer traffic onto attacker-chosen detours"))
+    print()
+
+    rows = [
+        {
+            "probe drop fraction": f"{fraction:.0%}",
+            "diverted": len(r.details["route_after"]) == 3,
+        }
+        for fraction, r in sweep.items()
+    ]
+    print(ascii_table(rows, title="Drop-fraction sweep: how much probe loss diverts RON"))
+
+    rows = [
+        {
+            "metric": "egress before attack",
+            "value": egress.details["egress_before_attack"],
+        },
+        {"metric": "egress after attack", "value": egress.details["egress_after_attack"]},
+        {
+            "metric": "true RTT inflation",
+            "value": f"{egress.details['true_rtt_ratio']:.2f}x",
+        },
+    ]
+    print(ascii_table(rows, title="Espresso-style passive egress selection, MitM-delayed"))
+    print()
+
+    rows = [
+        {
+            "full-table policy": mode,
+            "legit rejected": r.details["attacked"]["rejected"],
+            "legit broken on pool update": r.details["attacked"]["broken_on_update"],
+            "harmed fraction": f"{r.details['harmed_fraction']:.0%}",
+        }
+        for mode, r in silkroad.items()
+    ]
+    print(ascii_table(rows, title="SilkRoad-style connection table under spoofed-SYN fill"))
+    print()
+
+    rows = [
+        {"metric": "clean accuracy", "value": f"{innet.details['clean_accuracy']:.1%}"},
+        {"metric": "evasion rate (<=4 header-bit flips)", "value": f"{innet.details['evasion_rate']:.1%}"},
+        {"metric": "mean flips when evaded", "value": round(innet.details["mean_bit_flips"], 2)},
+    ]
+    print(ascii_table(rows, title="In-network BNN: white-box adversarial packets"))
+
+    # Shape assertions.
+    assert dapper.success
+    assert ron_c.success and ron_d.success
+    assert ron_c.details["latency_inflation"] > 1.5
+    diverted = [len(r.details["route_after"]) == 3 for r in sweep.values()]
+    # Light probe loss is tolerated; heavy loss always diverts.
+    assert diverted[-1] is True
+    assert diverted[0] is False
+
+    assert egress.success
+    assert all(r.success for r in silkroad.values())
+    assert innet.success
+
+    benchmark.extra_info.update(
+        {
+            "dapper_mean_flip": dapper.magnitude,
+            "ron_latency_inflation": ron_c.details["latency_inflation"],
+            "egress_diverted": egress.details["egress_after_attack"],
+            "silkroad_harmed_fraction": silkroad["stateless-fallback"].details["harmed_fraction"],
+            "innet_evasion_rate": innet.details["evasion_rate"],
+        }
+    )

@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark/reproduction harness.
+
+Every bench follows the same pattern: run the experiment once under
+``benchmark.pedantic`` (so ``pytest benchmarks/ --benchmark-only``
+times it), print the paper-style table/series to stdout, assert the
+*shape* of the paper's result (who wins, by roughly what factor), and
+stash the headline numbers into ``benchmark.extra_info`` so they land
+in the benchmark JSON.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

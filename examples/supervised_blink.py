@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""The driver/supervisor architecture in action (Section 5 / E11).
+
+Runs the same Blink monitor through two episodes — a fake-retransmission
+attack and a genuine failure — under the RTO-plausibility supervisor,
+showing the veto on the attack and the pass-through of the real event,
+plus the synchronous-vs-asynchronous supervision trade-off.
+
+Run:  python examples/supervised_blink.py
+"""
+
+from repro.analysis import ascii_table
+from repro.blink import BlinkPrefixMonitor
+from repro.core import Signal, SignalKind, SupervisedDriver, Supervisor
+from repro.defenses import RtoPlausibilityModel, supervised_blink
+from repro.flows import FiveTuple
+
+PREFIX = "198.51.100.0/24"
+
+
+def _flow(i: int) -> FiveTuple:
+    return FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.1", 1000 + i, 443)
+
+
+def _signal(flow, time, retrans=False, malicious=False):
+    return Signal(
+        SignalKind.HEADER_FIELD,
+        "tcp.packet",
+        {"flow": flow, "retransmission": retrans, "malicious": malicious},
+        time=time,
+    )
+
+
+def episode(supervised: SupervisedDriver, gap: float, malicious: bool, t0: float):
+    """Populate the sample, then make every flow retransmit after ``gap``."""
+    released = []
+    for i in range(40):
+        released += supervised.observe(_signal(_flow(i), time=t0))
+    for i in range(40):
+        released += supervised.observe(
+            _signal(_flow(i), time=t0 + gap, retrans=True, malicious=malicious)
+        )
+    return released
+
+
+def main() -> None:
+    rows = []
+    for label, gap, malicious in (
+        ("attack: fake retransmissions every 0.5s", 0.5, True),
+        ("genuine failure: retransmissions at RTO (1.3s)", 1.3, False),
+    ):
+        monitor = BlinkPrefixMonitor(PREFIX, ["nh1", "nh2"], cells=8)
+        supervised = supervised_blink(monitor)
+        released = episode(supervised, gap, malicious, t0=0.0)
+        model = supervised.supervisor.model
+        assert isinstance(model, RtoPlausibilityModel)
+        rows.append(
+            {
+                "episode": label,
+                "reroutes released": len(released),
+                "reroutes vetoed": len(supervised.suppressed),
+                "risk estimate": round(model.implausible_fraction(), 2),
+            }
+        )
+    print(ascii_table(rows, title="Synchronous supervision (Fig. 3 of the paper)"))
+    print()
+    print("The supervisor checks each reroute against a model of plausible")
+    print("RTO timing: fakes arrive at the attacker's packet cadence, far")
+    print("below TCP's 1-second RTO floor, and get vetoed; the genuine")
+    print("failure's backoff pattern passes.")
+    print()
+
+    # The async trade-off: decisions pass immediately, detection lags.
+    monitor = BlinkPrefixMonitor(PREFIX, ["nh1", "nh2"], cells=8)
+    model = RtoPlausibilityModel(monitor)
+    supervisor = Supervisor(model, risk_threshold=0.5)
+    asynchronous = SupervisedDriver(
+        monitor, supervisor, synchronous=False, check_interval=5.0
+    )
+    released = episode(asynchronous, gap=0.5, malicious=True, t0=0.0)
+    episode(asynchronous, gap=0.5, malicious=True, t0=6.0)  # next check window
+    print(
+        f"Asynchronous mode: {len(released)} attack reroute(s) slipped through "
+        f"before the periodic check raised {len(supervisor.alarms)} alarm(s) — "
+        "the fast-but-late end of the paper's trade-off question."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Experiment tooling: sweeps, aggregation, plain-text reporting."""
+
+from repro.analysis.experiment import Sweep, SweepPoint, SweepResult
+from repro.analysis.reporting import (
+    ascii_table,
+    comparison_line,
+    format_value,
+    series_block,
+    sparkline,
+)
+
+__all__ = [
+    "Sweep",
+    "SweepPoint",
+    "SweepResult",
+    "ascii_table",
+    "comparison_line",
+    "format_value",
+    "series_block",
+    "sparkline",
+]

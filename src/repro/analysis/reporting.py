@@ -1,0 +1,104 @@
+"""Plain-text reporting: the tables and series the benches print.
+
+The paper's single quantitative figure is a line plot; benches emit
+the same data as aligned ASCII tables plus, for curves, a coarse
+terminal sparkline, so results are reviewable without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def format_value(value: object, precision: int = 3) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0.0):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned ASCII table."""
+    if not rows:
+        raise ConfigurationError("no rows to render")
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+    rendered = [
+        [format_value(row.get(col, ""), precision) for col in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(col)), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for line in rendered:
+        lines.append(" | ".join(cell.rjust(widths[i]) for i, cell in enumerate(line)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Coarse terminal plot of a series (min-max normalised)."""
+    if not values:
+        raise ConfigurationError("no values to plot")
+    if len(values) > width:
+        # Downsample by striding (keeps the shape, bounds the width).
+        stride = len(values) / width
+        sampled = [values[int(i * stride)] for i in range(width)]
+    else:
+        sampled = list(values)
+    low = min(sampled)
+    high = max(sampled)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(sampled)
+    chars = []
+    for value in sampled:
+        level = int((value - low) / (high - low) * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def series_block(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    width: int = 60,
+) -> str:
+    """A labelled sparkline with range annotations."""
+    if len(times) != len(values):
+        raise ConfigurationError("times and values must align")
+    if not values:
+        raise ConfigurationError("empty series")
+    return (
+        f"{name} [{format_value(min(values))} .. {format_value(max(values))}] "
+        f"t=[{format_value(times[0], 1)}, {format_value(times[-1], 1)}]\n"
+        f"  {sparkline(values, width)}"
+    )
+
+
+def comparison_line(label: str, paper_value: str, measured: object) -> str:
+    """One EXPERIMENTS.md-style paper-vs-measured line."""
+    return f"{label}: paper={paper_value} measured={format_value(measured)}"

@@ -1,0 +1,79 @@
+"""Concrete attacks on every system the paper discusses.
+
+Each attack is an :class:`~repro.core.Attack` declaring its threat
+vector (Section 2) and producing a quantitative
+:class:`~repro.core.AttackResult`; the attacker model itself lives in
+:mod:`repro.attacks.attacker`.
+"""
+
+from repro.attacks.attacker import (
+    Attacker,
+    host_attacker,
+    mitm_attacker,
+    operator_attacker,
+)
+from repro.attacks.blink_attack import BlinkAnalyticalAttack, BlinkCaptureAttack
+from repro.attacks.dapper_attack import DapperMisdiagnosisAttack, healthy_connections
+from repro.attacks.extra_attacks import (
+    EgressDivertAttack,
+    InNetworkEvasionAttack,
+    StateExhaustionAttack,
+)
+from repro.attacks.pcc_attack import (
+    OscillatingEqualizer,
+    PccOscillationAttack,
+    UtilityEqualizer,
+)
+from repro.attacks.pytheas_attack import PytheasImbalanceAttack, PytheasPoisoningAttack
+from repro.attacks.ron_attack import ProbeDropper, RonDivertAttack
+from repro.attacks.sketch_attack import (
+    BloomSaturationAttack,
+    FlowRadarOverloadAttack,
+    LossRadarPollutionAttack,
+    synthetic_flows,
+)
+from repro.attacks.sppifo_attack import (
+    SpPifoAdversarialAttack,
+    interleaved_adversarial_ranks,
+    sawtooth_ranks,
+    uniform_ranks,
+)
+from repro.attacks.traceroute_attack import (
+    IcmpRewriteAttack,
+    IcmpSourceRewriteTap,
+    MaliciousTopologyAttack,
+    NetHideDefensiveUse,
+)
+
+__all__ = [
+    "Attacker",
+    "BlinkAnalyticalAttack",
+    "BlinkCaptureAttack",
+    "BloomSaturationAttack",
+    "DapperMisdiagnosisAttack",
+    "EgressDivertAttack",
+    "InNetworkEvasionAttack",
+    "StateExhaustionAttack",
+    "FlowRadarOverloadAttack",
+    "IcmpRewriteAttack",
+    "IcmpSourceRewriteTap",
+    "LossRadarPollutionAttack",
+    "MaliciousTopologyAttack",
+    "NetHideDefensiveUse",
+    "OscillatingEqualizer",
+    "PccOscillationAttack",
+    "ProbeDropper",
+    "PytheasImbalanceAttack",
+    "PytheasPoisoningAttack",
+    "RonDivertAttack",
+    "SpPifoAdversarialAttack",
+    "UtilityEqualizer",
+    "healthy_connections",
+    "host_attacker",
+    "interleaved_adversarial_ranks",
+    "mitm_attacker",
+    "operator_attacker",
+    "sawtooth_ranks",
+    "synthetic_flows",
+    "uniform_ranks",
+]

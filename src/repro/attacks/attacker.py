@@ -1,0 +1,100 @@
+"""Attacker objects: privilege-checked access to the simulators.
+
+An :class:`Attacker` bundles a privilege level with the concrete
+footholds it holds (compromised hosts, intercepted links) and exposes
+privilege-gated helpers for the actions of Section 2.1.  The helpers
+raise :class:`~repro.core.errors.PrivilegeError` on anything the threat
+model does not grant — keeping attack code honest about what level it
+actually needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.entities import Capability, Privilege, capabilities_of
+from repro.core.errors import PrivilegeError
+from repro.netsim.link import LinkTap
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet
+
+
+@dataclass
+class Attacker:
+    """A threat-model-conformant adversary.
+
+    Attributes:
+        privilege: the level from Section 2.1.
+        compromised_hosts: nodes a HOST-level attacker controls.
+        intercepted_links: (a, b) link pairs a MITM-level attacker sits
+            on (direction-insensitive).
+    """
+
+    privilege: Privilege
+    compromised_hosts: Set[str] = field(default_factory=set)
+    intercepted_links: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def can(self, capability: Capability) -> bool:
+        return capability in capabilities_of(self.privilege)
+
+    def _require(self, capability: Capability, action: str) -> None:
+        if not self.can(capability):
+            raise PrivilegeError(
+                f"{action} requires {capability.value!r}, not granted at "
+                f"{self.privilege.name} level",
+                required=capability,
+                actual=self.privilege,
+            )
+
+    def _holds_link(self, a: str, b: str) -> bool:
+        return (a, b) in self.intercepted_links or (b, a) in self.intercepted_links
+
+    # -- host-level actions -------------------------------------------------------
+
+    def inject(self, network: Network, packet: Packet, from_node: str) -> None:
+        """Inject a packet from a compromised host."""
+        self._require(Capability.INJECT_FROM_HOST, "injecting traffic")
+        if self.privilege < Privilege.OPERATOR and from_node not in self.compromised_hosts:
+            raise PrivilegeError(
+                f"host {from_node!r} is not compromised",
+                required=Capability.INJECT_FROM_HOST,
+                actual=self.privilege,
+            )
+        network.send(packet, from_node=from_node)
+
+    # -- MitM-level actions -----------------------------------------------------------
+
+    def tap_link(self, network: Network, a: str, b: str, tap: LinkTap,
+                 both_directions: bool = True) -> None:
+        """Install a tap on an intercepted link."""
+        self._require(Capability.MODIFY_ON_LINK, "tapping a link")
+        if self.privilege < Privilege.OPERATOR and not self._holds_link(a, b):
+            raise PrivilegeError(
+                f"link {a!r}-{b!r} is not intercepted by this attacker",
+                required=Capability.MODIFY_ON_LINK,
+                actual=self.privilege,
+            )
+        network.install_tap(a, b, tap, both_directions=both_directions)
+
+    # -- operator-level actions -----------------------------------------------------------
+
+    def reconfigure(self, action, *args, **kwargs):
+        """Run a configuration-changing callable (operator only)."""
+        self._require(Capability.CHANGE_CONFIGURATION, "changing configuration")
+        return action(*args, **kwargs)
+
+
+def host_attacker(*hosts: str) -> Attacker:
+    """Convenience: a HOST-level attacker holding the given hosts."""
+    return Attacker(Privilege.HOST, compromised_hosts=set(hosts))
+
+
+def mitm_attacker(*links: Tuple[str, str]) -> Attacker:
+    """Convenience: a MITM-level attacker on the given links."""
+    return Attacker(Privilege.MITM, intercepted_links=set(links))
+
+
+def operator_attacker() -> Attacker:
+    """Convenience: the full-control operator attacker."""
+    return Attacker(Privilege.OPERATOR)

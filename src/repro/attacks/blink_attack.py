@@ -1,0 +1,122 @@
+"""The Blink capture-and-reroute attack (Section 3.1).
+
+A HOST-level attacker sends persistent fake-retransmission flows toward
+a victim prefix through a Blink-equipped router.  Once a majority of
+the flow-selector cells hold attacker flows, the attacker's synchronised
+fake retransmissions make Blink infer a failure and reroute the prefix
+— "possibly onto a path that she controls".
+
+Two granularities:
+
+* :class:`BlinkCaptureAttack` — trace-driven against the full Blink
+  pipeline (the paper's packet-level experiment, E2); and
+* :class:`BlinkAnalyticalAttack` — the closed-form/Monte-Carlo model
+  behind Fig. 2 (E1), packaged as an attack for campaign sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.blink.analysis import fig2_experiment
+from repro.blink.constants import DEFAULT_CELLS
+from repro.blink.pipeline import BlinkSwitch
+from repro.core.attack import Attack, AttackResult
+from repro.core.entities import Capability, Impact, Privilege, Target
+from repro.core.metrics import first_crossing_time
+from repro.flows.generators import DurationDistribution, blink_attack_workload
+
+
+class BlinkAnalyticalAttack(Attack):
+    """Closed-form feasibility of capturing half of Blink's sample."""
+
+    name = "blink-capture-analytical"
+    required_privilege = Privilege.HOST
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.INJECT_FROM_HOST,)
+    impacts = (Impact.PRIVACY, Impact.PERFORMANCE, Impact.REACHABILITY)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        qm = float(params.get("qm", 0.0525))
+        tr = float(params.get("tr", 8.37))
+        cells = int(params.get("cells", DEFAULT_CELLS))
+        horizon = float(params.get("horizon", 510.0))
+        runs = int(params.get("runs", 50))
+        seed = int(params.get("seed", 0))
+        result = fig2_experiment(
+            qm=qm, tr=tr, cells=cells, horizon=horizon, runs=runs, seed=seed
+        )
+        success = result.success_fraction >= 0.5
+        return AttackResult(
+            attack_name=self.name,
+            success=success,
+            time_to_success=result.mean_crossing_simulated,
+            magnitude=result.success_fraction,
+            details={
+                "threshold": result.threshold,
+                "mean_crossing_theory": result.mean_crossing_theory,
+                "expected_hitting_theory": result.expected_hitting_theory,
+                "median_success_time_theory": result.median_success_time_theory,
+                "success_fraction": result.success_fraction,
+                "qm": qm,
+                "tr": tr,
+            },
+        )
+
+
+class BlinkCaptureAttack(Attack):
+    """Packet-level capture attack through the real Blink pipeline."""
+
+    name = "blink-capture-packet-level"
+    required_privilege = Privilege.HOST
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.INJECT_FROM_HOST,)
+    impacts = (Impact.PRIVACY, Impact.PERFORMANCE, Impact.REACHABILITY)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        prefix = str(params.get("prefix", "198.51.100.0/24"))
+        horizon = float(params.get("horizon", 510.0))
+        legitimate_flows = int(params.get("legitimate_flows", 2000))
+        malicious_flows = int(params.get("malicious_flows", 105))
+        duration_median = float(params.get("duration_median", 4.0))
+        seed = int(params.get("seed", 0))
+        sample_interval = float(params.get("sample_interval", 1.0))
+        cells = int(params.get("cells", DEFAULT_CELLS))
+
+        _, trace, summary = blink_attack_workload(
+            destination_prefix=prefix,
+            horizon=horizon,
+            legitimate_flows=legitimate_flows,
+            malicious_flows=malicious_flows,
+            duration_model=DurationDistribution(median=duration_median),
+            seed=seed,
+        )
+        switch = BlinkSwitch({prefix: ["nh-primary", "nh-backup"]}, cells=cells)
+        series = switch.replay_trace(trace, sample_interval=sample_interval)[prefix]
+        monitor = switch.monitors[prefix]
+
+        threshold = cells // 2
+        crossing = first_crossing_time(series.times, series.values, threshold)
+        reroutes = monitor.reroutes
+        measured_tr: Optional[float] = None
+        if monitor.selector.stats.legit_occupancy_durations:
+            measured_tr = monitor.selector.stats.mean_legit_occupancy()
+        return AttackResult(
+            attack_name=self.name,
+            success=bool(reroutes),
+            time_to_success=reroutes[0].time if reroutes else None,
+            magnitude=max(series.values) / cells if len(series) else 0.0,
+            details={
+                "time_to_half_sample": crossing,
+                "reroute_events": len(reroutes),
+                "first_reroute": reroutes[0].time if reroutes else None,
+                "malicious_at_first_reroute": (
+                    reroutes[0].malicious_monitored_ground_truth if reroutes else None
+                ),
+                "measured_tr": measured_tr,
+                "qm": malicious_flows / legitimate_flows,
+                "packets": len(trace),
+                "occupancy_series": series,
+                "workload": summary,
+            },
+        )

@@ -1,0 +1,112 @@
+"""Misdirecting DAPPER's diagnosis (Section 3.2).
+
+"DAPPER relies on TCP information to determine if a connection is
+limited by the sender, the network, or the receiver.  An attacker can
+implicate either of these three for performance problems by
+manipulating TCP packets, and falsely trigger the recourses suggested
+by the authors."
+
+The attack enumerates a population of genuinely healthy connections
+and shows that, for each of the three bottleneck classes, a concrete
+header manipulation flips the diagnosis to that class.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro.core.attack import Attack, AttackResult
+from repro.core.entities import Capability, Impact, Privilege, Target
+from repro.dapper.diagnosis import (
+    Bottleneck,
+    ConnectionStats,
+    DapperClassifier,
+    delay_acks,
+    inject_spurious_retransmissions,
+    rewrite_receive_window,
+)
+from repro.flows.flow import FiveTuple
+
+
+def healthy_connections(count: int, seed: int = 0) -> List[ConnectionStats]:
+    """Connections with ample windows, no loss, busy senders."""
+    rng = random.Random(seed)
+    connections = []
+    for i in range(count):
+        flight = rng.randrange(20_000, 40_000)
+        connections.append(
+            ConnectionStats(
+                flow=FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.9", 30000 + i % 30000, 443),
+                flight_bytes=flight,
+                receive_window=flight * 3,
+                estimated_cwnd=flight * 3,
+                loss_events=0,
+                total_segments=rng.randrange(500, 2000),
+                sender_idle_fraction=rng.uniform(0.0, 0.1),
+            )
+        )
+    return connections
+
+
+class DapperMisdiagnosisAttack(Attack):
+    """Flip healthy connections into each bottleneck class."""
+
+    name = "dapper-misdiagnosis"
+    required_privilege = Privilege.MITM
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.MODIFY_ON_LINK, Capability.DELAY_ON_LINK)
+    impacts = (Impact.SITUATIONAL_AWARENESS, Impact.BROKEN_DEBUGGING)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        count = int(params.get("connections", 200))
+        seed = int(params.get("seed", 0))
+        classifier = DapperClassifier()
+        population = healthy_connections(count, seed)
+
+        baseline: Dict[Bottleneck, int] = {b: 0 for b in Bottleneck}
+        for stats in population:
+            baseline[classifier.classify(stats).bottleneck] += 1
+
+        flips: Dict[str, float] = {}
+        # Receiver-limited: clamp the advertised window below flight.
+        receiver_hits = sum(
+            1
+            for stats in population
+            if classifier.classify(
+                rewrite_receive_window(stats, max(1, stats.flight_bytes // 2))
+            ).bottleneck
+            == Bottleneck.RECEIVER
+        )
+        flips["receiver"] = receiver_hits / count
+        # Network-limited: inject duplicate segments (fake loss).
+        network_hits = sum(
+            1
+            for stats in population
+            if classifier.classify(
+                inject_spurious_retransmissions(stats, max(20, stats.total_segments // 20))
+            ).bottleneck
+            == Bottleneck.NETWORK
+        )
+        flips["network"] = network_hits / count
+        # Sender-limited: stretch ACK clocking so the sender looks idle.
+        sender_hits = sum(
+            1
+            for stats in population
+            if classifier.classify(delay_acks(stats, 0.5)).bottleneck == Bottleneck.SENDER
+        )
+        flips["sender"] = sender_hits / count
+
+        worst = min(flips.values())
+        return AttackResult(
+            attack_name=self.name,
+            success=worst > 0.9,
+            magnitude=sum(flips.values()) / 3.0,
+            details={
+                "baseline_distribution": {b.value: n for b, n in baseline.items()},
+                "flip_rate_to_receiver": flips["receiver"],
+                "flip_rate_to_network": flips["network"],
+                "flip_rate_to_sender": flips["sender"],
+                "connections": count,
+            },
+        )

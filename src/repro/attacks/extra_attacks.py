@@ -1,0 +1,197 @@
+"""Attacks on the remaining Section 3.2 systems.
+
+* :class:`InNetworkEvasionAttack` — adversarial examples against the
+  in-switch binary neural network ("neural networks are vulnerable to
+  adversarial examples, and thus are particularly exposed in a setting
+  where anyone can inject inputs over the Internet");
+* :class:`EgressDivertAttack` — a MitM degrades the passive
+  measurements an Espresso-style egress selector relies on, steering a
+  prefix onto the attacker's preferred egress;
+* :class:`StateExhaustionAttack` — spoofed SYNs fill a SilkRoad-style
+  connection table, so legitimate connections lose per-connection
+  consistency (or service) when the backend pool next changes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.core.attack import Attack, AttackResult
+from repro.core.entities import Capability, Impact, Privilege, Signal, SignalKind, Target
+from repro.egress.selector import PassiveEgressSelector
+from repro.flows.flow import FiveTuple
+from repro.innet.adversarial import evasion_rate
+from repro.innet.bnn import accuracy, synthetic_traffic, train_binarized
+from repro.silkroad.conntable import ConnTableLoadBalancer, InsertOutcome
+
+
+class InNetworkEvasionAttack(Attack):
+    """Craft packets that the in-switch classifier mislabels."""
+
+    name = "innet-bnn-evasion"
+    required_privilege = Privilege.HOST
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.INJECT_FROM_HOST,)
+    impacts = (Impact.PERFORMANCE, Impact.SITUATIONAL_AWARENESS)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        training = int(params.get("training_samples", 2000))
+        evaluation = int(params.get("evaluation_samples", 500))
+        max_flips = int(params.get("max_flips", 4))
+        seed = int(params.get("seed", 0))
+
+        classifier = train_binarized(synthetic_traffic(training, seed=seed), seed=seed)
+        holdout = synthetic_traffic(evaluation, seed=seed + 1)
+        clean_accuracy = accuracy(classifier, holdout)
+        rate, mean_flips = evasion_rate(classifier, holdout, max_flips=max_flips)
+        return AttackResult(
+            attack_name=self.name,
+            success=clean_accuracy > 0.85 and rate > 0.8,
+            magnitude=rate,
+            details={
+                "clean_accuracy": clean_accuracy,
+                "evasion_rate": rate,
+                "mean_bit_flips": mean_flips,
+                "flip_budget": max_flips,
+                "model_width": classifier.width,
+            },
+        )
+
+
+class EgressDivertAttack(Attack):
+    """Degrade passive measurements to force an egress switch."""
+
+    name = "egress-passive-divert"
+    required_privilege = Privilege.MITM
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.DELAY_ON_LINK, Capability.DROP_ON_LINK)
+    impacts = (Impact.PERFORMANCE, Impact.PRIVACY)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        rounds = int(params.get("rounds", 400))
+        extra_delay = float(params.get("extra_delay", 0.040))
+        extra_loss = float(params.get("extra_loss", 0.05))
+        attack_start = int(params.get("attack_start", 200))
+        seed = int(params.get("seed", 0))
+        prefix = "198.51.100.0/24"
+        # Egress A is genuinely better (20 ms vs 35 ms).
+        true_rtt = {"egress-A": 0.020, "egress-B": 0.035}
+
+        selector = PassiveEgressSelector(["egress-A", "egress-B"])
+        rng = random.Random(seed)
+        switch_times: List[int] = []
+        for i in range(rounds):
+            for egress, base_rtt in true_rtt.items():
+                rtt = rng.gauss(base_rtt, 0.002)
+                lost = False
+                # MitM sits on egress-A's peering link.
+                if egress == "egress-A" and i >= attack_start:
+                    rtt += extra_delay
+                    lost = rng.random() < extra_loss
+                decisions = selector.observe(
+                    Signal(
+                        SignalKind.TIMING,
+                        "egress.sample",
+                        {
+                            "prefix": prefix,
+                            "egress": egress,
+                            "rtt": None if lost else max(0.001, rtt),
+                            "lost": lost,
+                        },
+                        time=float(i),
+                    )
+                )
+                if decisions:
+                    switch_times.append(i)
+        before = "egress-A"
+        after = selector.egress_for(prefix)
+        detection_lag = (
+            switch_times[-1] - attack_start
+            if after == "egress-B" and switch_times
+            else None
+        )
+        return AttackResult(
+            attack_name=self.name,
+            success=after == "egress-B",
+            time_to_success=float(detection_lag) if detection_lag is not None else None,
+            magnitude=(true_rtt["egress-B"] / true_rtt["egress-A"]) if after == "egress-B" else 0.0,
+            details={
+                "egress_before_attack": before,
+                "egress_after_attack": after,
+                "switch_rounds": switch_times,
+                "rounds_until_diversion": detection_lag,
+                "true_rtt_ratio": true_rtt["egress-B"] / true_rtt["egress-A"],
+            },
+        )
+
+
+class StateExhaustionAttack(Attack):
+    """Fill the connection table; measure legitimate collateral."""
+
+    name = "silkroad-state-exhaustion"
+    required_privilege = Privilege.HOST
+    target = Target.INFRASTRUCTURE
+    required_capabilities = (Capability.INJECT_FROM_HOST,)
+    impacts = (Impact.REACHABILITY, Impact.PERFORMANCE)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        capacity = int(params.get("capacity", 10_000))
+        attack_connections = int(params.get("attack_connections", 12_000))
+        legitimate_connections = int(params.get("legitimate_connections", 2_000))
+        reject_when_full = bool(params.get("reject_when_full", False))
+        seed = int(params.get("seed", 0))
+
+        def legit_flow(i: int) -> FiveTuple:
+            return FiveTuple(
+                f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.10", 10000 + i % 50000, 443
+            )
+
+        def spoofed_flow(i: int) -> FiveTuple:
+            return FiveTuple(
+                f"203.0.{(i // 250) % 250}.{i % 250 + 1}",
+                "198.51.100.10",
+                1024 + i % 60000,
+                443,
+            )
+
+        def run(attacked: bool) -> dict:
+            balancer = ConnTableLoadBalancer(
+                ["b0", "b1", "b2", "b3"], capacity=capacity,
+                reject_when_full=reject_when_full,
+            )
+            if attacked:
+                # Spoofed SYNs never complete, never FIN: entries stick.
+                for i in range(attack_connections):
+                    balancer.open_connection(spoofed_flow(i))
+            legit = [legit_flow(i) for i in range(legitimate_connections)]
+            outcomes = [balancer.open_connection(flow) for flow in legit]
+            rejected = sum(1 for o in outcomes if o == InsertOutcome.REJECTED)
+            stateless = sum(1 for o in outcomes if o == InsertOutcome.STATELESS)
+            # Backend pool update: does per-connection consistency hold?
+            new_pool = ["b0", "b1", "b2", "b3", "b4"]
+            broken = sum(
+                1 for flow in legit if balancer.would_break_on_update(flow, new_pool)
+            )
+            return {
+                "occupancy": balancer.occupancy,
+                "rejected": rejected,
+                "stateless": stateless,
+                "broken_on_update": broken,
+            }
+
+        baseline = run(False)
+        attacked = run(True)
+        harmed = attacked["rejected"] + attacked["broken_on_update"]
+        return AttackResult(
+            attack_name=self.name,
+            success=harmed > 10 * max(1, baseline["rejected"] + baseline["broken_on_update"]),
+            magnitude=harmed / legitimate_connections,
+            details={
+                "baseline": baseline,
+                "attacked": attacked,
+                "legitimate_connections": legitimate_connections,
+                "reject_when_full": reject_when_full,
+                "harmed_fraction": harmed / legitimate_connections,
+            },
+        )

@@ -1,0 +1,202 @@
+"""Faking network topologies (Section 4.3).
+
+"Since there is no authentication of these ICMP replies, any attacker
+who can manipulate them can control the path that traceroute displays
+and thus the topology which the user learns.  To perform this attack,
+it is enough to rewrite the source address of the ICMP replies or to
+reply to IP packets directly."
+
+Two flavours:
+
+* :class:`IcmpRewriteAttack` — a MITM on one link rewrites the source
+  addresses of passing time-exceeded replies, splicing a fake router
+  into every path the victim traces across that link.
+* :class:`MaliciousTopologyAttack` — an OPERATOR answers all probes
+  from a decoy virtual topology (NetHide's mechanism used offensively),
+  measured with NetHide's own accuracy metric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.attack import Attack, AttackResult
+from repro.core.entities import Capability, Impact, Privilege, Target
+from repro.nethide.metrics import path_accuracy
+from repro.nethide.obfuscation import (
+    MaliciousTopologyFaker,
+    NetHideObfuscator,
+    VirtualTopologyResponder,
+    physical_paths_for,
+)
+from repro.netsim.link import LinkTap, TapVerdict
+from repro.netsim.network import Network
+from repro.netsim.packet import IcmpType, Packet, Protocol
+from repro.netsim.topology import Topology, line_topology
+from repro.traceroute.probe import EchoResponder, Tracer
+
+
+class IcmpSourceRewriteTap(LinkTap):
+    """MitM tap that rewrites time-exceeded reply sources.
+
+    Every ICMP time-exceeded reply crossing the link gets its source
+    rewritten per ``rewrite_map`` (real router -> fake name), so the
+    victim's traceroute shows routers that do not exist.
+    """
+
+    def __init__(self, rewrite_map: Dict[str, str]):
+        self.rewrite_map = dict(rewrite_map)
+        self.rewritten = 0
+
+    def inspect(self, packet: Packet, now: float) -> TapVerdict:
+        if (
+            packet.protocol == Protocol.ICMP
+            and packet.icmp is not None
+            and packet.icmp.icmp_type == IcmpType.TIME_EXCEEDED
+            and packet.src in self.rewrite_map
+        ):
+            self.rewritten += 1
+            return TapVerdict("modify", packet=packet.copy(src=self.rewrite_map[packet.src]))
+        return TapVerdict("pass")
+
+
+class IcmpRewriteAttack(Attack):
+    """Rewrite ICMP sources on an intercepted link; measure divergence."""
+
+    name = "traceroute-icmp-rewrite"
+    required_privilege = Privilege.MITM
+    target = Target.ENDPOINT
+    required_capabilities = (Capability.MODIFY_ON_LINK,)
+    impacts = (Impact.SITUATIONAL_AWARENESS, Impact.BROKEN_DEBUGGING)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        length = int(params.get("path_length", 6))
+        topology = params.get("topology") or _line_with_hosts(length)
+        source = str(params.get("source", "src"))
+        destination = str(params.get("destination", "dst"))
+
+        def run(rewrite: bool) -> List[str]:
+            network = Network(topology.copy(), seed=1)
+            EchoResponder(network, destination)
+            tracer = Tracer(network, source)
+            if rewrite:
+                # Intercept the link next to the victim: all replies
+                # funnel through it.
+                tap = IcmpSourceRewriteTap(
+                    {f"r{i}": f"fake-{i}" for i in range(length)}
+                )
+                network.install_tap("r0", source, tap)
+            result = tracer.trace(destination)
+            return result.path
+
+        honest_path = run(False)
+        faked_path = run(True)
+        accuracy = path_accuracy(honest_path, faked_path)
+        fake_hops = sum(1 for hop in faked_path if hop.startswith("fake-"))
+        return AttackResult(
+            attack_name=self.name,
+            success=accuracy < 0.5 and fake_hops > 0,
+            magnitude=1.0 - accuracy,
+            details={
+                "honest_path": honest_path,
+                "faked_path": faked_path,
+                "accuracy_of_view": accuracy,
+                "fake_hops": fake_hops,
+            },
+        )
+
+
+class MaliciousTopologyAttack(Attack):
+    """Operator presents a decoy topology via NetHide's mechanism."""
+
+    name = "traceroute-malicious-topology"
+    required_privilege = Privilege.OPERATOR
+    target = Target.ENDPOINT
+    required_capabilities = (Capability.CHANGE_CONFIGURATION,)
+    impacts = (Impact.SITUATIONAL_AWARENESS, Impact.BROKEN_DEBUGGING)
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        from repro.netsim.topology import random_topology
+
+        nodes = int(params.get("nodes", 20))
+        seed = int(params.get("seed", 0))
+        decoy_hops = int(params.get("decoy_hops", 4))
+        topology = params.get("topology") or random_topology(nodes, seed=seed)
+
+        faker = MaliciousTopologyFaker(topology, decoy_hops=decoy_hops, seed=seed)
+        virtual = faker.compute()
+        responder = VirtualTopologyResponder(virtual)
+        # Sample the user's learned view across all pairs.
+        accuracies = []
+        fake_node_names = set()
+        for (src, dst), physical in virtual.physical_paths.items():
+            view = [src] + responder.traceroute_view(src, dst)
+            accuracies.append(path_accuracy(physical, view))
+            fake_node_names.update(h for h in view if h.startswith("decoy-"))
+        mean_accuracy = sum(accuracies) / len(accuracies)
+        return AttackResult(
+            attack_name=self.name,
+            success=mean_accuracy < 0.5,
+            magnitude=1.0 - mean_accuracy,
+            details={
+                "pairs": len(accuracies),
+                "mean_view_accuracy": mean_accuracy,
+                "fabricated_routers": len(fake_node_names),
+            },
+        )
+
+
+class NetHideDefensiveUse(Attack):
+    """The defensive counterpart, for contrast in the bench (E8).
+
+    Not an attack per se: quantifies how much accuracy/utility NetHide
+    *retains* while meeting its security requirement, versus the
+    malicious faker which retains almost none.
+    """
+
+    name = "nethide-defensive-obfuscation"
+    required_privilege = Privilege.OPERATOR
+    target = Target.ENDPOINT
+    required_capabilities = (Capability.CHANGE_CONFIGURATION,)
+    impacts = ()
+
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        from repro.netsim.topology import random_topology
+
+        nodes = int(params.get("nodes", 20))
+        seed = int(params.get("seed", 0))
+        threshold = params.get("security_threshold")
+        topology = params.get("topology") or random_topology(nodes, seed=seed)
+        baseline_density = _baseline_density(topology)
+        if threshold is None:
+            threshold = max(1, int(baseline_density * 0.6))
+        obfuscator = NetHideObfuscator(topology, security_threshold=int(threshold), seed=seed)
+        virtual = obfuscator.compute()
+        return AttackResult(
+            attack_name=self.name,
+            success=virtual.secure,
+            magnitude=virtual.accuracy,
+            details={
+                "accuracy": virtual.accuracy,
+                "utility": virtual.utility,
+                "max_density_before": baseline_density,
+                "max_density_after": virtual.max_density,
+                "security_threshold": threshold,
+                "secure": virtual.secure,
+            },
+        )
+
+
+def _baseline_density(topology: Topology) -> int:
+    from repro.nethide.metrics import max_flow_density
+
+    return max_flow_density(physical_paths_for(topology))
+
+
+def _line_with_hosts(length: int) -> Topology:
+    topology = line_topology(length)
+    topology.add_node("src", role="host")
+    topology.add_node("dst", role="host")
+    topology.add_link("src", "r0", delay_s=0.0005)
+    topology.add_link("dst", f"r{length - 1}", delay_s=0.0005)
+    return topology

@@ -1,0 +1,318 @@
+"""Closed-form analysis of the Blink flow-selector capture attack.
+
+Implements the theoretical model of Section 3.1 of the paper:
+
+    "Let tR be the average time a legitimate flow remains sampled.  We
+    assume a malicious flow is always active, and thus once being
+    sampled, it is never evicted unless the sample is entirely reset.
+    [...] For a particular cell of the array used for sampling, the
+    probability p that it is occupied by a malicious flow at the end of
+    the time budget tB is p = 1 − (1 − qm)^(tB/tR).  [...] X is
+    binomially distributed with parameters n and p."
+
+plus the quantities Fig. 2 plots (average and 5th/95th-percentile
+curves, Monte-Carlo sample paths) and the derived attack-feasibility
+measures (time until half the sample is captured, minimum qm for a
+given budget).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from scipy import stats
+
+from repro.blink.constants import DEFAULT_CELLS, RESET_INTERVAL
+from repro.core.errors import ConfigurationError
+
+
+def _validate(qm: float, tr: float) -> None:
+    if not 0.0 < qm < 1.0:
+        raise ConfigurationError(f"qm must be in (0, 1), got {qm}")
+    if tr <= 0:
+        raise ConfigurationError(f"tR must be positive, got {tr}")
+
+
+def capture_probability(t: float, qm: float, tr: float) -> float:
+    """p(t) = 1 − (1 − qm)^(t/tR): one cell is malicious by time t."""
+    _validate(qm, tr)
+    if t < 0:
+        raise ConfigurationError(f"time must be non-negative, got {t}")
+    return 1.0 - (1.0 - qm) ** (t / tr)
+
+
+def mean_captured(t: float, qm: float, tr: float, cells: int = DEFAULT_CELLS) -> float:
+    """Expected number of malicious flows monitored at time t."""
+    return cells * capture_probability(t, qm, tr)
+
+
+def captured_percentile(
+    t: float, qm: float, tr: float, q: float, cells: int = DEFAULT_CELLS
+) -> float:
+    """q-th percentile of the binomial number of captured cells at t."""
+    if not 0.0 <= q <= 100.0:
+        raise ConfigurationError("percentile q must be in [0, 100]")
+    p = capture_probability(t, qm, tr)
+    return float(stats.binom.ppf(q / 100.0, cells, p))
+
+
+def probability_at_least(
+    k: int, t: float, qm: float, tr: float, cells: int = DEFAULT_CELLS
+) -> float:
+    """P(X ≥ k) at time t — the attack-success probability."""
+    if k <= 0:
+        return 1.0
+    if k > cells:
+        return 0.0
+    p = capture_probability(t, qm, tr)
+    return float(stats.binom.sf(k - 1, cells, p))
+
+
+def mean_crossing_time(
+    k: int, qm: float, tr: float, cells: int = DEFAULT_CELLS
+) -> float:
+    """Time at which the *mean* captured count reaches k.
+
+    Solves cells·p(t) = k:  t = tR · ln(1 − k/cells) / ln(1 − qm).
+    """
+    _validate(qm, tr)
+    if not 0 < k <= cells:
+        raise ConfigurationError(f"k must be in (0, cells], got {k}")
+    if k == cells:
+        return math.inf
+    return tr * math.log(1.0 - k / cells) / math.log(1.0 - qm)
+
+
+def expected_hitting_time(
+    k: int, qm: float, tr: float, cells: int = DEFAULT_CELLS
+) -> float:
+    """Expected time of the k-th cell capture (order statistics).
+
+    Under the continuous-time embedding of the model, each cell flips
+    malicious at an exponential time with rate λ = −ln(1 − qm)/tR
+    (chosen so the marginal matches p(t) exactly).  The k-th order
+    statistic of n iid exponentials has expectation
+    (1/λ)·Σ_{i=n−k+1}^{n} 1/i.
+    """
+    _validate(qm, tr)
+    if not 0 < k <= cells:
+        raise ConfigurationError(f"k must be in (0, cells], got {k}")
+    lam = -math.log(1.0 - qm) / tr
+    return sum(1.0 / i for i in range(cells - k + 1, cells + 1)) / lam
+
+
+def success_time_quantile(
+    k: int,
+    qm: float,
+    tr: float,
+    cells: int = DEFAULT_CELLS,
+    quantile: float = 0.5,
+    horizon: float = RESET_INTERVAL,
+) -> Optional[float]:
+    """Smallest t with P(X(t) ≥ k) ≥ quantile, or None within horizon.
+
+    The monotone coupling of the capture process (cells only flip
+    toward malicious between resets) makes P(X(t) ≥ k) non-decreasing
+    in t, so bisection applies.
+    """
+    if not 0.0 < quantile < 1.0:
+        raise ConfigurationError("quantile must be in (0, 1)")
+    if probability_at_least(k, horizon, qm, tr, cells) < quantile:
+        return None
+    lo, hi = 0.0, horizon
+    for _ in range(60):
+        mid = (lo + hi) / 2.0
+        if probability_at_least(k, mid, qm, tr, cells) >= quantile:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def minimum_qm(
+    k: int,
+    tr: float,
+    budget: float = RESET_INTERVAL,
+    cells: int = DEFAULT_CELLS,
+    confidence: float = 0.5,
+) -> float:
+    """Minimum malicious traffic fraction to capture k cells in budget.
+
+    "With longer tR, the attack is harder, i.e., requires higher qm."
+    Bisects on qm until P(X(budget) ≥ k) ≥ confidence.
+    """
+    if tr <= 0 or budget <= 0:
+        raise ConfigurationError("tR and budget must be positive")
+    lo, hi = 1e-6, 1.0 - 1e-9
+    if probability_at_least(k, budget, hi, tr, cells) < confidence:
+        raise ConfigurationError("unreachable even with qm ≈ 1")
+    for _ in range(80):
+        mid = (lo + hi) / 2.0
+        if probability_at_least(k, budget, mid, tr, cells) >= confidence:
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+@dataclass
+class CaptureCurve:
+    """Theory curves for Fig. 2."""
+
+    times: List[float]
+    mean: List[float]
+    p5: List[float]
+    p95: List[float]
+    qm: float
+    tr: float
+    cells: int
+
+
+def theory_curves(
+    qm: float,
+    tr: float,
+    cells: int = DEFAULT_CELLS,
+    horizon: float = RESET_INTERVAL,
+    step: float = 1.0,
+) -> CaptureCurve:
+    """Average + 5th/95th-percentile capture curves (Fig. 2 lines)."""
+    if step <= 0 or horizon <= 0:
+        raise ConfigurationError("step and horizon must be positive")
+    times = [i * step for i in range(int(horizon / step) + 1)]
+    return CaptureCurve(
+        times=times,
+        mean=[mean_captured(t, qm, tr, cells) for t in times],
+        p5=[captured_percentile(t, qm, tr, 5.0, cells) for t in times],
+        p95=[captured_percentile(t, qm, tr, 95.0, cells) for t in times],
+        qm=qm,
+        tr=tr,
+        cells=cells,
+    )
+
+
+@dataclass
+class MonteCarloRun:
+    """One simulated capture trajectory (a thin blue line in Fig. 2)."""
+
+    times: List[float]
+    captured: List[int]
+    crossing_time: Optional[float]
+
+
+def simulate_capture(
+    qm: float,
+    tr: float,
+    cells: int = DEFAULT_CELLS,
+    horizon: float = RESET_INTERVAL,
+    step: float = 1.0,
+    seed: int = 0,
+    threshold: Optional[int] = None,
+) -> MonteCarloRun:
+    """Cell-level Monte-Carlo of the capture process.
+
+    Each cell is refreshed by an independent Poisson process of rate
+    1/tR (a legitimate flow departing and a new flow being sampled);
+    each refresh installs a malicious flow with probability qm, after
+    which the cell stays captured until the horizon (sample reset).
+    """
+    _validate(qm, tr)
+    rng = random.Random(seed)
+    if threshold is None:
+        threshold = cells // 2
+    flip_times: List[float] = []
+    for _ in range(cells):
+        t = 0.0
+        flipped = math.inf
+        while t < horizon:
+            t += rng.expovariate(1.0 / tr)
+            if t >= horizon:
+                break
+            if rng.random() < qm:
+                flipped = t
+                break
+        flip_times.append(flipped)
+    flip_times.sort()
+    times = [i * step for i in range(int(horizon / step) + 1)]
+    captured: List[int] = []
+    idx = 0
+    for t in times:
+        while idx < len(flip_times) and flip_times[idx] <= t:
+            idx += 1
+        captured.append(idx)
+    crossing = flip_times[threshold - 1] if threshold <= len(flip_times) else math.inf
+    crossing_time = None if math.isinf(crossing) else crossing
+    return MonteCarloRun(times=times, captured=captured, crossing_time=crossing_time)
+
+
+@dataclass
+class Fig2Result:
+    """Everything needed to redraw Fig. 2 plus the headline numbers."""
+
+    theory: CaptureCurve
+    runs: List[MonteCarloRun]
+    threshold: int
+    mean_crossing_theory: float
+    expected_hitting_theory: float
+    median_success_time_theory: Optional[float]
+    crossing_times_simulated: List[float] = field(default_factory=list)
+
+    @property
+    def mean_crossing_simulated(self) -> Optional[float]:
+        if not self.crossing_times_simulated:
+            return None
+        return sum(self.crossing_times_simulated) / len(self.crossing_times_simulated)
+
+    @property
+    def success_fraction(self) -> float:
+        if not self.runs:
+            return 0.0
+        return len(self.crossing_times_simulated) / len(self.runs)
+
+
+def fig2_experiment(
+    qm: float = 0.0525,
+    tr: float = 8.37,
+    cells: int = DEFAULT_CELLS,
+    horizon: float = RESET_INTERVAL,
+    runs: int = 50,
+    step: float = 1.0,
+    seed: int = 0,
+) -> Fig2Result:
+    """Reproduce Fig. 2: theory curves + ``runs`` Monte-Carlo paths."""
+    threshold = cells // 2
+    theory = theory_curves(qm, tr, cells, horizon, step)
+    simulated = [
+        simulate_capture(qm, tr, cells, horizon, step, seed=seed + i, threshold=threshold)
+        for i in range(runs)
+    ]
+    crossings = [run.crossing_time for run in simulated if run.crossing_time is not None]
+    return Fig2Result(
+        theory=theory,
+        runs=simulated,
+        threshold=threshold,
+        mean_crossing_theory=mean_crossing_time(threshold, qm, tr, cells),
+        expected_hitting_theory=expected_hitting_time(threshold, qm, tr, cells),
+        median_success_time_theory=success_time_quantile(threshold, qm, tr, cells, 0.5, horizon),
+        crossing_times_simulated=crossings,
+    )
+
+
+def tr_qm_feasibility_table(
+    tr_values: Sequence[float],
+    budget: float = RESET_INTERVAL,
+    cells: int = DEFAULT_CELLS,
+    confidence: float = 0.95,
+) -> List[Tuple[float, float, float]]:
+    """Rows of (tR, minimum qm, mean crossing time at that qm).
+
+    Quantifies "With longer tR, the attack is harder" (E3).
+    """
+    table: List[Tuple[float, float, float]] = []
+    threshold = cells // 2
+    for tr in tr_values:
+        qm = minimum_qm(threshold, tr, budget, cells, confidence)
+        table.append((tr, qm, mean_crossing_time(threshold, qm, tr, cells)))
+    return table

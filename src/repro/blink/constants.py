@@ -1,0 +1,29 @@
+"""Blink default parameters, as published (Holterbach et al., NSDI'19)
+and as used by the attack analysis in Section 3.1 of the HotNets paper.
+"""
+
+#: Number of flow-selector cells monitored per destination prefix.
+DEFAULT_CELLS = 64
+
+#: A monitored flow is evicted after this much inactivity (seconds).
+EVICTION_TIMEOUT = 2.0
+
+#: Blink resets its monitored sample every 8.5 minutes (seconds).
+#: This is the attacker's "time budget" tB in the analysis.
+RESET_INTERVAL = 510.0
+
+#: Failure is inferred when this fraction of monitored flows
+#: retransmit within the sliding window ("If half of these monitored
+#: flows retransmit packets, it infers a failure").
+FAILURE_THRESHOLD_FRACTION = 0.5
+
+#: Sliding window within which per-flow retransmissions count toward
+#: the failure vote (seconds).
+RETRANSMISSION_WINDOW = 1.0
+
+#: Fig. 2 parameters of the HotNets paper.
+FIG2_TR = 8.37
+FIG2_QM = 0.0525
+FIG2_LEGITIMATE_FLOWS = 2000
+FIG2_MALICIOUS_FLOWS = 105
+FIG2_SIMULATIONS = 50

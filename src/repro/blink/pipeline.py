@@ -1,0 +1,364 @@
+"""The Blink pipeline: per-prefix monitoring, inference and rerouting.
+
+Faithful reconstruction of the data-plane logic the HotNets paper
+attacks: a :class:`FlowSelector` per destination prefix feeding a
+majority vote — "If half of these monitored flows retransmit packets,
+it infers a failure and reroutes this prefix along a different
+next-hop."
+
+Three integration surfaces:
+
+* :class:`BlinkPrefixMonitor` — a :class:`~repro.core.DataDrivenSystem`
+  consuming :class:`~repro.core.Signal` objects (used by the
+  supervisor/defense machinery);
+* :class:`BlinkSwitch` — multi-prefix switch that can replay a
+  :class:`~repro.netsim.trace.Trace` (the Fig. 2 experiments) or sit in
+  a :class:`~repro.netsim.network.Network` as a dataplane program and
+  actually reroute packets (the hijack experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.blink.constants import (
+    DEFAULT_CELLS,
+    EVICTION_TIMEOUT,
+    FAILURE_THRESHOLD_FRACTION,
+    RESET_INTERVAL,
+    RETRANSMISSION_WINDOW,
+)
+from repro.blink.selector import FlowSelector
+from repro.core.entities import Signal, SignalKind
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import MetricRegistry, TimeSeries
+from repro.core.system import DataDrivenSystem, Decision, SystemState
+from repro.flows.flow import FiveTuple, ip_in_prefix
+from repro.netsim.packet import Packet, Protocol, TcpFlags
+from repro.netsim.trace import Trace, TraceRecord
+
+
+@dataclass
+class RerouteEvent:
+    """One failure inference + reroute performed by Blink."""
+
+    time: float
+    prefix: str
+    old_next_hop: Optional[str]
+    new_next_hop: Optional[str]
+    retransmitting_flows: int
+    monitored_flows: int
+    malicious_monitored_ground_truth: int
+    #: Per-candidate retransmission counts when next-hop probing ran.
+    probe_counts: Optional[Dict[str, int]] = None
+
+
+class BlinkPrefixMonitor(DataDrivenSystem):
+    """Blink's per-prefix logic as a data-driven *driver*.
+
+    Consumes ``tcp.packet`` signals whose value is a dict with keys
+    ``flow`` (:class:`FiveTuple`), ``retransmission`` (bool), ``fin``
+    (bool), ``seq`` (optional int) and ``malicious`` (ground truth);
+    emits ``reroute`` decisions.
+    """
+
+    name = "blink"
+
+    def __init__(
+        self,
+        prefix: str,
+        next_hops: Sequence[str] = (),
+        cells: int = DEFAULT_CELLS,
+        eviction_timeout: float = EVICTION_TIMEOUT,
+        reset_interval: float = RESET_INTERVAL,
+        failure_threshold_fraction: float = FAILURE_THRESHOLD_FRACTION,
+        retransmission_window: float = RETRANSMISSION_WINDOW,
+        reroute_holddown: float = 10.0,
+        hash_seed: int = 0,
+        probe_backups: bool = False,
+        probe_duration: float = 2.0,
+    ):
+        if not 0.0 < failure_threshold_fraction <= 1.0:
+            raise ConfigurationError("failure threshold fraction must be in (0, 1]")
+        if probe_duration <= 0:
+            raise ConfigurationError("probe_duration must be positive")
+        self.prefix = prefix
+        self.next_hops: List[str] = list(next_hops)
+        self.active_next_hop: Optional[str] = self.next_hops[0] if self.next_hops else None
+        self.selector = FlowSelector(
+            cells=cells,
+            eviction_timeout=eviction_timeout,
+            reset_interval=reset_interval,
+            hash_seed=hash_seed,
+        )
+        self.failure_threshold = max(1, int(cells * failure_threshold_fraction))
+        self.retransmission_window = retransmission_window
+        self.reroute_holddown = reroute_holddown
+        # Next-hop probing (Blink NSDI'19, §4.4): instead of blindly
+        # committing to one backup, spread the monitored flows over the
+        # backup candidates for probe_duration and pick the one whose
+        # flows stop retransmitting.
+        self.probe_backups = probe_backups
+        self.probe_duration = probe_duration
+        self._probe_start: Optional[float] = None
+        self._probe_candidates: List[str] = []
+        self.reroutes: List[RerouteEvent] = []
+        self._last_reroute_time = -float("inf")
+        self._now = 0.0
+
+    # -- DataDrivenSystem interface ------------------------------------------
+
+    def observe(self, signal: Signal) -> List[Decision]:
+        if signal.name != "tcp.packet":
+            return []
+        info = signal.value
+        if not isinstance(info, dict) or "flow" not in info:
+            raise ConfigurationError("tcp.packet signal needs a dict with a 'flow'")
+        self._now = signal.time
+        self.selector.observe(
+            flow=info["flow"],
+            now=signal.time,
+            is_retransmission=bool(info.get("retransmission", False)),
+            is_fin_or_rst=bool(info.get("fin", False)),
+            seq=info.get("seq"),
+            malicious_ground_truth=bool(info.get("malicious", False)),
+        )
+        if self.probing:
+            return self._maybe_finish_probe(signal.time)
+        return self._maybe_infer_failure(signal.time)
+
+    def state(self) -> SystemState:
+        return SystemState(
+            time=self._now,
+            variables={
+                "prefix": self.prefix,
+                "monitored": self.selector.occupied_count(self._now),
+                "retransmitting": self.selector.retransmitting_count(
+                    self._now, self.retransmission_window
+                ),
+                "threshold": self.failure_threshold,
+                "active_next_hop": self.active_next_hop,
+                "reroutes": len(self.reroutes),
+            },
+        )
+
+    def reset(self) -> None:
+        self.selector = FlowSelector(
+            cells=len(self.selector.cells),
+            eviction_timeout=self.selector.eviction_timeout,
+            reset_interval=self.selector.reset_interval,
+            hash_seed=self.selector.hash_seed,
+        )
+        self.reroutes.clear()
+        self._last_reroute_time = -float("inf")
+        self.active_next_hop = self.next_hops[0] if self.next_hops else None
+
+    # -- inference --------------------------------------------------------------
+
+    # -- next-hop probing ----------------------------------------------------
+
+    @property
+    def probing(self) -> bool:
+        return self._probe_start is not None
+
+    def probe_next_hop_for(self, flow) -> Optional[str]:
+        """During a probe, which candidate this flow's cell tests."""
+        if not self.probing or not self._probe_candidates:
+            return None
+        index = flow.cell_index(len(self.selector.cells), self.selector.hash_seed)
+        return self._probe_candidates[index % len(self._probe_candidates)]
+
+    def _begin_probe(self, now: float) -> None:
+        self._probe_start = now
+        self._probe_candidates = [
+            hop for hop in self.next_hops if hop != self.active_next_hop
+        ] or list(self.next_hops)
+
+    def _maybe_finish_probe(self, now: float) -> List[Decision]:
+        assert self._probe_start is not None
+        if now - self._probe_start < self.probe_duration:
+            return []
+        # Score each candidate by the monitored flows assigned to it
+        # that retransmitted during the probe window; fewest wins, ties
+        # break in next-hop order (deterministic — and therefore known
+        # to a Kerckhoff attacker).
+        counts = {candidate: 0 for candidate in self._probe_candidates}
+        for index, cell in enumerate(self.selector.cells):
+            if not cell.occupied or cell.last_retransmission is None:
+                continue
+            # Only retransmissions strictly after the probe began count;
+            # the ones at probe start are what *triggered* the probe.
+            if cell.last_retransmission <= self._probe_start:
+                continue
+            candidate = self._probe_candidates[index % len(self._probe_candidates)]
+            counts[candidate] += 1
+        winner = min(self._probe_candidates, key=lambda c: counts[c])
+        probe_start = self._probe_start
+        self._probe_start = None
+        self._probe_candidates = []
+        return self._commit_reroute(now, winner, note_counts=counts)
+
+    def _maybe_infer_failure(self, now: float) -> List[Decision]:
+        if now - self._last_reroute_time < self.reroute_holddown:
+            return []
+        retransmitting = self.selector.retransmitting_count(now, self.retransmission_window)
+        if retransmitting < self.failure_threshold:
+            return []
+        if self.probe_backups and len(self.next_hops) > 2:
+            # Multiple backups: probe before committing.
+            self._begin_probe(now)
+            return []
+        old = self.active_next_hop
+        new = self._choose_backup()
+        return self._commit_reroute(now, new)
+
+    def _commit_reroute(
+        self, now: float, new: Optional[str], note_counts: Optional[Dict[str, int]] = None
+    ) -> List[Decision]:
+        retransmitting = self.selector.retransmitting_count(now, self.retransmission_window)
+        event = RerouteEvent(
+            time=now,
+            prefix=self.prefix,
+            old_next_hop=self.active_next_hop,
+            new_next_hop=new,
+            retransmitting_flows=retransmitting,
+            monitored_flows=self.selector.occupied_count(now),
+            malicious_monitored_ground_truth=self.selector.malicious_count(now),
+            probe_counts=dict(note_counts) if note_counts else None,
+        )
+        self.reroutes.append(event)
+        self._last_reroute_time = now
+        self.active_next_hop = new
+        return [
+            Decision(
+                action="reroute",
+                subject=self.prefix,
+                value=new,
+                time=now,
+                confidence=retransmitting / max(1, self.selector.occupied_count(now)),
+            )
+        ]
+
+    def _choose_backup(self) -> Optional[str]:
+        if not self.next_hops:
+            return None
+        if self.active_next_hop not in self.next_hops:
+            return self.next_hops[0]
+        index = self.next_hops.index(self.active_next_hop)
+        return self.next_hops[(index + 1) % len(self.next_hops)]
+
+
+class BlinkSwitch:
+    """Multi-prefix Blink switch with trace replay and network modes."""
+
+    def __init__(
+        self,
+        prefixes: Dict[str, Sequence[str]],
+        metrics: Optional[MetricRegistry] = None,
+        **monitor_kwargs: object,
+    ):
+        if not prefixes:
+            raise ConfigurationError("BlinkSwitch needs at least one prefix")
+        self.monitors: Dict[str, BlinkPrefixMonitor] = {
+            prefix: BlinkPrefixMonitor(prefix, next_hops, **monitor_kwargs)  # type: ignore[arg-type]
+            for prefix, next_hops in prefixes.items()
+        }
+        self.metrics = metrics or MetricRegistry()
+        self.decisions: List[Decision] = []
+
+    def monitor_for(self, destination: str) -> Optional[BlinkPrefixMonitor]:
+        for prefix, monitor in self.monitors.items():
+            if destination == prefix or ip_in_prefix(destination, prefix):
+                return monitor
+        return None
+
+    # -- trace replay (Fig. 2 experiments) ------------------------------------
+
+    def replay_record(self, record: TraceRecord) -> List[Decision]:
+        monitor = self.monitor_for(record.flow.dst)
+        if monitor is None:
+            return []
+        signal = Signal(
+            kind=SignalKind.HEADER_FIELD,
+            name="tcp.packet",
+            value={
+                "flow": record.flow,
+                "retransmission": record.is_retransmission,
+                "fin": record.is_fin_or_rst,
+                "malicious": record.malicious_ground_truth,
+            },
+            time=record.time,
+            source=record.flow,
+        )
+        decisions = monitor.observe(signal)
+        self.decisions.extend(decisions)
+        return decisions
+
+    def replay_trace(
+        self,
+        trace: Trace,
+        sample_interval: float = 1.0,
+    ) -> Dict[str, TimeSeries]:
+        """Replay a trace; record malicious occupancy per prefix over time.
+
+        Returns a mapping ``prefix -> TimeSeries`` of the ground-truth
+        number of malicious flows monitored — the y-axis of Fig. 2.
+        """
+        series: Dict[str, TimeSeries] = {
+            prefix: self.metrics.timeseries(f"blink.{prefix}.malicious_monitored")
+            for prefix in self.monitors
+        }
+        next_sample = trace.start_time if len(trace) else 0.0
+        for record in trace:
+            while record.time >= next_sample:
+                for prefix, monitor in self.monitors.items():
+                    monitor.selector.maybe_reset(next_sample)
+                    series[prefix].record(
+                        next_sample, monitor.selector.malicious_count(next_sample)
+                    )
+                next_sample += sample_interval
+            self.replay_record(record)
+        return series
+
+    # -- dataplane program mode (hijack experiment) ----------------------------
+
+    def process(self, packet: Packet, now: float, node: str) -> Optional[str]:
+        """:class:`~repro.netsim.network.DataplaneProgram` interface."""
+        if packet.protocol != Protocol.TCP or packet.tcp is None:
+            return None
+        monitor = self.monitor_for(packet.dst)
+        if monitor is None:
+            return None
+        fin = bool(packet.tcp.flags & (TcpFlags.FIN | TcpFlags.RST))
+        signal = Signal(
+            kind=SignalKind.HEADER_FIELD,
+            name="tcp.packet",
+            value={
+                "flow": packet.five_tuple,
+                # Network mode infers retransmissions from duplicate
+                # sequence numbers, like the real P4 pipeline.
+                "retransmission": False,
+                "seq": packet.tcp.seq,
+                "fin": fin,
+                "malicious": packet.malicious_ground_truth,
+            },
+            time=now,
+            source=packet.five_tuple,
+        )
+        decisions = monitor.observe(signal)
+        self.decisions.extend(decisions)
+        self.metrics.counter("blink.packets_seen").increment()
+        if monitor.probing:
+            probe_hop = monitor.probe_next_hop_for(packet.five_tuple)
+            if probe_hop is not None:
+                return probe_hop
+        return monitor.active_next_hop
+
+    @property
+    def reroutes(self) -> List[RerouteEvent]:
+        events: List[RerouteEvent] = []
+        for monitor in self.monitors.values():
+            events.extend(monitor.reroutes)
+        events.sort(key=lambda e: e.time)
+        return events

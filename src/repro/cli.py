@@ -1,0 +1,164 @@
+"""Command-line interface: ``python -m repro``.
+
+Three subcommands:
+
+* ``list`` — enumerate the implemented attacks with their threat-model
+  cells (the paper's Fig. 1 matrix, as a table);
+* ``run <attack> [--param value ...]`` — execute one attack and print
+  its result details;
+* ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly.
+
+The CLI is a thin veneer over the library; every number it prints is
+available programmatically through :mod:`repro.attacks`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import ascii_table, format_value
+from repro.core.attack import Attack
+
+
+def _attack_registry() -> Dict[str, Attack]:
+    from repro import attacks as A
+
+    instances = [
+        A.BlinkAnalyticalAttack(),
+        A.BlinkCaptureAttack(),
+        A.PytheasPoisoningAttack(),
+        A.PytheasImbalanceAttack(),
+        A.PccOscillationAttack(),
+        A.IcmpRewriteAttack(),
+        A.MaliciousTopologyAttack(),
+        A.NetHideDefensiveUse(),
+        A.SpPifoAdversarialAttack(),
+        A.BloomSaturationAttack(),
+        A.FlowRadarOverloadAttack(),
+        A.LossRadarPollutionAttack(),
+        A.DapperMisdiagnosisAttack(),
+        A.RonDivertAttack(),
+        A.EgressDivertAttack(),
+        A.StateExhaustionAttack(),
+        A.InNetworkEvasionAttack(),
+    ]
+    return {attack.name: attack for attack in instances}
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse ``key=value`` pairs with best-effort type coercion."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"parameter {pair!r} is not key=value")
+        key, raw = pair.split("=", 1)
+        value: object = raw
+        lowered = raw.lower()
+        if lowered in ("true", "false"):
+            value = lowered == "true"
+        else:
+            try:
+                value = int(raw)
+            except ValueError:
+                try:
+                    value = float(raw)
+                except ValueError:
+                    pass
+        params[key] = value
+    return params
+
+
+def cmd_list(_: argparse.Namespace) -> int:
+    rows = []
+    for name, attack in sorted(_attack_registry().items()):
+        rows.append(
+            {
+                "attack": name,
+                "privilege": attack.required_privilege.name,
+                "target": attack.target.value,
+                "impacts": ", ".join(i.value for i in attack.impacts) or "-",
+            }
+        )
+    print(ascii_table(rows, title="Implemented attacks (threat matrix of the paper)"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    registry = _attack_registry()
+    if args.attack not in registry:
+        print(f"unknown attack {args.attack!r}; try `python -m repro list`", file=sys.stderr)
+        return 2
+    attack = registry[args.attack]
+    params = _parse_params(args.param or [])
+    result = attack.run(**params)
+    print(f"attack:  {result.attack_name}")
+    print(f"success: {result.success}")
+    if result.time_to_success is not None:
+        print(f"time-to-success: {format_value(result.time_to_success)} s")
+    print(f"magnitude: {format_value(result.magnitude)}")
+    rows = []
+    for key, value in result.details.items():
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            rows.append({"detail": key, "value": format_value(value) if value is not None else "-"})
+    if rows:
+        print()
+        print(ascii_table(rows, title="details"))
+    return 0 if result.success else 1
+
+
+def cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.blink import fig2_experiment
+
+    result = fig2_experiment(qm=args.qm, tr=args.tr, runs=args.runs, seed=args.seed)
+    rows = [
+        {"quantity": "threshold (half the sample)", "value": result.threshold},
+        {"quantity": "mean-capture crossing, theory (s)",
+         "value": format_value(result.mean_crossing_theory)},
+        {"quantity": f"mean crossing over {args.runs} simulations (s)",
+         "value": format_value(result.mean_crossing_simulated)},
+        {"quantity": "success fraction", "value": f"{result.success_fraction:.0%}"},
+    ]
+    print(ascii_table(rows, title=f"Fig. 2 (qm={args.qm}, tR={args.tr}s)"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Adversarial inputs to data-driven networks (HotNets'19 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser("list", help="list implemented attacks")
+    list_parser.set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one attack")
+    run_parser.add_argument("attack", help="attack name from `list`")
+    run_parser.add_argument(
+        "--param",
+        "-p",
+        action="append",
+        metavar="key=value",
+        help="attack parameter (repeatable)",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    fig2_parser = sub.add_parser("fig2", help="reproduce Fig. 2 headline numbers")
+    fig2_parser.add_argument("--qm", type=float, default=0.0525)
+    fig2_parser.add_argument("--tr", type=float, default=8.37)
+    fig2_parser.add_argument("--runs", type=int, default=50)
+    fig2_parser.add_argument("--seed", type=int, default=0)
+    fig2_parser.set_defaults(func=cmd_fig2)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,179 @@
+"""Attack framework: declarative attack objects and campaign running.
+
+Every concrete attack in :mod:`repro.attacks` is an :class:`Attack`
+subclass that declares its threat vector (privilege × target, Section 2
+of the paper), the capabilities it requires, and the impacts it aims
+for.  Running an attack produces an :class:`AttackResult` carrying the
+quantitative outcome (success, magnitude, time-to-success) plus the raw
+metrics the benches report.
+
+The separation mirrors the paper's methodology: the *system* is
+implemented faithfully and independently; the *attack* only uses
+actions the threat model grants.
+"""
+
+from __future__ import annotations
+
+import abc
+import time as _wallclock
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.entities import (
+    Capability,
+    Impact,
+    Privilege,
+    Target,
+    ThreatVector,
+    capabilities_of,
+)
+from repro.core.errors import PrivilegeError
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one attack run.
+
+    Attributes:
+        attack_name: name of the attack that produced this result.
+        success: did the attack achieve its stated goal?
+        time_to_success: simulation time when the goal was first met
+            (None if never).
+        magnitude: attack-specific damage measure (e.g. fraction of the
+            Blink sample captured, QoE loss, oscillation amplitude).
+        details: free-form metrics for the benches.
+    """
+
+    attack_name: str
+    success: bool
+    time_to_success: Optional[float] = None
+    magnitude: float = 0.0
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.success
+
+
+class Attack(abc.ABC):
+    """Base class for all concrete attacks.
+
+    Subclasses set the class attributes below and implement
+    :meth:`execute`.  :meth:`run` wraps execution with the privilege
+    check so the threat model is enforced uniformly.
+    """
+
+    #: Machine-readable attack name.
+    name: str = "attack"
+    #: Minimum privilege required (Section 2.1).
+    required_privilege: Privilege = Privilege.HOST
+    #: What the attack targets (Section 2.2).
+    target: Target = Target.INFRASTRUCTURE
+    #: Capabilities actually exercised; checked against the attacker.
+    required_capabilities: Sequence[Capability] = ()
+    #: Impacts the attack aims for (Sections 3 and 4).
+    impacts: Sequence[Impact] = ()
+
+    @property
+    def threat_vector(self) -> ThreatVector:
+        return ThreatVector(self.required_privilege, self.target, self.name)
+
+    def check_privilege(self, privilege: Privilege) -> None:
+        """Raise :class:`PrivilegeError` if ``privilege`` is insufficient."""
+        if privilege < self.required_privilege:
+            raise PrivilegeError(
+                f"attack {self.name!r} requires {self.required_privilege.name} "
+                f"privileges, attacker only has {privilege.name}",
+                required=self.required_privilege,
+                actual=privilege,
+            )
+        granted = capabilities_of(privilege)
+        missing = [c for c in self.required_capabilities if c not in granted]
+        if missing:
+            raise PrivilegeError(
+                f"attack {self.name!r} needs capabilities {missing!r} "
+                f"not granted at {privilege.name} level",
+                required=self.required_privilege,
+                actual=privilege,
+            )
+
+    @abc.abstractmethod
+    def execute(self, privilege: Privilege, **params: object) -> AttackResult:
+        """Run the attack with an attacker of the given privilege."""
+
+    def run(self, privilege: Optional[Privilege] = None, **params: object) -> AttackResult:
+        """Check privileges, then execute.
+
+        ``privilege`` defaults to the attack's declared minimum — i.e.
+        the weakest attacker the paper says suffices.
+        """
+        effective = self.required_privilege if privilege is None else privilege
+        self.check_privilege(effective)
+        return self.execute(effective, **params)
+
+
+@dataclass
+class CampaignEntry:
+    """One (attack, parameters) pair inside a campaign."""
+
+    attack: Attack
+    params: Dict[str, object] = field(default_factory=dict)
+    privilege: Optional[Privilege] = None
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of a campaign run."""
+
+    results: List[AttackResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def successes(self) -> List[AttackResult]:
+        return [r for r in self.results if r.success]
+
+    @property
+    def success_rate(self) -> float:
+        if not self.results:
+            return 0.0
+        return len(self.successes) / len(self.results)
+
+    def by_attack(self) -> Dict[str, List[AttackResult]]:
+        grouped: Dict[str, List[AttackResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.attack_name, []).append(result)
+        return grouped
+
+
+class Campaign:
+    """Run a sequence of attacks and aggregate their results.
+
+    Campaigns are how the benches sweep parameters: each sweep point is
+    one :class:`CampaignEntry`.  Privilege violations are *not* caught:
+    a campaign that asks a host-level attacker to run an operator-level
+    attack is a configuration bug and should fail loudly.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._entries: List[CampaignEntry] = []
+
+    def add(
+        self,
+        attack: Attack,
+        privilege: Optional[Privilege] = None,
+        **params: object,
+    ) -> "Campaign":
+        self._entries.append(CampaignEntry(attack, dict(params), privilege))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def run(self) -> CampaignReport:
+        report = CampaignReport()
+        started = _wallclock.perf_counter()
+        for entry in self._entries:
+            result = entry.attack.run(entry.privilege, **entry.params)
+            report.results.append(result)
+        report.wall_seconds = _wallclock.perf_counter() - started
+        return report

@@ -1,0 +1,238 @@
+"""Threat-model entities from Section 2 of the paper.
+
+The paper characterises the threat along two dimensions:
+
+* **attacker privileges** (Section 2.1): *host*, *man in the middle*
+  (MitM) and *operator*, in strictly increasing order of power; and
+* **attack targets** (Section 2.2): the *network infrastructure*
+  (devices that forward traffic) and *endpoints* (applications running
+  on hosts).
+
+This module encodes both dimensions as enums plus a small capability
+algebra: each privilege level maps to the set of
+:class:`Capability` values it grants, and attack implementations can
+declare required capabilities which are checked against an
+:class:`~repro.attacks.attacker.Attacker` instance before the attack
+runs.  Following Kerckhoff's principle, *knowledge of the system* is
+not a capability — every attacker is assumed to know code and
+parameters of the system under attack (but not secrets such as keys).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+
+class Privilege(enum.IntEnum):
+    """Attacker privilege levels (Section 2.1), ordered by power.
+
+    ``IntEnum`` so that ``Privilege.OPERATOR > Privilege.HOST`` reads
+    naturally; a higher privilege strictly subsumes a lower one.
+    """
+
+    HOST = 1
+    MITM = 2
+    OPERATOR = 3
+
+    def describe(self) -> str:
+        """Return the paper's one-line description of this level."""
+        return _PRIVILEGE_DESCRIPTIONS[self]
+
+
+_PRIVILEGE_DESCRIPTIONS = {
+    Privilege.HOST: (
+        "Compromised one or more hosts; can manipulate traffic these hosts "
+        "send or receive, including injecting traffic from them."
+    ),
+    Privilege.MITM: (
+        "Intercepted one or multiple links; can record, modify, drop and "
+        "delay traffic crossing these links, and inject traffic, but cannot "
+        "break encryption."
+    ),
+    Privilege.OPERATOR: (
+        "Full control over the network; can record, modify, drop, delay and "
+        "inject traffic anywhere, and manipulate the network configuration."
+    ),
+}
+
+
+class Target(enum.Enum):
+    """What an attack is aimed at (Section 2.2)."""
+
+    INFRASTRUCTURE = "network-infrastructure"
+    ENDPOINT = "endpoint"
+
+
+class Capability(enum.Enum):
+    """Fine-grained actions the threat model grants to attackers.
+
+    The mapping from privileges to capabilities follows Section 2.1
+    verbatim: hosts inject and manipulate their *own* traffic; MitM
+    attackers additionally record/modify/drop/delay traffic on
+    *intercepted links*; operators do all of that *anywhere* and can
+    also change configuration.
+    """
+
+    INJECT_FROM_HOST = "inject-from-host"
+    MANIPULATE_OWN_TRAFFIC = "manipulate-own-traffic"
+    RECORD_ON_LINK = "record-on-link"
+    MODIFY_ON_LINK = "modify-on-link"
+    DROP_ON_LINK = "drop-on-link"
+    DELAY_ON_LINK = "delay-on-link"
+    INJECT_ON_LINK = "inject-on-link"
+    RECORD_ANYWHERE = "record-anywhere"
+    MODIFY_ANYWHERE = "modify-anywhere"
+    DROP_ANYWHERE = "drop-anywhere"
+    DELAY_ANYWHERE = "delay-anywhere"
+    INJECT_ANYWHERE = "inject-anywhere"
+    CHANGE_CONFIGURATION = "change-configuration"
+
+
+_HOST_CAPS = frozenset(
+    {
+        Capability.INJECT_FROM_HOST,
+        Capability.MANIPULATE_OWN_TRAFFIC,
+    }
+)
+
+_MITM_CAPS = _HOST_CAPS | frozenset(
+    {
+        Capability.RECORD_ON_LINK,
+        Capability.MODIFY_ON_LINK,
+        Capability.DROP_ON_LINK,
+        Capability.DELAY_ON_LINK,
+        Capability.INJECT_ON_LINK,
+    }
+)
+
+_OPERATOR_CAPS = _MITM_CAPS | frozenset(
+    {
+        Capability.RECORD_ANYWHERE,
+        Capability.MODIFY_ANYWHERE,
+        Capability.DROP_ANYWHERE,
+        Capability.DELAY_ANYWHERE,
+        Capability.INJECT_ANYWHERE,
+        Capability.CHANGE_CONFIGURATION,
+    }
+)
+
+_PRIVILEGE_CAPABILITIES = {
+    Privilege.HOST: _HOST_CAPS,
+    Privilege.MITM: _MITM_CAPS,
+    Privilege.OPERATOR: _OPERATOR_CAPS,
+}
+
+
+def capabilities_of(privilege: Privilege) -> FrozenSet[Capability]:
+    """Return the capability set granted by ``privilege``.
+
+    Capability sets are monotone in privilege: every capability of a
+    lower level is included in each higher level.
+    """
+    return _PRIVILEGE_CAPABILITIES[privilege]
+
+
+def minimum_privilege_for(capabilities: Iterable[Capability]) -> Privilege:
+    """Return the weakest privilege level granting all ``capabilities``."""
+    needed = frozenset(capabilities)
+    for privilege in sorted(Privilege):
+        if needed <= capabilities_of(privilege):
+            return privilege
+    raise ValueError(f"no privilege level grants {needed!r}")
+
+
+class SignalKind(enum.Enum):
+    """Classes of data-plane signals a data-driven system may consume.
+
+    Section 2.2: "Typical signals are values in packet headers (e.g.,
+    TCP sequence numbers), metadata (e.g., timing) or contents."
+    Endpoint applications additionally consume explicit reports (e.g.
+    Pytheas QoE measurements).
+    """
+
+    HEADER_FIELD = "header-field"
+    TIMING = "timing"
+    CONTENT = "content"
+    REPORT = "report"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """A single observation consumed by a data-driven system.
+
+    Attributes:
+        kind: which class of signal this is.
+        name: a human-readable identifier, e.g. ``"tcp.retransmission"``.
+        value: the observed value (payload type depends on ``name``).
+        time: simulation time at which the signal was observed.
+        source: identifier of the entity that produced the signal
+            (flow key, client id, link name, ...).
+        trusted: whether the signal travelled over an authenticated
+            channel.  Data-plane signals are *never* trusted — that is
+            precisely the attack surface the paper describes.
+    """
+
+    kind: SignalKind
+    name: str
+    value: object
+    time: float = 0.0
+    source: object = None
+    trusted: bool = False
+
+
+@dataclass(frozen=True)
+class ThreatVector:
+    """A (privilege, target) cell of the paper's threat matrix (Fig. 1).
+
+    Attack classes advertise their threat vector so campaigns can be
+    grouped and filtered along the paper's two dimensions.
+    """
+
+    privilege: Privilege
+    target: Target
+    description: str = ""
+
+    def subsumes(self, other: "ThreatVector") -> bool:
+        """True if an attacker with this vector can also mount ``other``.
+
+        A vector subsumes another if it has at least the other's
+        privilege and aims at the same target.
+        """
+        return self.privilege >= other.privilege and self.target == other.target
+
+
+@dataclass
+class AttackSurface:
+    """The two components that determine a data-driven system's output.
+
+    Section 3: "Two components determine the output of a data-driven
+    system and constitute the attack surface: *algorithms* that decide
+    which action to take based on the traffic, and their *state*.
+    Manipulating algorithms requires operator privileges, while state
+    can be manipulated by hosts or MitM attackers."
+    """
+
+    system_name: str
+    state_signals: list = field(default_factory=list)
+    algorithm_parameters: list = field(default_factory=list)
+
+    def manipulable_by(self, privilege: Privilege) -> dict:
+        """Return which surface components ``privilege`` can reach."""
+        surface = {"state": list(self.state_signals), "algorithms": []}
+        if privilege >= Privilege.OPERATOR:
+            surface["algorithms"] = list(self.algorithm_parameters)
+        return surface
+
+
+class Impact(enum.Enum):
+    """Possible impacts of successful attacks, from Sections 3 and 4."""
+
+    PRIVACY = "privacy"
+    PERFORMANCE = "performance"
+    REACHABILITY = "reachability"
+    REVENUE_LOSS = "revenue-loss"
+    SITUATIONAL_AWARENESS = "situational-awareness"
+    BROKEN_DEBUGGING = "broken-debugging"
+    SECURITY = "security"

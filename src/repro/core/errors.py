@@ -1,0 +1,78 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that
+callers can catch everything raised by this package with a single
+``except`` clause while still being able to discriminate finer-grained
+failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped engine."""
+
+    def __init__(self, message: str, event_time: float = float("nan"), now: float = float("nan")):
+        super().__init__(message)
+        self.event_time = event_time
+        self.now = now
+
+
+class RoutingError(SimulationError):
+    """No route exists (or a routing table is inconsistent) for a packet."""
+
+
+class PrivilegeError(ReproError):
+    """An attacker attempted an action beyond its privilege level.
+
+    The threat model of the paper (Section 2.1) distinguishes *host*,
+    *man-in-the-middle* and *operator* attackers.  Attack implementations
+    declare the privileges they require; driving an attack with a weaker
+    attacker raises this error instead of silently granting powers the
+    threat model does not allow.
+    """
+
+    def __init__(self, message: str, required: object = None, actual: object = None):
+        super().__init__(message)
+        self.required = required
+        self.actual = actual
+
+
+class DecodeError(ReproError):
+    """A probabilistic data structure could not be decoded.
+
+    Raised by FlowRadar / LossRadar style sketches when the encoded
+    flowset contains no pure cell, e.g. after a pollution attack
+    (Section 3.2 of the paper).
+    """
+
+    def __init__(self, message: str, decoded: int = 0, remaining: int = 0):
+        super().__init__(message)
+        self.decoded = decoded
+        self.remaining = remaining
+
+
+class SupervisorVeto(ReproError):
+    """The supervisor rejected a driver decision (Section 5, Fig. 3).
+
+    Carries the rejected decision and the risk estimate that triggered
+    the veto so callers (and tests) can inspect why the driver was
+    constrained.
+    """
+
+    def __init__(self, message: str, decision: object = None, risk: float = float("nan")):
+        super().__init__(message)
+        self.decision = decision
+        self.risk = risk

@@ -1,0 +1,208 @@
+"""Lightweight metric collection used across simulators and benches.
+
+Provides counters, gauges and time series with percentile summaries —
+enough to express every quantity the paper reports (sampled-flow
+counts over time, rates, QoE, inversion counts) without pulling in a
+heavyweight metrics framework.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile of ``values`` at ``q`` in [0, 100].
+
+    Matches ``numpy.percentile``'s default behaviour but works on plain
+    Python sequences without the numpy import cost in hot loops.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    lower = math.floor(rank)
+    upper = math.ceil(rank)
+    if lower == upper:
+        return float(ordered[int(rank)])
+    weight = rank - lower
+    return float(ordered[lower] * (1.0 - weight) + ordered[upper] * weight)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge instead")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can move in both directions, with min/max tracking."""
+
+    name: str
+    value: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def add(self, delta: float) -> None:
+        self.set(self.value + delta)
+
+
+class TimeSeries:
+    """An append-only (time, value) series with window queries.
+
+    Times must be non-decreasing, which every discrete-event producer in
+    this library guarantees; enforcing it keeps window queries O(log n).
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def record(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1]:
+            raise ValueError(
+                f"time series {self.name!r} requires non-decreasing times: "
+                f"{time} < {self._times[-1]}"
+            )
+        self._times.append(time)
+        self._values.append(value)
+
+    @property
+    def times(self) -> Tuple[float, ...]:
+        return tuple(self._times)
+
+    @property
+    def values(self) -> Tuple[float, ...]:
+        return tuple(self._values)
+
+    def window(self, start: float, end: float) -> List[Tuple[float, float]]:
+        """Return points with ``start <= time < end``."""
+        lo = bisect_left(self._times, start)
+        hi = bisect_left(self._times, end)
+        return list(zip(self._times[lo:hi], self._values[lo:hi]))
+
+    def value_at(self, time: float, default: float = 0.0) -> float:
+        """Step-function lookup: the last value recorded at or before ``time``."""
+        idx = bisect_right(self._times, time) - 1
+        if idx < 0:
+            return default
+        return self._values[idx]
+
+    def last(self, default: float = 0.0) -> float:
+        return self._values[-1] if self._values else default
+
+    def summary(self) -> Dict[str, float]:
+        """Mean / min / max / p5 / p50 / p95 over all recorded values."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": len(self._values),
+            "mean": sum(self._values) / len(self._values),
+            "min": min(self._values),
+            "max": max(self._values),
+            "p5": percentile(self._values, 5),
+            "p50": percentile(self._values, 50),
+            "p95": percentile(self._values, 95),
+        }
+
+
+@dataclass
+class MetricRegistry:
+    """Named registry of counters, gauges and time series.
+
+    Every simulator component takes an optional registry; experiments
+    create one registry per run so results never leak between seeds.
+    """
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def snapshot(self) -> Dict[str, object]:
+        """Flat dict of every metric's current value / summary."""
+        snap: Dict[str, object] = {}
+        for name, counter in self.counters.items():
+            snap[f"counter.{name}"] = counter.value
+        for name, gauge in self.gauges.items():
+            snap[f"gauge.{name}"] = gauge.value
+        for name, ts in self.series.items():
+            snap[f"series.{name}"] = ts.summary()
+        return snap
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input (silent 0.0 hides bugs)."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation."""
+    if not values:
+        raise ValueError("stddev of empty sequence")
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """stddev / |mean| — the oscillation measure used in the PCC bench."""
+    mu = mean(values)
+    if mu == 0:
+        return math.inf if stddev(values) > 0 else 0.0
+    return stddev(values) / abs(mu)
+
+
+def first_crossing_time(
+    times: Sequence[float], values: Sequence[float], threshold: float
+) -> Optional[float]:
+    """First time at which ``values`` reaches ``threshold``, else None.
+
+    Used to answer questions like "how long until 32 of Blink's
+    monitored flows are malicious?" (Fig. 2 of the paper).
+    """
+    if len(times) != len(values):
+        raise ValueError("times and values must have equal length")
+    for t, v in zip(times, values):
+        if v >= threshold:
+            return t
+    return None

@@ -1,0 +1,251 @@
+"""Driver/supervisor countermeasure framework (Section 5, Fig. 3).
+
+The paper proposes to "extend data-driven systems by external
+supervisors, which monitor the systems and prevent them from
+misbehaving": a *driver* drives the network while a *supervisor*
+determines the directions in which it can move.  Countermeasures can be
+applied at five points:
+
+    I   ensuring input quality,
+    II  testing and verifying program code,
+    III constraining the decision range of the driver,
+    IV  invoking supervisor checks, and
+    V   obfuscating control logic.
+
+This module implements the runtime half (I, III, IV): plausibility
+models that score states/signals, operating-range constraints on
+decisions, and a :class:`SupervisedDriver` wrapper supporting both
+synchronous (check every decision, pay latency) and asynchronous
+(periodic checks, pay detection lag) interaction — the trade-off the
+paper poses as a research question.  Per-system instantiations live in
+:mod:`repro.defenses`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.entities import Signal
+from repro.core.errors import SupervisorVeto
+from repro.core.system import DataDrivenSystem, Decision, SystemState
+
+
+class PlausibilityModel(abc.ABC):
+    """A "model which describes normal behavior of a network" (point III).
+
+    Implementations learn from benign observations and score how
+    plausible a state/decision is; 0.0 means perfectly normal, 1.0
+    means certainly adversarial.
+    """
+
+    @abc.abstractmethod
+    def risk(self, state: SystemState, decision: Optional[Decision] = None) -> float:
+        """Estimate the risk in [0, 1] that the driver is under influence."""
+
+    def observe_benign(self, state: SystemState) -> None:
+        """Optionally update the model with a known-benign observation."""
+
+
+class ThresholdModel(PlausibilityModel):
+    """Plausibility model built from named state-variable bounds.
+
+    The simplest useful model: each state variable gets an allowed
+    interval; risk is the fraction of bounded variables currently out
+    of range.  It doubles as the reference implementation tests exercise
+    the supervisor plumbing with.
+    """
+
+    def __init__(self, bounds: Optional[Dict[str, Tuple[float, float]]] = None):
+        self._bounds: Dict[str, Tuple[float, float]] = dict(bounds or {})
+
+    def set_bound(self, variable: str, low: float, high: float) -> None:
+        if low > high:
+            raise ValueError(f"bound for {variable!r} has low > high")
+        self._bounds[variable] = (low, high)
+
+    def risk(self, state: SystemState, decision: Optional[Decision] = None) -> float:
+        if not self._bounds:
+            return 0.0
+        violations = 0
+        for variable, (low, high) in self._bounds.items():
+            value = state.get(variable)
+            if value is None:
+                continue
+            if not low <= float(value) <= high:
+                violations += 1
+        return violations / len(self._bounds)
+
+
+@dataclass
+class OperatingRange:
+    """The "allowed operating range" the supervisor hands the driver.
+
+    Constrains which decisions the driver may emit: per-action allowed
+    value predicates plus a global rate limit on decisions per time
+    window (a data-driven system that suddenly reroutes everything is
+    suspicious regardless of each individual decision's plausibility).
+    """
+
+    allowed_actions: Optional[List[str]] = None
+    value_predicates: Dict[str, Callable[[Decision], bool]] = field(default_factory=dict)
+    max_decisions_per_window: Optional[int] = None
+    window_seconds: float = 60.0
+
+    def permits(self, decision: Decision, recent_times: List[float]) -> bool:
+        """Check ``decision`` against the range.
+
+        ``recent_times`` are the timestamps of previously *allowed*
+        decisions; the caller maintains the list.
+        """
+        if self.allowed_actions is not None and decision.action not in self.allowed_actions:
+            return False
+        predicate = self.value_predicates.get(decision.action)
+        if predicate is not None and not predicate(decision):
+            return False
+        if self.max_decisions_per_window is not None:
+            window_start = decision.time - self.window_seconds
+            in_window = sum(1 for t in recent_times if t >= window_start)
+            if in_window >= self.max_decisions_per_window:
+                return False
+        return True
+
+
+@dataclass
+class SupervisionEvent:
+    """Audit-log entry for each supervisor intervention."""
+
+    time: float
+    kind: str  # "veto", "risk-alarm", "range-violation", "check"
+    risk: float
+    decision: Optional[Decision] = None
+    note: str = ""
+
+
+class Supervisor:
+    """Combines a plausibility model and an operating range (points III+IV)."""
+
+    def __init__(
+        self,
+        model: PlausibilityModel,
+        operating_range: Optional[OperatingRange] = None,
+        risk_threshold: float = 0.5,
+    ):
+        if not 0.0 <= risk_threshold <= 1.0:
+            raise ValueError("risk_threshold must be in [0, 1]")
+        self.model = model
+        self.operating_range = operating_range or OperatingRange()
+        self.risk_threshold = risk_threshold
+        self.events: List[SupervisionEvent] = []
+        self._allowed_times: List[float] = []
+
+    def check_decision(self, state: SystemState, decision: Decision) -> bool:
+        """Return True if the decision may proceed; log otherwise."""
+        risk = self.model.risk(state, decision)
+        if risk >= self.risk_threshold:
+            self.events.append(
+                SupervisionEvent(decision.time, "veto", risk, decision, "risk above threshold")
+            )
+            return False
+        if not self.operating_range.permits(decision, self._allowed_times):
+            self.events.append(
+                SupervisionEvent(
+                    decision.time, "range-violation", risk, decision, "outside operating range"
+                )
+            )
+            return False
+        self._allowed_times.append(decision.time)
+        self.events.append(SupervisionEvent(decision.time, "check", risk, decision, "allowed"))
+        return True
+
+    def check_state(self, state: SystemState) -> float:
+        """Asynchronous health check; returns the risk and logs alarms."""
+        risk = self.model.risk(state)
+        if risk >= self.risk_threshold:
+            self.events.append(SupervisionEvent(state.time, "risk-alarm", risk, None, ""))
+        return risk
+
+    @property
+    def vetoes(self) -> List[SupervisionEvent]:
+        return [e for e in self.events if e.kind in ("veto", "range-violation")]
+
+    @property
+    def alarms(self) -> List[SupervisionEvent]:
+        return [e for e in self.events if e.kind == "risk-alarm"]
+
+
+class SupervisedDriver(DataDrivenSystem):
+    """Wrap a driver with a supervisor (Fig. 3 of the paper).
+
+    Modes:
+
+    * ``synchronous=True`` — every decision is checked before being
+      released; vetoed decisions are suppressed (or raised, if
+      ``raise_on_veto``).  This is the safe-but-slow regime: we model
+      the latency cost by ``check_latency`` seconds added to each
+      decision's timestamp.
+    * ``synchronous=False`` — decisions pass through immediately;
+      the supervisor only inspects driver *state* every
+      ``check_interval`` seconds of signal time and raises alarms.
+      This is the fast regime with detection lag.
+    """
+
+    def __init__(
+        self,
+        driver: DataDrivenSystem,
+        supervisor: Supervisor,
+        synchronous: bool = True,
+        check_latency: float = 0.05,
+        check_interval: float = 1.0,
+        raise_on_veto: bool = False,
+    ):
+        if check_latency < 0 or check_interval <= 0:
+            raise ValueError("latencies must be non-negative, interval positive")
+        self.driver = driver
+        self.supervisor = supervisor
+        self.synchronous = synchronous
+        self.check_latency = check_latency
+        self.check_interval = check_interval
+        self.raise_on_veto = raise_on_veto
+        self.suppressed: List[Decision] = []
+        self._last_async_check = -float("inf")
+        self.name = f"supervised({driver.name})"
+
+    def observe(self, signal: Signal) -> List[Decision]:
+        decisions = self.driver.observe(signal)
+        state = self.driver.state()
+        if self.synchronous:
+            released: List[Decision] = []
+            for decision in decisions:
+                if self.supervisor.check_decision(state, decision):
+                    released.append(
+                        Decision(
+                            action=decision.action,
+                            subject=decision.subject,
+                            value=decision.value,
+                            time=decision.time + self.check_latency,
+                            confidence=decision.confidence,
+                        )
+                    )
+                else:
+                    self.suppressed.append(decision)
+                    if self.raise_on_veto:
+                        raise SupervisorVeto(
+                            f"supervisor vetoed {decision.action} on {decision.subject!r}",
+                            decision=decision,
+                            risk=self.supervisor.model.risk(state, decision),
+                        )
+            return released
+        if signal.time - self._last_async_check >= self.check_interval:
+            self._last_async_check = signal.time
+            self.supervisor.check_state(state)
+        return decisions
+
+    def state(self) -> SystemState:
+        return self.driver.state()
+
+    def reset(self) -> None:
+        self.driver.reset()
+        self.suppressed.clear()
+        self._last_async_check = -float("inf")

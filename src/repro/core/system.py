@@ -1,0 +1,128 @@
+"""The *driver* abstraction: a data-driven system under study.
+
+The paper's countermeasure architecture (Section 5, Fig. 3) casts every
+data-driven system as a *driver* that observes data-plane signals and
+emits decisions, optionally supervised by an external *supervisor*.
+This module defines that interface; concrete drivers live in the
+per-system packages (``repro.blink``, ``repro.pytheas``, ``repro.pcc``,
+...), each of which exposes an adapter implementing
+:class:`DataDrivenSystem`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.entities import Signal
+
+
+@dataclass(frozen=True)
+class Decision:
+    """An action emitted by a driver.
+
+    Attributes:
+        action: machine-readable action name, e.g. ``"reroute"``,
+            ``"set-rate"``, ``"assign-cdn"``.
+        subject: what the action applies to (prefix, flow, group, ...).
+        value: the action parameter (next-hop, rate in bps, CDN id, ...).
+        time: simulation time of the decision.
+        confidence: driver's own confidence in [0, 1]; drivers that do
+            not estimate confidence report 1.0.
+    """
+
+    action: str
+    subject: object
+    value: object
+    time: float = 0.0
+    confidence: float = 1.0
+
+
+@dataclass
+class SystemState:
+    """A snapshot of a driver's internal state.
+
+    Supervisors consume these snapshots to estimate whether the driver
+    is "under the influence" of adversarial inputs (Section 5, point
+    IV: "The driver determines its current state (e.g., the congestion
+    in the network) and sends this information to the supervisor").
+    """
+
+    time: float
+    variables: Dict[str, object] = field(default_factory=dict)
+
+    def get(self, name: str, default: object = None) -> object:
+        return self.variables.get(name, default)
+
+
+class DataDrivenSystem(abc.ABC):
+    """Interface every modelled data-driven system implements.
+
+    The life-cycle is: signals are fed in with :meth:`observe`; the
+    system may emit zero or more :class:`Decision` objects in response;
+    :meth:`state` exposes a snapshot for supervisors.
+    """
+
+    #: Human-readable system name, e.g. ``"blink"``.
+    name: str = "data-driven-system"
+
+    @abc.abstractmethod
+    def observe(self, signal: Signal) -> List[Decision]:
+        """Consume one signal; return any decisions it triggered."""
+
+    @abc.abstractmethod
+    def state(self) -> SystemState:
+        """Return a snapshot of the driver's internal state."""
+
+    def observe_all(self, signals: Iterable[Signal]) -> List[Decision]:
+        """Feed a batch of signals; return the concatenated decisions."""
+        decisions: List[Decision] = []
+        for signal in signals:
+            decisions.extend(self.observe(signal))
+        return decisions
+
+    def reset(self) -> None:
+        """Restore the driver to its initial state (default: no-op)."""
+
+
+class RecordingSystem(DataDrivenSystem):
+    """Decorator that records every signal and decision passing through.
+
+    Useful in tests and experiments to assert on the exact signal
+    sequence a driver consumed, and as the tap point where a
+    supervisor's *asynchronous* checks read the decision stream.
+    """
+
+    def __init__(self, inner: DataDrivenSystem, max_records: Optional[int] = None):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive or None")
+        self._inner = inner
+        self._max_records = max_records
+        self.signals: List[Signal] = []
+        self.decisions: List[Decision] = []
+        self.name = f"recording({inner.name})"
+
+    @property
+    def inner(self) -> DataDrivenSystem:
+        return self._inner
+
+    def observe(self, signal: Signal) -> List[Decision]:
+        self._append(self.signals, signal)
+        decisions = self._inner.observe(signal)
+        for decision in decisions:
+            self._append(self.decisions, decision)
+        return decisions
+
+    def state(self) -> SystemState:
+        return self._inner.state()
+
+    def reset(self) -> None:
+        self.signals.clear()
+        self.decisions.clear()
+        self._inner.reset()
+
+    def _append(self, log: list, item: object) -> None:
+        log.append(item)
+        if self._max_records is not None and len(log) > self._max_records:
+            del log[0]

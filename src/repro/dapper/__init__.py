@@ -1,0 +1,21 @@
+"""DAPPER: TCP performance diagnosis in the data plane (Section 3.2)."""
+
+from repro.dapper.diagnosis import (
+    Bottleneck,
+    ConnectionStats,
+    DapperClassifier,
+    Diagnosis,
+    delay_acks,
+    inject_spurious_retransmissions,
+    rewrite_receive_window,
+)
+
+__all__ = [
+    "Bottleneck",
+    "ConnectionStats",
+    "DapperClassifier",
+    "Diagnosis",
+    "delay_acks",
+    "inject_spurious_retransmissions",
+    "rewrite_receive_window",
+]

@@ -1,0 +1,174 @@
+"""DAPPER: data-plane TCP performance diagnosis.
+
+DAPPER (Ghasemi et al., SOSR'17) watches TCP headers in the data plane
+and classifies each connection's performance bottleneck as
+*sender-limited*, *network-limited* or *receiver-limited*, so operators
+can trigger the right recourse (provision the network, fix the app,
+...).
+
+"An attacker can implicate either of these three for performance
+problems by manipulating TCP packets, and falsely trigger the recourses
+suggested by the authors."  (Section 3.2.)  The classifier below reads
+only fields a MitM can rewrite — the receive window, ACK timing, and
+flight size — so every misdiagnosis in the attack bench corresponds to
+a concrete header manipulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import FiveTuple
+
+
+class Bottleneck(enum.Enum):
+    SENDER = "sender-limited"
+    NETWORK = "network-limited"
+    RECEIVER = "receiver-limited"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class ConnectionStats:
+    """Per-connection counters DAPPER maintains in the data plane.
+
+    All derivable from two-way header observation:
+
+    * ``flight_bytes`` — unacknowledged bytes in flight;
+    * ``receive_window`` — latest advertised rwnd from the receiver;
+    * ``estimated_cwnd`` — inferred congestion window (flight high-water
+      mark between loss events);
+    * ``loss_events`` / ``total_segments`` — retransmission counting;
+    * ``sender_idle_fraction`` — fraction of time the sender had window
+      available but sent nothing (application-limited).
+    """
+
+    flow: FiveTuple
+    flight_bytes: int = 0
+    receive_window: int = 65535
+    estimated_cwnd: int = 65535
+    loss_events: int = 0
+    total_segments: int = 0
+    sender_idle_fraction: float = 0.0
+
+    def loss_rate(self) -> float:
+        if self.total_segments == 0:
+            return 0.0
+        return self.loss_events / self.total_segments
+
+
+@dataclass
+class Diagnosis:
+    """Classifier output with the evidence that produced it."""
+
+    flow: FiveTuple
+    bottleneck: Bottleneck
+    evidence: Dict[str, float] = field(default_factory=dict)
+
+
+class DapperClassifier:
+    """The diagnosis rules, in DAPPER's priority order.
+
+    1. **Receiver-limited**: the flight size is pinned against the
+       advertised receive window (rwnd is the binding constraint).
+    2. **Network-limited**: losses are significant, or the flight is
+       pinned against the inferred cwnd while rwnd has headroom.
+    3. **Sender-limited**: neither window binds and the sender idles
+       with window available (application can't fill the pipe).
+    """
+
+    def __init__(
+        self,
+        window_slack: float = 0.10,
+        loss_threshold: float = 0.01,
+        idle_threshold: float = 0.30,
+    ):
+        if not 0.0 <= window_slack < 1.0:
+            raise ConfigurationError("window_slack must be in [0, 1)")
+        if loss_threshold < 0 or idle_threshold < 0:
+            raise ConfigurationError("thresholds must be non-negative")
+        self.window_slack = window_slack
+        self.loss_threshold = loss_threshold
+        self.idle_threshold = idle_threshold
+
+    def classify(self, stats: ConnectionStats) -> Diagnosis:
+        rwnd_bound = stats.flight_bytes >= stats.receive_window * (1.0 - self.window_slack)
+        cwnd_bound = stats.flight_bytes >= stats.estimated_cwnd * (1.0 - self.window_slack)
+        lossy = stats.loss_rate() >= self.loss_threshold
+        evidence = {
+            "flight_bytes": float(stats.flight_bytes),
+            "receive_window": float(stats.receive_window),
+            "estimated_cwnd": float(stats.estimated_cwnd),
+            "loss_rate": stats.loss_rate(),
+            "sender_idle_fraction": stats.sender_idle_fraction,
+        }
+        if rwnd_bound and stats.receive_window <= stats.estimated_cwnd:
+            return Diagnosis(stats.flow, Bottleneck.RECEIVER, evidence)
+        if lossy or cwnd_bound:
+            return Diagnosis(stats.flow, Bottleneck.NETWORK, evidence)
+        if stats.sender_idle_fraction >= self.idle_threshold:
+            return Diagnosis(stats.flow, Bottleneck.SENDER, evidence)
+        return Diagnosis(stats.flow, Bottleneck.UNKNOWN, evidence)
+
+
+def rewrite_receive_window(stats: ConnectionStats, new_window: int) -> ConnectionStats:
+    """MitM manipulation: clamp the advertised rwnd (header rewrite).
+
+    Shrinking rwnd below the flight size makes a healthy connection
+    look receiver-limited; the return is a *new* stats object, as the
+    attacker modifies packets, not the switch's memory.
+    """
+    if new_window < 0:
+        raise ConfigurationError("window cannot be negative")
+    return ConnectionStats(
+        flow=stats.flow,
+        flight_bytes=stats.flight_bytes,
+        receive_window=new_window,
+        estimated_cwnd=stats.estimated_cwnd,
+        loss_events=stats.loss_events,
+        total_segments=stats.total_segments,
+        sender_idle_fraction=stats.sender_idle_fraction,
+    )
+
+
+def inject_spurious_retransmissions(
+    stats: ConnectionStats, extra_loss_events: int
+) -> ConnectionStats:
+    """Host/MitM manipulation: duplicate segments to fake loss.
+
+    Inflating the retransmission count makes the connection look
+    network-limited, "falsely triggering" capacity recourses.
+    """
+    if extra_loss_events < 0:
+        raise ConfigurationError("extra_loss_events must be non-negative")
+    return ConnectionStats(
+        flow=stats.flow,
+        flight_bytes=stats.flight_bytes,
+        receive_window=stats.receive_window,
+        estimated_cwnd=stats.estimated_cwnd,
+        loss_events=stats.loss_events + extra_loss_events,
+        total_segments=stats.total_segments + extra_loss_events,
+        sender_idle_fraction=stats.sender_idle_fraction,
+    )
+
+
+def delay_acks(stats: ConnectionStats, idle_boost: float) -> ConnectionStats:
+    """MitM manipulation: delaying ACKs makes the sender look idle.
+
+    Stretched ACK clocking shows up to DAPPER as the sender not using
+    available window — a sender-limited misdiagnosis.
+    """
+    if idle_boost < 0:
+        raise ConfigurationError("idle_boost must be non-negative")
+    return ConnectionStats(
+        flow=stats.flow,
+        flight_bytes=max(0, int(stats.flight_bytes * 0.5)),
+        receive_window=stats.receive_window,
+        estimated_cwnd=stats.estimated_cwnd,
+        loss_events=stats.loss_events,
+        total_segments=stats.total_segments,
+        sender_idle_fraction=min(1.0, stats.sender_idle_fraction + idle_boost),
+    )

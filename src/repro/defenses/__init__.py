@@ -1,0 +1,54 @@
+"""Countermeasure instantiations (Section 5 of the paper).
+
+The generic driver/supervisor framework lives in
+:mod:`repro.core.supervisor`; this package provides the per-system
+defenses the paper sketches — Blink RTO plausibility, Pytheas robust
+report filtering, PCC phase-loss auditing and ε clamping — plus the
+input-quality (point I) and logic-obfuscation (point V) building
+blocks.
+"""
+
+from repro.defenses.blink_defense import (
+    RtoPlausibilityModel,
+    evaluate_detector,
+    genuine_failure_gaps,
+    supervised_blink,
+)
+from repro.defenses.input_quality import (
+    ActiveProbeVerifier,
+    AuthenticatedChannel,
+    ProbeOutcome,
+    majority_vote,
+)
+from repro.defenses.obfuscation import (
+    BlinkParameterDraw,
+    BlinkParameterRandomizer,
+    attack_success_under_randomization,
+)
+from repro.defenses.pcc_defense import (
+    PhaseLossAuditor,
+    PhaseLossReport,
+    clamped_controller_kwargs,
+)
+from repro.defenses.pytheas_defense import MAD_SCALE, MadOutlierFilter, mad, median
+
+__all__ = [
+    "ActiveProbeVerifier",
+    "AuthenticatedChannel",
+    "BlinkParameterDraw",
+    "BlinkParameterRandomizer",
+    "MAD_SCALE",
+    "MadOutlierFilter",
+    "PhaseLossAuditor",
+    "PhaseLossReport",
+    "ProbeOutcome",
+    "RtoPlausibilityModel",
+    "attack_success_under_randomization",
+    "clamped_controller_kwargs",
+    "evaluate_detector",
+    "genuine_failure_gaps",
+    "mad",
+    "majority_vote",
+    "median",
+    "supervised_blink",
+]

@@ -1,0 +1,155 @@
+"""The Blink countermeasure from Section 5.
+
+"Blink could monitor the RTT distribution over a large number of
+flows, approximate the expected RTO distribution upon a failure, and
+use it to distinguish between actual failures and malicious events.
+Manipulating Blink would then require an attacker to know the RTT
+distribution of the legitimate flows forwarded by the Blink router,
+information that is hard to obtain for an attacker with host or MitM
+privileges."
+
+Implementation: a :class:`~repro.core.supervisor.PlausibilityModel`
+that, when Blink wants to reroute, inspects the gaps between each
+monitored flow's retransmission and its previous packet.  Genuine
+timeout retransmissions respect TCP's RTO floor — RFC 6298 mandates
+``max(1 s, SRTT + 4·RTTVAR)`` (≥ ~200 ms even on aggressive stacks) —
+whereas attack traffic fakes retransmissions at its normal packet
+cadence.  The model scores the fraction of recent retransmission gaps
+below the plausible-RTO floor; a reroute decision driven by such
+implausibly fast "retransmissions" is vetoed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.blink.pipeline import BlinkPrefixMonitor
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import percentile
+from repro.core.supervisor import (
+    OperatingRange,
+    PlausibilityModel,
+    SupervisedDriver,
+    Supervisor,
+)
+from repro.core.system import Decision, SystemState
+
+
+class RtoPlausibilityModel(PlausibilityModel):
+    """Scores Blink's state by the plausibility of retransmission timing.
+
+    Args:
+        monitor: the Blink per-prefix monitor being supervised (the
+            model reads its selector's retransmission-gap window).
+        min_plausible_gap: the RTO floor; gaps below it cannot be
+            genuine timeout retransmissions.  1.0 s is the RFC 6298
+            floor; use ~0.2 s to model aggressive Linux stacks.
+        window: how many recent gaps to consider.
+    """
+
+    def __init__(
+        self,
+        monitor: BlinkPrefixMonitor,
+        min_plausible_gap: float = 1.0,
+        window: int = 256,
+    ):
+        if min_plausible_gap <= 0:
+            raise ConfigurationError("min_plausible_gap must be positive")
+        if window < 1:
+            raise ConfigurationError("window must be at least 1")
+        self.monitor = monitor
+        self.min_plausible_gap = min_plausible_gap
+        self.window = window
+
+    def implausible_fraction(self) -> float:
+        """Fraction of recent retransmission gaps below the RTO floor."""
+        gaps = self.monitor.selector.stats.retransmission_gaps[-self.window :]
+        if not gaps:
+            return 0.0
+        fast = sum(1 for gap in gaps if gap < self.min_plausible_gap)
+        return fast / len(gaps)
+
+    def risk(self, state: SystemState, decision: Optional[Decision] = None) -> float:
+        # Non-reroute decisions carry no failure claim to audit.
+        if decision is not None and decision.action != "reroute":
+            return 0.0
+        return self.implausible_fraction()
+
+
+def supervised_blink(
+    monitor: BlinkPrefixMonitor,
+    min_plausible_gap: float = 1.0,
+    risk_threshold: float = 0.5,
+    max_reroutes_per_window: int = 3,
+    window_seconds: float = 60.0,
+) -> SupervisedDriver:
+    """Wrap a Blink monitor with the Section 5 supervisor.
+
+    Combines the RTO-plausibility model (point III/IV) with an
+    operating-range constraint (point III): even plausible-looking
+    reroutes are rate-limited, bounding the damage of any residual
+    manipulation.
+    """
+    model = RtoPlausibilityModel(monitor, min_plausible_gap=min_plausible_gap)
+    supervisor = Supervisor(
+        model,
+        operating_range=OperatingRange(
+            allowed_actions=["reroute"],
+            max_decisions_per_window=max_reroutes_per_window,
+            window_seconds=window_seconds,
+        ),
+        risk_threshold=risk_threshold,
+    )
+    return SupervisedDriver(monitor, supervisor, synchronous=True)
+
+
+def genuine_failure_gaps(
+    flows: int,
+    rtt_samples: Sequence[float],
+    min_rto: float = 1.0,
+    retransmissions_per_flow: int = 3,
+) -> List[float]:
+    """Synthesise the retransmission gaps a real failure produces.
+
+    Each affected flow retransmits at its RTO, then at doublings of it
+    (exponential backoff).  Used by the defense bench to measure false
+    positives: these gaps must score as plausible.
+    """
+    if flows <= 0 or retransmissions_per_flow <= 0:
+        raise ConfigurationError("flows and retransmissions_per_flow must be positive")
+    if not rtt_samples:
+        raise ConfigurationError("need at least one RTT sample")
+    gaps: List[float] = []
+    for i in range(flows):
+        rtt = rtt_samples[i % len(rtt_samples)]
+        rto = max(min_rto, 2.0 * rtt)  # SRTT + 4·RTTVAR with RTTVAR≈RTT/4
+        backoff = rto
+        for _ in range(retransmissions_per_flow):
+            gaps.append(backoff)
+            backoff = min(backoff * 2.0, 60.0)
+    return gaps
+
+
+def evaluate_detector(
+    attack_gaps: Sequence[float],
+    genuine_gaps: Sequence[float],
+    min_plausible_gap: float = 1.0,
+    risk_threshold: float = 0.5,
+) -> dict:
+    """Offline detector evaluation: TPR on attacks, FPR on failures."""
+
+    def risk(gaps: Sequence[float]) -> float:
+        if not gaps:
+            return 0.0
+        return sum(1 for g in gaps if g < min_plausible_gap) / len(gaps)
+
+    attack_risk = risk(attack_gaps)
+    genuine_risk = risk(genuine_gaps)
+    return {
+        "attack_risk": attack_risk,
+        "genuine_risk": genuine_risk,
+        "detects_attack": attack_risk >= risk_threshold,
+        "false_positive": genuine_risk >= risk_threshold,
+        "attack_gap_p50": percentile(list(attack_gaps), 50) if attack_gaps else None,
+        "genuine_gap_p50": percentile(list(genuine_gaps), 50) if genuine_gaps else None,
+    }

@@ -1,0 +1,114 @@
+"""Countermeasure point I: ensuring input quality.
+
+Section 5 lists three input-side measures: (i) encrypting and/or
+authenticating inputs, (ii) deciding on many independent inputs, and
+(iii) verifying inputs through active probing.  This module provides
+generic building blocks for all three, each modelling its stated cost
+(the paper's research question is exactly where the cost/benefit sweet
+spot lies):
+
+* :class:`AuthenticatedChannel` — marks signals trusted, at a
+  per-signal latency cost (crypto not available at line rate in
+  today's programmable data planes);
+* :func:`majority_vote` — fuse redundant, possibly disagreeing
+  signals;
+* :class:`ActiveProbeVerifier` — confirm an event with an active
+  probe before acting, trading decision latency for certainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.entities import Signal
+from repro.core.errors import ConfigurationError
+
+
+class AuthenticatedChannel:
+    """Wrap signals as authenticated, modelling the crypto cost.
+
+    Signals passed through :meth:`receive` with a valid ``key`` come
+    out with ``trusted=True`` and a delayed timestamp; signals with a
+    wrong key are rejected (returns None).  Downstream systems can then
+    discriminate on ``Signal.trusted``.
+    """
+
+    def __init__(self, key: str, per_signal_latency: float = 0.001):
+        if not key:
+            raise ConfigurationError("key must be non-empty")
+        if per_signal_latency < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.key = key
+        self.per_signal_latency = per_signal_latency
+        self.accepted = 0
+        self.rejected = 0
+
+    def receive(self, signal: Signal, presented_key: str) -> Optional[Signal]:
+        if presented_key != self.key:
+            self.rejected += 1
+            return None
+        self.accepted += 1
+        return replace(signal, trusted=True, time=signal.time + self.per_signal_latency)
+
+
+def majority_vote(values: Sequence[object], quorum: Optional[int] = None) -> Optional[object]:
+    """Fuse redundant signals: the value reported by a majority.
+
+    Returns None when no value reaches the quorum (default: strict
+    majority) — the caller should then refuse to act, which is the
+    safe default for a supervised driver.
+    """
+    if not values:
+        return None
+    counts: Dict[object, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    needed = quorum if quorum is not None else len(values) // 2 + 1
+    best_value, best_count = max(counts.items(), key=lambda item: item[1])
+    if best_count >= needed:
+        return best_value
+    return None
+
+
+@dataclass
+class ProbeOutcome:
+    """Result of one verification probe."""
+
+    confirmed: bool
+    latency: float
+
+
+class ActiveProbeVerifier:
+    """Verify claimed events by probing before acting (measure iii).
+
+    ``probe`` is the caller-supplied ground-truth oracle (e.g. "is the
+    next hop actually unreachable?").  Each verification costs
+    ``probe_latency`` of decision delay — the conflict with "immediate
+    reactions to events" the paper highlights — and the verifier keeps
+    the running totals so benches can plot the latency/safety
+    trade-off.
+    """
+
+    def __init__(self, probe: Callable[[object], bool], probe_latency: float = 0.1):
+        if probe_latency < 0:
+            raise ConfigurationError("probe latency must be non-negative")
+        self.probe = probe
+        self.probe_latency = probe_latency
+        self.verifications = 0
+        self.confirmations = 0
+        self.total_latency = 0.0
+
+    def verify(self, claim: object) -> ProbeOutcome:
+        self.verifications += 1
+        self.total_latency += self.probe_latency
+        confirmed = bool(self.probe(claim))
+        if confirmed:
+            self.confirmations += 1
+        return ProbeOutcome(confirmed=confirmed, latency=self.probe_latency)
+
+    @property
+    def confirmation_rate(self) -> float:
+        if self.verifications == 0:
+            return 0.0
+        return self.confirmations / self.verifications

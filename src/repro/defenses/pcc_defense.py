@@ -1,0 +1,136 @@
+"""The PCC countermeasures from Section 5.
+
+"PCC could monitor when packets are dropped in every +ε or −ε phase
+as well as limit the amplitude of the oscillations by decreasing the
+range of ε."
+
+Two pieces:
+
+* :class:`PhaseLossAuditor` — a detector consuming PCC's own MI
+  history.  The utility-equalisation attack leaves a very specific
+  control-plane fingerprint: PCC *never leaves* the decision-making
+  state, every experiment comes back inconsistent, and ε saturates at
+  its cap — while packets keep being dropped in the ±ε phases.  The
+  auditor scores (i) the fraction of recent decision MIs whose ε is
+  pinned at ε_max, (ii) the fraction of MIs spent in decision state,
+  and (iii) how exclusively lost traffic concentrates in experiment
+  MIs (for attack variants that only shape experiments).  Benign PCC —
+  even over a lossy path — commits a direction regularly, so ε keeps
+  being reset to ε_min.
+* :func:`clamped_controller_kwargs` — the amplitude limiter: run the
+  controller with a reduced ε cap, directly bounding the oscillation
+  an attacker can induce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.pcc.controller import EPSILON_MAX, ControlState
+from repro.pcc.simulator import MiRecord
+
+
+@dataclass
+class PhaseLossReport:
+    """The auditor's evidence and verdict."""
+
+    decision_fraction: float
+    epsilon_pinned_fraction: float
+    experiment_loss_rate: float
+    nonexperiment_loss_rate: float
+    concentration: float
+    suspicious: bool
+
+
+class PhaseLossAuditor:
+    """Detect the Section 4.2 utility-equalisation fingerprint.
+
+    Args:
+        epsilon_max: the controller's ε cap (needed to recognise
+            saturation).
+        pinned_threshold: fraction of decision MIs at the ε cap above
+            which the run is suspicious (combined with being stuck in
+            decision state).
+        decision_threshold: decision-state occupancy regarded as
+            "stuck" (benign converged PCC sits around ~2/3 because the
+            commit/adjust cycle keeps interleaving).
+        concentration_threshold: lost-traffic share in experiments vs
+            their MI share; ≫ 1 only when losses chase experiments.
+    """
+
+    def __init__(
+        self,
+        epsilon_max: float = EPSILON_MAX,
+        pinned_threshold: float = 0.8,
+        decision_threshold: float = 0.9,
+        concentration_threshold: float = 2.0,
+    ):
+        if not 0.0 < epsilon_max < 1.0:
+            raise ConfigurationError("epsilon_max must be in (0, 1)")
+        if not 0.0 < pinned_threshold <= 1.0:
+            raise ConfigurationError("pinned_threshold must be in (0, 1]")
+        if not 0.0 < decision_threshold <= 1.0:
+            raise ConfigurationError("decision_threshold must be in (0, 1]")
+        if concentration_threshold <= 1.0:
+            raise ConfigurationError("concentration_threshold must exceed 1")
+        self.epsilon_max = epsilon_max
+        self.pinned_threshold = pinned_threshold
+        self.decision_threshold = decision_threshold
+        self.concentration_threshold = concentration_threshold
+
+    def audit(self, records: Sequence[MiRecord], tail: int = 200) -> PhaseLossReport:
+        recent = list(records)[-tail:]
+        if not recent:
+            raise ConfigurationError("no MI records to audit")
+        experiment = [r for r in recent if r.result.state == ControlState.DECISION]
+        other = [r for r in recent if r.result.state != ControlState.DECISION]
+        decision_fraction = len(experiment) / len(recent)
+        pinned = [
+            r for r in experiment if abs(r.result.epsilon - self.epsilon_max) < 1e-12
+        ]
+        pinned_fraction = len(pinned) / len(experiment) if experiment else 0.0
+
+        exp_loss = _mean_loss(experiment)
+        other_loss = _mean_loss(other)
+        lost_traffic_exp = sum(r.result.loss * r.result.rate for r in experiment)
+        lost_traffic_all = sum(r.result.loss * r.result.rate for r in recent)
+        loss_share = lost_traffic_exp / lost_traffic_all if lost_traffic_all > 0 else 0.0
+        concentration = loss_share / decision_fraction if decision_fraction > 0 else 0.0
+
+        losses_present = exp_loss > 0.0
+        stuck_and_pinned = (
+            decision_fraction >= self.decision_threshold
+            and pinned_fraction >= self.pinned_threshold
+            and losses_present
+        )
+        chasing_experiments = (
+            concentration >= self.concentration_threshold and losses_present
+        )
+        return PhaseLossReport(
+            decision_fraction=decision_fraction,
+            epsilon_pinned_fraction=pinned_fraction,
+            experiment_loss_rate=exp_loss,
+            nonexperiment_loss_rate=other_loss,
+            concentration=concentration,
+            suspicious=stuck_and_pinned or chasing_experiments,
+        )
+
+
+def _mean_loss(records: Sequence[MiRecord]) -> float:
+    if not records:
+        return 0.0
+    return sum(r.result.loss for r in records) / len(records)
+
+
+def clamped_controller_kwargs(epsilon_cap: float = 0.02) -> dict:
+    """Controller kwargs implementing the amplitude limiter.
+
+    With ``epsilon_max`` clamped, the attacker can still prevent
+    convergence but the induced oscillation amplitude is bounded by the
+    clamp — the trade-off Section 5 proposes.
+    """
+    if not 0.0 < epsilon_cap < 1.0:
+        raise ConfigurationError("epsilon_cap must be in (0, 1)")
+    return {"epsilon_max": epsilon_cap}

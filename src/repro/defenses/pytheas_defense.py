@@ -1,0 +1,101 @@
+"""The Pytheas countermeasure from Section 5.
+
+"Pytheas could look at the distribution of throughput across all
+clients in a group.  If only a few clients exhibit low throughput
+while others exhibit high throughput, this is indicative of either
+groups being ill-formed or malicious inputs from part of the group
+population.  Accordingly, the low-throughput clients can be tackled
+separately, removing their impact on the larger population."
+
+Implementation: a :class:`~repro.pytheas.controller.ReportFilter` that
+performs per-(group, decision) robust outlier rejection using the
+median absolute deviation (MAD).  Reports further than ``k`` scaled
+MADs from the round median are quarantined — the "tackled separately"
+clients — before the E2 engine ever sees them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import percentile
+from repro.pytheas.session import QoEReport
+
+#: Consistency constant making MAD comparable to a standard deviation
+#: under normality.
+MAD_SCALE = 1.4826
+
+
+def median(values: List[float]) -> float:
+    if not values:
+        raise ConfigurationError("median of empty list")
+    return percentile(values, 50)
+
+
+def mad(values: List[float], center: float) -> float:
+    """Median absolute deviation around ``center``."""
+    if not values:
+        raise ConfigurationError("MAD of empty list")
+    deviations = [abs(v - center) for v in values]
+    return percentile(deviations, 50)
+
+
+class MadOutlierFilter:
+    """Robust report filter: drop per-decision outliers.
+
+    Args:
+        k: rejection threshold in scaled-MAD units (≈ standard
+            deviations under normality).  3.0–3.5 is the usual robust
+            choice.
+        min_samples: below this many reports for a decision, filtering
+            is skipped (the statistics would be meaningless) — matching
+            Pytheas' own minimum-group-size logic.
+        min_spread: floor on the scaled MAD, so natural zero-variance
+            rounds do not reject every slightly-different report.
+    """
+
+    def __init__(self, k: float = 3.5, min_samples: int = 8, min_spread: float = 2.0):
+        if k <= 0:
+            raise ConfigurationError("k must be positive")
+        if min_samples < 3:
+            raise ConfigurationError("min_samples must be at least 3")
+        self.k = k
+        self.min_samples = min_samples
+        self.min_spread = min_spread
+        self.rejected = 0
+        self.seen = 0
+        #: Ground-truth tallies for evaluation, filled by the simulator
+        #: reports' session ids if the caller wires them up.
+        self.rejected_reports: List[QoEReport] = []
+
+    def __call__(self, group_id: str, reports: List[QoEReport]) -> List[QoEReport]:
+        self.seen += len(reports)
+        by_decision: Dict[str, List[QoEReport]] = {}
+        for report in reports:
+            by_decision.setdefault(report.decision, []).append(report)
+        kept: List[QoEReport] = []
+        for decision_reports in by_decision.values():
+            kept.extend(self._filter_decision(decision_reports))
+        return kept
+
+    def _filter_decision(self, reports: List[QoEReport]) -> List[QoEReport]:
+        if len(reports) < self.min_samples:
+            return reports
+        values = [r.value for r in reports]
+        center = median(values)
+        spread = max(MAD_SCALE * mad(values, center), self.min_spread)
+        kept: List[QoEReport] = []
+        for report in reports:
+            if abs(report.value - center) > self.k * spread:
+                self.rejected += 1
+                self.rejected_reports.append(report)
+            else:
+                kept.append(report)
+        return kept
+
+    @property
+    def rejection_rate(self) -> float:
+        if self.seen == 0:
+            return 0.0
+        return self.rejected / self.seen

@@ -1,0 +1,5 @@
+"""Passive egress selection (Espresso / Edge Fabric style, Section 3.2)."""
+
+from repro.egress.selector import EgressStats, PassiveEgressSelector
+
+__all__ = ["EgressStats", "PassiveEgressSelector"]

@@ -1,0 +1,142 @@
+"""Passive-measurement egress selection (Espresso / Edge Fabric style).
+
+"Google Espresso and Facebook EdgeConnect use passive measurements to
+extract information and send traffic on the best-performing path.  An
+attacker could lower the performance (e.g., increase the delay) of the
+flows destined to these networks so that they use another path."
+(Section 3.2.)
+
+:class:`PassiveEgressSelector` keeps per-(prefix, egress) EWMA RTT and
+loss derived from the traffic itself (no active probes) and steers each
+prefix to the best-scoring egress, with hysteresis so benign jitter does
+not flap routes.  The attack surface is the passive measurements: a
+MitM that delays or drops a prefix's packets on its current egress
+degrades the *measured* performance and pushes the prefix onto the
+egress of the attacker's choosing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.core.system import DataDrivenSystem, Decision, SystemState
+from repro.core.entities import Signal
+
+
+@dataclass
+class EgressStats:
+    """EWMA performance of one (prefix, egress) pair."""
+
+    rtt: float = 0.0
+    loss: float = 0.0
+    samples: int = 0
+
+    def update(self, rtt: Optional[float], lost: bool, alpha: float = 0.2) -> None:
+        self.samples += 1
+        self.loss = (1 - alpha) * self.loss + alpha * (1.0 if lost else 0.0)
+        if rtt is not None:
+            self.rtt = rtt if self.rtt == 0.0 else (1 - alpha) * self.rtt + alpha * rtt
+
+
+class PassiveEgressSelector(DataDrivenSystem):
+    """Per-prefix egress steering from passive RTT/loss measurements.
+
+    Signals: ``egress.sample`` with value dict
+    ``{"prefix", "egress", "rtt" (s or None), "lost" (bool)}``.
+    Decisions: ``steer-egress`` when a prefix's best egress changes.
+    """
+
+    name = "egress-selector"
+
+    def __init__(
+        self,
+        egresses: Sequence[str],
+        loss_penalty: float = 1.0,
+        hysteresis: float = 0.10,
+        min_samples: int = 10,
+    ):
+        if not egresses:
+            raise ConfigurationError("need at least one egress")
+        if hysteresis < 0:
+            raise ConfigurationError("hysteresis must be non-negative")
+        self.egresses = list(egresses)
+        self.loss_penalty = loss_penalty
+        self.hysteresis = hysteresis
+        self.min_samples = min_samples
+        self._stats: Dict[Tuple[str, str], EgressStats] = {}
+        self._assignment: Dict[str, str] = {}
+        self._now = 0.0
+        self.switches: List[Decision] = []
+
+    # -- measurement ingestion ----------------------------------------------
+
+    def observe(self, signal: Signal) -> List[Decision]:
+        if signal.name != "egress.sample":
+            return []
+        info = signal.value
+        if not isinstance(info, dict) or "prefix" not in info or "egress" not in info:
+            raise ConfigurationError("egress.sample needs prefix and egress")
+        self._now = signal.time
+        prefix = str(info["prefix"])
+        egress = str(info["egress"])
+        if egress not in self.egresses:
+            raise ConfigurationError(f"unknown egress {egress!r}")
+        stats = self._stats.setdefault((prefix, egress), EgressStats())
+        stats.update(info.get("rtt"), bool(info.get("lost", False)))
+        return self._maybe_steer(prefix, signal.time)
+
+    def state(self) -> SystemState:
+        return SystemState(
+            time=self._now,
+            variables={
+                "assignment": dict(self._assignment),
+                "scores": {
+                    f"{prefix}:{egress}": self.score(prefix, egress)
+                    for (prefix, egress) in self._stats
+                },
+            },
+        )
+
+    def reset(self) -> None:
+        self._stats.clear()
+        self._assignment.clear()
+        self.switches.clear()
+        self._now = 0.0
+
+    # -- steering -----------------------------------------------------------
+
+    def score(self, prefix: str, egress: str) -> float:
+        """Lower is better: EWMA RTT plus the loss penalty."""
+        stats = self._stats.get((prefix, egress))
+        if stats is None or stats.samples < self.min_samples:
+            return float("inf")
+        return stats.rtt + self.loss_penalty * stats.loss
+
+    def egress_for(self, prefix: str) -> Optional[str]:
+        return self._assignment.get(prefix)
+
+    def _maybe_steer(self, prefix: str, now: float) -> List[Decision]:
+        scored = [
+            (self.score(prefix, egress), egress) for egress in self.egresses
+        ]
+        best_score, best = min(scored)
+        if best_score == float("inf"):
+            return []
+        current = self._assignment.get(prefix)
+        if current is None:
+            self._assignment[prefix] = best
+            decision = Decision("steer-egress", prefix, best, now)
+            self.switches.append(decision)
+            return [decision]
+        if best == current:
+            return []
+        current_score = self.score(prefix, current)
+        # Hysteresis: only move for a clear improvement.
+        if best_score < current_score * (1.0 - self.hysteresis):
+            self._assignment[prefix] = best
+            decision = Decision("steer-egress", prefix, best, now)
+            self.switches.append(decision)
+            return [decision]
+        return []

@@ -1,0 +1,50 @@
+"""Flow substrate: 5-tuples, TCP machinery and workload generation."""
+
+from repro.flows.caida import (
+    EVICTION_TIMEOUT,
+    PrefixProfile,
+    SyntheticCaidaConfig,
+    SyntheticCaidaTrace,
+    calibrate_duration_model_for_tr,
+    mean_sampled_time,
+)
+from repro.flows.failures import FailureEpisode, emit_failure_trace
+from repro.flows.flow import FiveTuple, fnv1a_64, hosts_in_prefix, ip_in_prefix
+from repro.flows.generators import (
+    DurationDistribution,
+    FlowSpec,
+    WorkloadSummary,
+    blink_attack_workload,
+    emit_trace,
+    malicious_flow_schedule,
+    poisson_flow_schedule,
+    summarize_workload,
+)
+from repro.flows.tcp import RtoEstimator, TcpSender, TcpSink, make_rng_rtts
+
+__all__ = [
+    "EVICTION_TIMEOUT",
+    "DurationDistribution",
+    "FailureEpisode",
+    "FiveTuple",
+    "FlowSpec",
+    "PrefixProfile",
+    "RtoEstimator",
+    "SyntheticCaidaConfig",
+    "SyntheticCaidaTrace",
+    "TcpSender",
+    "TcpSink",
+    "WorkloadSummary",
+    "blink_attack_workload",
+    "emit_failure_trace",
+    "calibrate_duration_model_for_tr",
+    "emit_trace",
+    "fnv1a_64",
+    "hosts_in_prefix",
+    "ip_in_prefix",
+    "make_rng_rtts",
+    "malicious_flow_schedule",
+    "mean_sampled_time",
+    "poisson_flow_schedule",
+    "summarize_workload",
+]

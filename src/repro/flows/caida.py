@@ -1,0 +1,253 @@
+"""Synthetic CAIDA-like traces (substitution for the real traces).
+
+The paper calibrates its Blink analysis against CAIDA anonymized
+backbone traces: it reports that across the top-20 destination
+prefixes of each trace, "for half of them the average time a flow
+remains sampled is 10 s (the median is ∼5 s)", and uses
+``tR = 8.37 s`` — the value for one specific prefix — in Fig. 2.
+
+We cannot redistribute CAIDA traces, so this module generates
+synthetic per-prefix traffic whose *sampled-time* statistics match the
+reported ones: a Zipf-weighted set of "popular" prefixes, per-prefix
+Poisson flow arrivals and heavy-tailed durations whose parameters are
+drawn per-prefix so the cross-prefix distribution of mean sampled time
+spans the reported range.  The quantity the Blink analysis consumes —
+``tR``, the mean time a flow occupies a selector cell — is then
+*measured* from the synthetic trace exactly as the authors measured it
+from CAIDA, keeping the downstream analysis honest.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import percentile
+from repro.flows.generators import (
+    DurationDistribution,
+    FlowSpec,
+    emit_trace,
+    poisson_flow_schedule,
+)
+from repro.netsim.trace import Trace
+
+#: Blink evicts a monitored flow after 2 s of inactivity; a flow's
+#: "sampled time" is therefore its active lifetime plus this timeout.
+EVICTION_TIMEOUT = 2.0
+
+
+@dataclass
+class PrefixProfile:
+    """Traffic profile of one destination prefix."""
+
+    prefix: str
+    arrival_rate: float  # flows/second
+    duration_model: DurationDistribution
+    packet_rate: float = 2.0
+
+    def generate(self, horizon: float, seed: int = 0) -> List[FlowSpec]:
+        return poisson_flow_schedule(
+            self.prefix,
+            horizon=horizon,
+            arrival_rate=self.arrival_rate,
+            duration_model=self.duration_model,
+            packet_rate=self.packet_rate,
+            seed=seed,
+        )
+
+
+@dataclass
+class SyntheticCaidaConfig:
+    """Knobs for the synthetic backbone trace.
+
+    Defaults are calibrated so the top-20 prefix statistics match the
+    paper's: median mean-sampled-time ≈ 5 s + eviction timeout, with
+    roughly half the prefixes at ≥ 10 s.
+    """
+
+    prefixes: int = 20
+    horizon: float = 300.0
+    base_arrival_rate: float = 4.0
+    zipf_exponent: float = 1.1
+    median_duration_low: float = 1.0
+    median_duration_high: float = 12.0
+    sigma: float = 0.8
+    seed: int = 0
+
+
+class SyntheticCaidaTrace:
+    """A multi-prefix synthetic backbone trace with per-prefix queries."""
+
+    def __init__(self, config: Optional[SyntheticCaidaConfig] = None):
+        self.config = config or SyntheticCaidaConfig()
+        self._rng = random.Random(self.config.seed)
+        self.profiles: List[PrefixProfile] = self._build_profiles()
+        self._specs: Dict[str, List[FlowSpec]] = {}
+        self._traces: Dict[str, Trace] = {}
+
+    def _build_profiles(self) -> List[PrefixProfile]:
+        cfg = self.config
+        profiles: List[PrefixProfile] = []
+        for rank in range(cfg.prefixes):
+            popularity = 1.0 / ((rank + 1) ** cfg.zipf_exponent)
+            # Per-prefix duration medians log-uniform over the configured
+            # range — popular prefixes skew shorter (CDN-ish), matching
+            # the "median ≈ 5 s, half ≥ 10 s mean" spread.
+            log_low = math.log(cfg.median_duration_low)
+            log_high = math.log(cfg.median_duration_high)
+            median = math.exp(self._rng.uniform(log_low, log_high))
+            profiles.append(
+                PrefixProfile(
+                    prefix=f"198.51.{100 + rank}.0/24",
+                    arrival_rate=cfg.base_arrival_rate * popularity * cfg.prefixes / 4.0,
+                    duration_model=DurationDistribution(median=median, sigma=cfg.sigma),
+                )
+            )
+        return profiles
+
+    # -- generation --------------------------------------------------------
+
+    def specs_for(self, prefix: str) -> List[FlowSpec]:
+        if prefix not in self._specs:
+            profile = self._profile(prefix)
+            index = self.profiles.index(profile)
+            self._specs[prefix] = profile.generate(
+                self.config.horizon, seed=self.config.seed * 1000 + index
+            )
+        return self._specs[prefix]
+
+    def trace_for(self, prefix: str) -> Trace:
+        if prefix not in self._traces:
+            specs = self.specs_for(prefix)
+            index = self.profiles.index(self._profile(prefix))
+            self._traces[prefix] = emit_trace(
+                specs, seed=self.config.seed * 2000 + index, name=f"caida-like:{prefix}"
+            )
+        return self._traces[prefix]
+
+    def _profile(self, prefix: str) -> PrefixProfile:
+        for profile in self.profiles:
+            if profile.prefix == prefix:
+                return profile
+        raise ConfigurationError(f"unknown prefix {prefix!r}")
+
+    @property
+    def prefixes(self) -> List[str]:
+        return [p.prefix for p in self.profiles]
+
+    # -- the statistics the paper reports ------------------------------------
+
+    def mean_sampled_time(self, prefix: str) -> float:
+        """Mean time a flow of ``prefix`` would stay in a Blink cell.
+
+        A sampled flow stays until 2 s of inactivity (or FIN, which in
+        this model coincides with its last packet), so its sampled time
+        is its observed active span plus the eviction timeout — the
+        same estimator the authors applied to CAIDA traces.
+        """
+        return mean_sampled_time(self.trace_for(prefix))
+
+    def top_prefix_report(self) -> List[dict]:
+        """Per-prefix tR table: the paper's top-20 analysis (E3)."""
+        report = []
+        for profile in self.profiles:
+            trace = self.trace_for(profile.prefix)
+            tr = mean_sampled_time(trace)
+            report.append(
+                {
+                    "prefix": profile.prefix,
+                    "flows": trace.flow_count(),
+                    "packets": len(trace),
+                    "mean_sampled_time": tr,
+                }
+            )
+        report.sort(key=lambda row: row["mean_sampled_time"])
+        return report
+
+    def summary(self) -> dict:
+        """Cross-prefix summary to compare against the paper's claims.
+
+        The paper reports two statistics for the top-20 prefixes: "for
+        half of them the average time a flow remains sampled is 10 s
+        (the median is ∼5 s)" — i.e. per-prefix *means* around 10 s for
+        half the prefixes, while the *median* over individual flows sits
+        near 5 s (sampled times are heavy-tailed).  Both are computed
+        here.
+        """
+        trs = [row["mean_sampled_time"] for row in self.top_prefix_report()]
+        flow_times: List[float] = []
+        for profile in self.profiles:
+            spans = self.trace_for(profile.prefix).flow_activity_spans()
+            flow_times.extend(
+                (last - first) + EVICTION_TIMEOUT for first, last in spans.values()
+            )
+        return {
+            "prefixes": len(trs),
+            "median_tr": percentile(trs, 50),
+            "p25_tr": percentile(trs, 25),
+            "p75_tr": percentile(trs, 75),
+            "fraction_at_least_10s": sum(1 for t in trs if t >= 10.0) / len(trs),
+            "flow_median_sampled_time": percentile(flow_times, 50),
+        }
+
+
+def mean_sampled_time(trace: Trace, eviction_timeout: float = EVICTION_TIMEOUT) -> float:
+    """Mean per-flow sampled time: active span + eviction timeout.
+
+    This is the trace-derived ``tR`` the Blink analysis (and Fig. 2)
+    consumes.
+    """
+    spans = trace.flow_activity_spans()
+    if not spans:
+        raise ConfigurationError("empty trace has no sampled-time statistic")
+    total = 0.0
+    for first, last in spans.values():
+        total += (last - first) + eviction_timeout
+    return total / len(spans)
+
+
+def calibrate_duration_model_for_tr(
+    target_tr: float,
+    sigma: float = 0.8,
+    horizon: float = 300.0,
+    arrival_rate: float = 4.0,
+    seed: int = 0,
+    tolerance: float = 0.25,
+    max_iterations: int = 24,
+) -> DurationDistribution:
+    """Find a duration model whose measured tR matches ``target_tr``.
+
+    Bisects on the lognormal median until the trace-derived mean
+    sampled time is within ``tolerance`` seconds of the target.  Used
+    to reproduce Fig. 2's ``tR = 8.37 s`` without the original trace.
+    """
+    if target_tr <= EVICTION_TIMEOUT:
+        raise ConfigurationError(
+            f"target tR must exceed the eviction timeout ({EVICTION_TIMEOUT}s)"
+        )
+    low, high = 0.05, 120.0
+    best: Optional[DurationDistribution] = None
+    for iteration in range(max_iterations):
+        median = math.sqrt(low * high)
+        model = DurationDistribution(median=median, sigma=sigma)
+        specs = poisson_flow_schedule(
+            "198.51.100.0/24",
+            horizon=horizon,
+            arrival_rate=arrival_rate,
+            duration_model=model,
+            seed=seed,
+        )
+        trace = emit_trace(specs, seed=seed + 1)
+        measured = mean_sampled_time(trace)
+        best = model
+        if abs(measured - target_tr) <= tolerance:
+            return model
+        if measured > target_tr:
+            high = median
+        else:
+            low = median
+    assert best is not None
+    return best

@@ -1,0 +1,116 @@
+"""Genuine-failure workloads: what Blink is *supposed* to detect.
+
+The attack benches need a ground-truth contrast: when a path really
+fails, the flows crossing it stop receiving ACKs and retransmit on
+their RTOs — first after ≈ max(1 s, SRTT + 4·RTTVAR), then with binary
+exponential backoff.  This module turns a legitimate flow schedule into
+a trace containing such a failure episode, used to measure Blink's
+true-positive behaviour and the RTO-plausibility defense's
+false-positive rate (E11).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.flows.generators import FlowSpec
+from repro.netsim.trace import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class FailureEpisode:
+    """A connectivity failure affecting a destination prefix.
+
+    Attributes:
+        start: when the path fails (s).
+        duration: how long it stays down; flows resume afterwards.
+        affected_fraction: fraction of flows actually crossing the
+            failed resource (multi-homed sources may be unaffected).
+    """
+
+    start: float
+    duration: float
+    affected_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.duration <= 0:
+            raise ConfigurationError("episode needs start >= 0 and duration > 0")
+        if not 0.0 < self.affected_fraction <= 1.0:
+            raise ConfigurationError("affected_fraction must be in (0, 1]")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+def emit_failure_trace(
+    specs: Sequence[FlowSpec],
+    episode: FailureEpisode,
+    median_rtt: float = 0.08,
+    rtt_spread: float = 0.5,
+    min_rto: float = 1.0,
+    max_retransmissions: int = 5,
+    seed: int = 0,
+    name: str = "failure-workload",
+) -> Trace:
+    """Render a schedule into a trace containing a genuine failure.
+
+    Outside the episode, flows emit normal packets (exponential gaps at
+    their ``packet_rate``).  When the failure hits, each affected flow
+    switches to RTO-driven retransmissions: the first after its RTO
+    (lognormal RTT population, RFC 6298 floor), then doubling, until
+    the path recovers or the retransmission budget is exhausted.
+    """
+    if min_rto <= 0:
+        raise ConfigurationError("min_rto must be positive")
+    if max_retransmissions < 1:
+        raise ConfigurationError("need at least one retransmission")
+    rng = random.Random(seed)
+    records: List[TraceRecord] = []
+    mu = math.log(median_rtt)
+    for spec in specs:
+        flow_rng = random.Random(rng.randrange(2**63))
+        rtt = math.exp(flow_rng.gauss(mu, rtt_spread))
+        rto = max(min_rto, 2.0 * rtt)  # SRTT + 4·RTTVAR with RTTVAR ≈ RTT/4
+        affected = flow_rng.random() < episode.affected_fraction
+
+        t = spec.start
+        failed_at: Optional[float] = None
+        while t < spec.end:
+            in_episode = episode.start <= t < episode.end
+            if affected and in_episode:
+                if failed_at is None:
+                    failed_at = t
+                    backoff = rto
+                    for _ in range(max_retransmissions):
+                        retrans_time = failed_at + backoff
+                        if retrans_time >= min(episode.end, spec.end):
+                            break
+                        records.append(
+                            TraceRecord(
+                                time=retrans_time,
+                                flow=spec.flow,
+                                size=1500,
+                                is_retransmission=True,
+                            )
+                        )
+                        backoff *= 2.0
+                # Skip ahead to path recovery.
+                t = episode.end
+                continue
+            records.append(
+                TraceRecord(time=t, flow=spec.flow, size=1500)
+            )
+            t += flow_rng.expovariate(spec.packet_rate)
+        if spec.sends_fin and spec.end < episode.start:
+            records.append(
+                TraceRecord(time=spec.end, flow=spec.flow, size=40, is_fin_or_rst=True)
+            )
+    records.sort(key=lambda r: r.time)
+    trace = Trace(name)
+    trace.extend(records)
+    return trace

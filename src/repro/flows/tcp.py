@@ -1,0 +1,320 @@
+"""Simplified but faithful TCP sender/receiver for the simulations.
+
+Implements the pieces of TCP the reproduced systems observe:
+
+* sequence numbers and cumulative ACKs (Blink infers failures from
+  repeated sequence numbers);
+* RTO estimation per RFC 6298 (SRTT/RTTVAR, 1 s floor, exponential
+  backoff) — the statistical fingerprint the Blink *defense* checks
+  (Section 5: "approximate the expected RTO distribution upon a
+  failure");
+* a static sliding window and the receive window field (DAPPER's
+  sender/receiver/network-limited classification reads these).
+
+Congestion control is deliberately window-clamped rather than a full
+NewReno: none of the reproduced attacks depend on cwnd dynamics, and
+PCC — which replaces TCP congestion control — has its own module.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import FiveTuple
+from repro.netsim.events import Event, EventLoop
+from repro.netsim.network import Network
+from repro.netsim.packet import Packet, Protocol, TcpFlags, TcpHeader
+
+
+class RtoEstimator:
+    """RFC 6298 retransmission-timeout estimation.
+
+    SRTT/RTTVAR updates with K=4, G assumed 0, a configurable minimum
+    RTO (1 s per the RFC; real stacks often use 200 ms — both appear in
+    the Blink defense bench) and binary exponential backoff capped at
+    ``max_rto``.
+    """
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self, min_rto: float = 1.0, max_rto: float = 60.0, initial_rto: float = 1.0):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ConfigurationError("need 0 < min_rto <= max_rto")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._rto = initial_rto
+        self._backoff = 1.0
+
+    @property
+    def rto(self) -> float:
+        return min(self._rto * self._backoff, self.max_rto)
+
+    def on_measurement(self, rtt: float) -> None:
+        """Update SRTT/RTTVAR with a new (non-retransmitted) sample."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self._rto = max(self.min_rto, self.srtt + self.K * self.rttvar)
+        self._backoff = 1.0
+
+    def on_timeout(self) -> None:
+        """Back off exponentially after a retransmission timeout."""
+        self._backoff = min(self._backoff * 2.0, self.max_rto / max(self._rto, 1e-9))
+
+
+@dataclass
+class SegmentState:
+    """Book-keeping for one in-flight segment."""
+
+    seq: int
+    size: int
+    first_sent: float
+    last_sent: float
+    retransmissions: int = 0
+
+
+class TcpSink:
+    """Receiver: cumulatively ACKs in-order data, buffers gaps.
+
+    Install as a host handler; it sends ACK packets back through the
+    network.  Tracks goodput for the experiment reports.
+    """
+
+    def __init__(self, network: Network, node: str, advertised_window: int = 65535):
+        self.network = network
+        self.node = node
+        self.advertised_window = advertised_window
+        self._next_expected: Dict[FiveTuple, int] = {}
+        self._out_of_order: Dict[FiveTuple, Dict[int, int]] = {}
+        self.received_bytes = 0
+        self.delivered_segments = 0
+
+    def __call__(self, packet: Packet, now: float) -> None:
+        if packet.protocol != Protocol.TCP or packet.tcp is None:
+            return
+        if not packet.tcp.flags & TcpFlags.ACK or packet.payload_size > 0:
+            self._on_data(packet, now)
+
+    def _on_data(self, packet: Packet, now: float) -> None:
+        flow = packet.five_tuple
+        if flow not in self._next_expected:
+            self._next_expected[flow] = packet.tcp.seq
+        expected = self._next_expected[flow]
+        buffered = self._out_of_order.setdefault(flow, {})
+        if packet.tcp.seq >= expected:
+            buffered[packet.tcp.seq] = packet.payload_size
+        # Advance over any contiguous buffered data.
+        while expected in buffered:
+            size = buffered.pop(expected)
+            expected += size
+            self.received_bytes += size
+            self.delivered_segments += 1
+        self._next_expected[flow] = expected
+        ack = Packet(
+            src=packet.dst,
+            dst=packet.src,
+            protocol=Protocol.TCP,
+            src_port=packet.dst_port,
+            dst_port=packet.src_port,
+            payload_size=0,
+            tcp=TcpHeader(seq=0, ack=expected, flags=TcpFlags.ACK, window=self.advertised_window),
+            flow_id=packet.flow_id,
+        )
+        self.network.send(ack, from_node=self.node)
+
+    def next_expected(self, flow: FiveTuple) -> int:
+        return self._next_expected.get(flow, 0)
+
+
+class TcpSender:
+    """Window-limited TCP sender over a :class:`Network`.
+
+    Feeds ``total_bytes`` of data (or runs forever if None), paced by a
+    static ``window_segments`` window, retransmitting on RTO expiry.
+    Retransmitted packets carry the *same sequence number* — the signal
+    Blink keys on — plus the ground-truth marker for evaluation.
+    """
+
+    MSS = 1460
+
+    def __init__(
+        self,
+        network: Network,
+        node: str,
+        flow: FiveTuple,
+        total_bytes: Optional[int] = None,
+        window_segments: int = 10,
+        min_rto: float = 1.0,
+        on_done: Optional[Callable[["TcpSender"], None]] = None,
+    ):
+        if window_segments < 1:
+            raise ConfigurationError("window must be at least 1 segment")
+        self.network = network
+        self.loop: EventLoop = network.loop
+        self.node = node
+        self.flow = flow
+        self.total_bytes = total_bytes
+        self.window_segments = window_segments
+        self.rto = RtoEstimator(min_rto=min_rto)
+        self.on_done = on_done
+
+        self._next_seq = 0
+        self._acked_to = 0
+        self._in_flight: Dict[int, SegmentState] = {}
+        self._timer: Optional[Event] = None
+        self._finished = False
+
+        self.sent_segments = 0
+        self.retransmitted_segments = 0
+        self.completed_at: Optional[float] = None
+
+    # -- public API -------------------------------------------------------
+
+    def start(self) -> None:
+        self._fill_window()
+
+    def on_ack(self, packet: Packet, now: float) -> None:
+        """Deliver an ACK packet to this sender (host handler plumbing)."""
+        if packet.tcp is None or not packet.tcp.flags & TcpFlags.ACK:
+            return
+        ack = packet.tcp.ack
+        if ack <= self._acked_to:
+            return
+        newly_acked = [seq for seq in self._in_flight if seq + self._in_flight[seq].size <= ack]
+        for seq in newly_acked:
+            segment = self._in_flight.pop(seq)
+            # Karn's algorithm: never sample RTT from retransmitted segments.
+            if segment.retransmissions == 0:
+                self.rto.on_measurement(now - segment.first_sent)
+        self._acked_to = ack
+        self._restart_timer()
+        if self._send_complete():
+            self._finish()
+        else:
+            self._fill_window()
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._in_flight)
+
+    # -- internals ----------------------------------------------------------
+
+    def _send_complete(self) -> bool:
+        return (
+            self.total_bytes is not None
+            and self._acked_to >= self.total_bytes
+        )
+
+    def _finish(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.completed_at = self.loop.now
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        fin = self._make_packet(self._next_seq, 0, TcpFlags.FIN | TcpFlags.ACK)
+        self.network.send(fin, from_node=self.node)
+        if self.on_done is not None:
+            self.on_done(self)
+
+    def _fill_window(self) -> None:
+        if self._finished:
+            return
+        while len(self._in_flight) < self.window_segments:
+            if self.total_bytes is not None and self._next_seq >= self.total_bytes:
+                break
+            size = self.MSS
+            if self.total_bytes is not None:
+                size = min(size, self.total_bytes - self._next_seq)
+            self._send_segment(self._next_seq, size, retransmission=False)
+            self._next_seq += size
+        self._restart_timer()
+
+    def _send_segment(self, seq: int, size: int, retransmission: bool) -> None:
+        now = self.loop.now
+        if seq in self._in_flight:
+            state = self._in_flight[seq]
+            state.last_sent = now
+            state.retransmissions += 1
+            self.retransmitted_segments += 1
+        else:
+            self._in_flight[seq] = SegmentState(seq, size, now, now)
+        self.sent_segments += 1
+        packet = self._make_packet(seq, size, TcpFlags.ACK, retransmission)
+        self.network.send(packet, from_node=self.node)
+
+    def _make_packet(
+        self, seq: int, size: int, flags: TcpFlags, retransmission: bool = False
+    ) -> Packet:
+        return Packet(
+            src=self.flow.src,
+            dst=self.flow.dst,
+            protocol=Protocol.TCP,
+            src_port=self.flow.src_port,
+            dst_port=self.flow.dst_port,
+            payload_size=size,
+            tcp=TcpHeader(
+                seq=seq,
+                flags=flags,
+                is_retransmission_ground_truth=retransmission,
+            ),
+            created_at=self.loop.now,
+        )
+
+    def _restart_timer(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._in_flight or self._finished:
+            return
+        self._timer = self.loop.schedule_in(
+            self.rto.rto, self._on_timeout, name=f"rto:{self.flow}"
+        )
+
+    def _on_timeout(self) -> None:
+        self._timer = None
+        if self._finished or not self._in_flight:
+            return
+        self.rto.on_timeout()
+        oldest = min(self._in_flight)
+        segment = self._in_flight[oldest]
+        self._send_segment(segment.seq, segment.size, retransmission=True)
+        self._restart_timer()
+
+
+def make_rng_rtts(
+    count: int,
+    median_rtt: float = 0.08,
+    spread: float = 0.5,
+    seed: int = 0,
+) -> List[float]:
+    """Draw a plausible Internet RTT population (lognormal around median).
+
+    Used by the Blink defense to model the legitimate RTT distribution
+    from which RTO timings follow.
+    """
+    if count <= 0:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    import math
+
+    mu = math.log(median_rtt)
+    return [math.exp(rng.gauss(mu, spread)) for _ in range(count)]

@@ -1,0 +1,27 @@
+"""In-network neural inference and adversarial examples (Section 3.2)."""
+
+from repro.innet.adversarial import (
+    EvasionResult,
+    craft_adversarial_bits,
+    evasion_rate,
+)
+from repro.innet.bnn import (
+    BinarizedClassifier,
+    PacketFeaturizer,
+    PacketSample,
+    accuracy,
+    synthetic_traffic,
+    train_binarized,
+)
+
+__all__ = [
+    "BinarizedClassifier",
+    "EvasionResult",
+    "PacketFeaturizer",
+    "PacketSample",
+    "accuracy",
+    "craft_adversarial_bits",
+    "evasion_rate",
+    "synthetic_traffic",
+    "train_binarized",
+]

@@ -1,0 +1,96 @@
+"""Adversarial examples against the in-network classifier.
+
+The in-switch model is public (Kerckhoff) and its inputs are packet
+headers the sender chooses — the adversarial-example setting with a
+*fully* white-box model and attacker-controlled features.  The greedy
+attack below flips, one at a time, the controllable feature bit with
+the largest gradient (for a linear binarised model: the largest
+|weight| among bits currently agreeing with the true class) until the
+classification flips; the number of flips needed is the robustness
+margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.innet.bnn import BinarizedClassifier, PacketFeaturizer, PacketSample
+
+
+@dataclass
+class EvasionResult:
+    """Outcome of one adversarial-example search."""
+
+    original_class: int
+    final_class: int
+    flipped_bits: List[int]
+    succeeded: bool
+
+    @property
+    def perturbation_size(self) -> int:
+        return len(self.flipped_bits)
+
+
+def craft_adversarial_bits(
+    classifier: BinarizedClassifier,
+    bits: Sequence[int],
+    controllable: Sequence[int],
+    max_flips: Optional[int] = None,
+) -> EvasionResult:
+    """Greedy bit-flip evasion on a (public) binarised linear model."""
+    working = list(bits)
+    original = classifier.classify(working)
+    budget = max_flips if max_flips is not None else len(controllable)
+    flipped: List[int] = []
+    # Flip the controllable bit that moves the score fastest toward the
+    # opposite class: the one whose w_i·x_i currently contributes most
+    # to the original class.
+    candidates = sorted(
+        controllable,
+        key=lambda i: -(classifier.weights[i] * working[i] * original),
+    )
+    for index in candidates:
+        if len(flipped) >= budget:
+            break
+        if classifier.weights[index] * working[index] * original <= 0:
+            continue  # flipping would help the classifier
+        working[index] = -working[index]
+        flipped.append(index)
+        if classifier.classify(working) != original:
+            return EvasionResult(original, classifier.classify(working), flipped, True)
+    return EvasionResult(original, classifier.classify(working), flipped, False)
+
+
+def evasion_rate(
+    classifier: BinarizedClassifier,
+    samples: Sequence[PacketSample],
+    featurizer: Optional[PacketFeaturizer] = None,
+    max_flips: int = 4,
+) -> Tuple[float, float]:
+    """(fraction evadable within ``max_flips``, mean flips when evaded).
+
+    Only samples the classifier gets *right* count — evading an already
+    misclassified packet is free.
+    """
+    featurizer = featurizer or PacketFeaturizer()
+    if not samples:
+        raise ConfigurationError("need samples")
+    controllable = featurizer.attacker_controllable_bits()
+    attempted = 0
+    evaded = 0
+    flips: List[int] = []
+    for sample in samples:
+        bits = featurizer.encode(sample)
+        if classifier.classify(bits) != sample.label:
+            continue
+        attempted += 1
+        result = craft_adversarial_bits(classifier, bits, controllable, max_flips)
+        if result.succeeded:
+            evaded += 1
+            flips.append(result.perturbation_size)
+    if attempted == 0:
+        return 0.0, 0.0
+    mean_flips = sum(flips) / len(flips) if flips else 0.0
+    return evaded / attempted, mean_flips

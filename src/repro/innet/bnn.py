@@ -1,0 +1,204 @@
+"""Binary neural networks for in-switch inference (Section 3.2).
+
+"Recently, Siracusano et al. have shown how to run the forward pass of
+a binary neural network in the data plane.  While promising, neural
+networks are vulnerable to adversarial examples, and thus are
+particularly exposed in a setting where anyone can inject inputs over
+the Internet."
+
+This module implements the deployment path such systems use:
+
+* a real-valued linear model is trained offline (simple averaged
+  perceptron — no ML framework needed);
+* weights and inputs are *binarised* to ±1, so the in-switch forward
+  pass is an XNOR + popcount per neuron — the operation programmable
+  switches can afford;
+* packet headers are mapped to the binary feature vector by
+  :class:`PacketFeaturizer`, which records which feature bits an
+  attacker with host privileges can set freely (ports, sizes, flags)
+  and which it cannot (its own source address is assumed fixed here,
+  conservatively favouring the defender).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PacketSample:
+    """A labelled packet for training/evaluating the classifier."""
+
+    dst_port: int
+    payload_size: int
+    inter_arrival_ms: float
+    label: int  # +1 (e.g., video) / -1 (e.g., bulk)
+
+
+class PacketFeaturizer:
+    """Header fields → fixed-width ±1 feature vector.
+
+    Encoding: thermometer-coded buckets per field (robust to small
+    perturbations, and trivially implementable as TCAM ranges).
+    All three fields are attacker-controllable at HOST level — the
+    attacker crafts its own packets — which is exactly why in-network
+    inference on them is exposed.
+    """
+
+    PORT_BUCKETS = (80, 443, 1024, 8080, 30000, 50000)
+    SIZE_BUCKETS = (64, 128, 256, 512, 1024, 1400)
+    IAT_BUCKETS = (0.1, 0.5, 1.0, 5.0, 20.0, 100.0)
+
+    @property
+    def width(self) -> int:
+        return len(self.PORT_BUCKETS) + len(self.SIZE_BUCKETS) + len(self.IAT_BUCKETS)
+
+    def encode(self, sample: PacketSample) -> List[int]:
+        bits: List[int] = []
+        for threshold in self.PORT_BUCKETS:
+            bits.append(1 if sample.dst_port >= threshold else -1)
+        for threshold in self.SIZE_BUCKETS:
+            bits.append(1 if sample.payload_size >= threshold else -1)
+        for threshold in self.IAT_BUCKETS:
+            bits.append(1 if sample.inter_arrival_ms >= threshold else -1)
+        return bits
+
+    def attacker_controllable_bits(self) -> List[int]:
+        """Indices of feature bits a packet-crafting attacker can set."""
+        return list(range(self.width))
+
+
+class BinarizedClassifier:
+    """One-layer binarised classifier with an XNOR-popcount forward pass."""
+
+    def __init__(self, weights: Sequence[int], bias: int = 0):
+        if not weights:
+            raise ConfigurationError("need at least one weight")
+        if any(w not in (-1, 1) for w in weights):
+            raise ConfigurationError("binarised weights must be ±1")
+        self.weights = list(weights)
+        self.bias = bias
+
+    @property
+    def width(self) -> int:
+        return len(self.weights)
+
+    def score(self, bits: Sequence[int]) -> int:
+        """XNOR-popcount score: Σ w_i·x_i + b (integer arithmetic only)."""
+        if len(bits) != self.width:
+            raise ConfigurationError(
+                f"expected {self.width} feature bits, got {len(bits)}"
+            )
+        return sum(w * x for w, x in zip(self.weights, bits)) + self.bias
+
+    def classify(self, bits: Sequence[int]) -> int:
+        return 1 if self.score(bits) >= 0 else -1
+
+    def margin(self, bits: Sequence[int]) -> int:
+        """Signed distance (in bit flips ×2) from the decision boundary."""
+        return self.score(bits)
+
+
+def train_binarized(
+    samples: Sequence[PacketSample],
+    featurizer: Optional[PacketFeaturizer] = None,
+    epochs: int = 30,
+    seed: int = 0,
+) -> BinarizedClassifier:
+    """Binarisation-aware perceptron (straight-through estimator).
+
+    The forward pass uses *binarised* weights — exactly what the switch
+    will execute — while updates accumulate in real-valued shadow
+    weights, the standard BNN training recipe.  The integer bias is
+    swept afterwards to maximise training accuracy of the deployed
+    (binary) model.
+    """
+    if not samples:
+        raise ConfigurationError("need training samples")
+    featurizer = featurizer or PacketFeaturizer()
+    rng = random.Random(seed)
+    width = featurizer.width
+    shadow = [0.0] * width
+    shadow_bias = 0.0
+    encoded = [(featurizer.encode(s), s.label) for s in samples]
+
+    def binarise(values: Sequence[float]) -> List[int]:
+        return [1 if v >= 0 else -1 for v in values]
+
+    for _ in range(epochs):
+        rng.shuffle(encoded)
+        binary = binarise(shadow)
+        for bits, label in encoded:
+            activation = sum(w * x for w, x in zip(binary, bits)) + shadow_bias
+            if label * activation <= 0:
+                for i, x in enumerate(bits):
+                    shadow[i] += label * x
+                shadow_bias += label
+                binary = binarise(shadow)
+
+    binary = binarise(shadow)
+    # Sweep the integer bias of the deployed model.
+    best_bias, best_correct = 0, -1
+    for bias in range(-width, width + 1):
+        deployed = BinarizedClassifier(binary, bias=bias)
+        correct = sum(
+            1 for bits, label in encoded if deployed.classify(bits) == label
+        )
+        if correct > best_correct:
+            best_bias, best_correct = bias, correct
+    return BinarizedClassifier(binary, bias=best_bias)
+
+
+def synthetic_traffic(
+    count: int, seed: int = 0
+) -> List[PacketSample]:
+    """Two-class synthetic workload: streaming video vs bulk transfer.
+
+    Video: large payloads, paced inter-arrivals, media ports.
+    Bulk: full-size payloads back-to-back on high ephemeral ports — the
+    classes overlap enough that the classifier is non-trivial.
+    """
+    if count <= 0:
+        raise ConfigurationError("count must be positive")
+    rng = random.Random(seed)
+    samples: List[PacketSample] = []
+    for i in range(count):
+        if i % 2 == 0:  # video
+            samples.append(
+                PacketSample(
+                    dst_port=rng.choice((443, 443, 8080, 1935)),
+                    payload_size=int(rng.gauss(900, 250)),
+                    inter_arrival_ms=max(0.05, rng.gauss(12.0, 6.0)),
+                    label=1,
+                )
+            )
+        else:  # bulk
+            samples.append(
+                PacketSample(
+                    dst_port=rng.randrange(30000, 60000),
+                    payload_size=int(rng.gauss(1350, 120)),
+                    inter_arrival_ms=max(0.01, rng.gauss(0.4, 0.3)),
+                    label=-1,
+                )
+            )
+    return samples
+
+
+def accuracy(
+    classifier: BinarizedClassifier,
+    samples: Sequence[PacketSample],
+    featurizer: Optional[PacketFeaturizer] = None,
+) -> float:
+    featurizer = featurizer or PacketFeaturizer()
+    if not samples:
+        raise ConfigurationError("need samples")
+    correct = sum(
+        1
+        for s in samples
+        if classifier.classify(featurizer.encode(s)) == s.label
+    )
+    return correct / len(samples)

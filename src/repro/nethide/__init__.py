@@ -1,0 +1,35 @@
+"""NetHide: topology obfuscation — defensive and offensive (Section 4.3)."""
+
+from repro.nethide.metrics import (
+    flow_density,
+    levenshtein,
+    max_flow_density,
+    path_accuracy,
+    path_links,
+    path_utility,
+    topology_accuracy,
+    topology_utility,
+)
+from repro.nethide.obfuscation import (
+    MaliciousTopologyFaker,
+    NetHideObfuscator,
+    VirtualTopology,
+    VirtualTopologyResponder,
+    physical_paths_for,
+)
+
+__all__ = [
+    "MaliciousTopologyFaker",
+    "NetHideObfuscator",
+    "VirtualTopology",
+    "VirtualTopologyResponder",
+    "flow_density",
+    "levenshtein",
+    "max_flow_density",
+    "path_accuracy",
+    "path_links",
+    "path_utility",
+    "physical_paths_for",
+    "topology_accuracy",
+    "topology_utility",
+]

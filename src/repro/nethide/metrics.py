@@ -1,0 +1,110 @@
+"""NetHide's topology-obfuscation quality metrics.
+
+NetHide (Meier et al., USENIX Security'18) scores a candidate virtual
+topology V against the physical topology P by:
+
+* **accuracy** — how similar the virtual path of each (s, t) pair is to
+  the physical one (users should still see "the" path); measured with
+  a Levenshtein-ratio per pair, averaged; and
+* **utility** — how useful V remains for debugging: whether events on
+  physical links remain observable on virtual paths; measured as the
+  per-pair Jaccard overlap of traversed link sets, averaged.
+
+The same metrics also quantify the *offensive* use in the HotNets
+paper (Section 4.3): a malicious operator presenting a decoy topology
+scores very low accuracy — the user's mental map diverges arbitrarily.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+Path = Sequence[str]
+
+
+def levenshtein(a: Sequence, b: Sequence) -> int:
+    """Edit distance between two sequences (classic DP, O(|a||b|))."""
+    if len(a) < len(b):
+        a, b = b, a
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i]
+        for j, item_b in enumerate(b, start=1):
+            insert_cost = current[j - 1] + 1
+            delete_cost = previous[j] + 1
+            substitute_cost = previous[j - 1] + (0 if item_a == item_b else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def path_accuracy(physical: Path, virtual: Path) -> float:
+    """1 − normalized edit distance between the two hop sequences."""
+    if not physical and not virtual:
+        return 1.0
+    distance = levenshtein(list(physical), list(virtual))
+    return 1.0 - distance / max(len(physical), len(virtual))
+
+
+def path_links(path: Path) -> set:
+    """Undirected link set traversed by a path."""
+    return {tuple(sorted(pair)) for pair in zip(path, path[1:])}
+
+
+def path_utility(physical: Path, virtual: Path) -> float:
+    """Jaccard overlap of traversed links (shared-fate preservation)."""
+    p_links = path_links(physical)
+    v_links = path_links(virtual)
+    if not p_links and not v_links:
+        return 1.0
+    union = p_links | v_links
+    if not union:
+        return 1.0
+    return len(p_links & v_links) / len(union)
+
+
+def topology_accuracy(
+    physical_paths: Dict[Tuple[str, str], Path],
+    virtual_paths: Dict[Tuple[str, str], Path],
+) -> float:
+    """Mean per-pair path accuracy over all (s, t) pairs."""
+    return _mean_metric(physical_paths, virtual_paths, path_accuracy)
+
+
+def topology_utility(
+    physical_paths: Dict[Tuple[str, str], Path],
+    virtual_paths: Dict[Tuple[str, str], Path],
+) -> float:
+    """Mean per-pair link-overlap utility over all (s, t) pairs."""
+    return _mean_metric(physical_paths, virtual_paths, path_utility)
+
+
+def _mean_metric(physical_paths, virtual_paths, metric) -> float:
+    if set(physical_paths) != set(virtual_paths):
+        raise ConfigurationError("physical and virtual path sets must cover the same pairs")
+    if not physical_paths:
+        raise ConfigurationError("no paths to score")
+    total = 0.0
+    for pair, physical in physical_paths.items():
+        total += metric(physical, virtual_paths[pair])
+    return total / len(physical_paths)
+
+
+def flow_density(paths: Dict[Tuple[str, str], Path]) -> Dict[tuple, int]:
+    """Per-link count of (s, t) pairs whose path traverses the link.
+
+    NetHide's security metric: an attacker who knows the topology can
+    aim a DDoS at the link with the highest flow density.
+    """
+    density: Dict[tuple, int] = {}
+    for path in paths.values():
+        for link in path_links(path):
+            density[link] = density.get(link, 0) + 1
+    return density
+
+
+def max_flow_density(paths: Dict[Tuple[str, str], Path]) -> int:
+    density = flow_density(paths)
+    return max(density.values()) if density else 0

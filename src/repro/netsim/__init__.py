@@ -1,0 +1,75 @@
+"""Discrete-event network simulator substrate.
+
+Replaces the paper's mininet/P4 testbed: an event loop, packet model,
+topology/link/routing layers and a packet-forwarding :class:`Network`
+with MitM tap points and in-switch dataplane programs.
+"""
+
+from repro.netsim.events import Event, EventLoop
+from repro.netsim.link import (
+    ChainTap,
+    DelayTap,
+    DropTap,
+    Link,
+    LinkTap,
+    RecordTap,
+    TapVerdict,
+)
+from repro.netsim.network import Network
+from repro.netsim.packet import (
+    IcmpHeader,
+    IcmpType,
+    Packet,
+    Protocol,
+    TcpFlags,
+    TcpHeader,
+    flow_key,
+    icmp_time_exceeded,
+    tcp_packet,
+)
+from repro.netsim.routing import Route, RoutingTable, StaticRouter
+from repro.netsim.topology import (
+    LinkProperties,
+    NodeProperties,
+    Topology,
+    dumbbell_topology,
+    line_topology,
+    random_topology,
+    triangle_with_hosts,
+)
+from repro.netsim.trace import Trace, TraceCollector, TraceRecord
+
+__all__ = [
+    "ChainTap",
+    "DelayTap",
+    "DropTap",
+    "Event",
+    "EventLoop",
+    "IcmpHeader",
+    "IcmpType",
+    "Link",
+    "LinkProperties",
+    "LinkTap",
+    "Network",
+    "NodeProperties",
+    "Packet",
+    "Protocol",
+    "RecordTap",
+    "Route",
+    "RoutingTable",
+    "StaticRouter",
+    "TapVerdict",
+    "TcpFlags",
+    "TcpHeader",
+    "Topology",
+    "Trace",
+    "TraceCollector",
+    "TraceRecord",
+    "dumbbell_topology",
+    "flow_key",
+    "icmp_time_exceeded",
+    "line_topology",
+    "random_topology",
+    "tcp_packet",
+    "triangle_with_hosts",
+]

@@ -1,0 +1,187 @@
+"""Packet and header models.
+
+Packets carry the header fields the reproduced systems actually read:
+the IP 5-tuple, TTL, TCP sequence/ack numbers and flags, receive
+window, and an ICMP payload for traceroute.  Fields an attacker can
+rewrite are plain attributes — the threat model's "manipulate packets"
+capability is literally attribute assignment, mediated by the attacker
+objects in :mod:`repro.attacks`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flows.flow import FiveTuple
+
+_packet_ids = itertools.count(1)
+
+
+class Protocol(enum.IntEnum):
+    """IP protocol numbers for the protocols we model."""
+
+    ICMP = 1
+    TCP = 6
+    UDP = 17
+
+
+class TcpFlags(enum.IntFlag):
+    """TCP flag bits (subset used by the simulations)."""
+
+    NONE = 0
+    FIN = 0x01
+    SYN = 0x02
+    RST = 0x04
+    PSH = 0x08
+    ACK = 0x10
+
+
+class IcmpType(enum.IntEnum):
+    """ICMP message types used by traceroute."""
+
+    ECHO_REPLY = 0
+    DEST_UNREACHABLE = 3
+    ECHO_REQUEST = 8
+    TIME_EXCEEDED = 11
+
+
+@dataclass
+class IcmpHeader:
+    """Minimal ICMP header + the bits traceroute needs."""
+
+    icmp_type: IcmpType
+    code: int = 0
+    #: For TIME_EXCEEDED: the original probe this reply answers.
+    original_probe_id: Optional[int] = None
+
+
+@dataclass
+class TcpHeader:
+    """The TCP header fields data-driven systems read.
+
+    Blink reads ``seq`` (to spot retransmissions); DAPPER reads
+    ``window``, ``ack`` and flag timing; PCC-over-TCP-friendly framing
+    is modelled at the flow level instead.
+    """
+
+    seq: int = 0
+    ack: int = 0
+    flags: TcpFlags = TcpFlags.NONE
+    window: int = 65535
+    #: True when the *sender* marked this segment as a retransmission.
+    #: Only simulators may read this ground-truth bit; the systems under
+    #: study must infer retransmissions from ``seq`` like the real ones.
+    is_retransmission_ground_truth: bool = False
+
+
+@dataclass
+class Packet:
+    """One simulated packet.
+
+    ``payload_size`` is the application bytes; ``size`` adds 40 bytes
+    of header, the constant the link model uses for serialisation time.
+    """
+
+    src: str
+    dst: str
+    protocol: Protocol = Protocol.TCP
+    src_port: int = 0
+    dst_port: int = 0
+    ttl: int = 64
+    payload_size: int = 1460
+    tcp: Optional[TcpHeader] = None
+    icmp: Optional[IcmpHeader] = None
+    #: Set by generators; identifies the flow without re-hashing.
+    flow_id: Optional[int] = None
+    #: Ground-truth marker for attack traffic (never read by systems).
+    malicious_ground_truth: bool = False
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    created_at: float = 0.0
+
+    HEADER_BYTES = 40
+
+    @property
+    def size(self) -> int:
+        """Total wire size in bytes."""
+        return self.payload_size + self.HEADER_BYTES
+
+    @property
+    def five_tuple(self) -> "FiveTuple":
+        # Imported lazily: repro.flows depends on repro.netsim for trace
+        # generation, so this module must not import it at load time.
+        from repro.flows.flow import FiveTuple
+
+        return FiveTuple(self.src, self.dst, self.src_port, self.dst_port, int(self.protocol))
+
+    def copy(self, **changes: object) -> "Packet":
+        """Return a modified copy (fresh ``packet_id``).
+
+        This is how MitM attackers "modify" traffic without mutating the
+        original object other components may still reference.
+        """
+        clone = replace(self, **changes)  # type: ignore[arg-type]
+        clone.packet_id = next(_packet_ids)
+        return clone
+
+    def decrement_ttl(self) -> int:
+        """Decrement TTL (router forwarding); returns the new value."""
+        self.ttl -= 1
+        return self.ttl
+
+
+def tcp_packet(
+    src: str,
+    dst: str,
+    src_port: int,
+    dst_port: int,
+    seq: int,
+    payload_size: int = 1460,
+    flags: TcpFlags = TcpFlags.ACK,
+    retransmission: bool = False,
+    flow_id: Optional[int] = None,
+    malicious: bool = False,
+    created_at: float = 0.0,
+) -> Packet:
+    """Convenience constructor for a TCP data segment."""
+    return Packet(
+        src=src,
+        dst=dst,
+        protocol=Protocol.TCP,
+        src_port=src_port,
+        dst_port=dst_port,
+        payload_size=payload_size,
+        tcp=TcpHeader(
+            seq=seq, flags=flags, is_retransmission_ground_truth=retransmission
+        ),
+        flow_id=flow_id,
+        malicious_ground_truth=malicious,
+        created_at=created_at,
+    )
+
+
+def icmp_time_exceeded(
+    router: str, probe: Packet, created_at: float = 0.0
+) -> Packet:
+    """Build the ICMP time-exceeded reply a router sends for ``probe``.
+
+    The source address is the router's own — unauthenticated, which is
+    exactly what Section 4.3 exploits: "it is enough to rewrite the
+    source address of the ICMP replies".
+    """
+    return Packet(
+        src=router,
+        dst=probe.src,
+        protocol=Protocol.ICMP,
+        payload_size=28,
+        icmp=IcmpHeader(IcmpType.TIME_EXCEEDED, original_probe_id=probe.packet_id),
+        created_at=created_at,
+    )
+
+
+def flow_key(packet: Packet) -> Tuple[str, str, int, int, int]:
+    """Return the 5-tuple as a plain tuple (hashable, cheap)."""
+    return (packet.src, packet.dst, packet.src_port, packet.dst_port, int(packet.protocol))

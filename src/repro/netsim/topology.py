@@ -1,0 +1,272 @@
+"""Network topology: nodes, links and their graph.
+
+A :class:`Topology` is a thin, validated wrapper around a
+``networkx.Graph`` whose edges carry :class:`LinkProperties`.  It is the
+shared substrate for routing, traceroute, NetHide's virtual topologies
+and the per-system simulations.  Generators for the standard shapes
+used in the benches (line, fat-tree-ish, Waxman-style random) live here
+too.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass
+class LinkProperties:
+    """Physical characteristics of a link.
+
+    Attributes:
+        bandwidth_bps: capacity in bits/second.
+        delay_s: one-way propagation delay in seconds.
+        loss_rate: independent random loss probability per packet.
+        weight: routing metric (defaults to 1 = hop count).
+    """
+
+    bandwidth_bps: float = 1e9
+    delay_s: float = 0.001
+    loss_rate: float = 0.0
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bps <= 0:
+            raise ConfigurationError(f"bandwidth must be positive: {self.bandwidth_bps}")
+        if self.delay_s < 0:
+            raise ConfigurationError(f"delay must be non-negative: {self.delay_s}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError(f"loss rate must be in [0, 1): {self.loss_rate}")
+        if self.weight <= 0:
+            raise ConfigurationError(f"weight must be positive: {self.weight}")
+
+
+@dataclass
+class NodeProperties:
+    """Role and metadata of a node."""
+
+    role: str = "router"  # "router" | "host"
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+
+class Topology:
+    """An undirected network graph with typed link/node properties."""
+
+    def __init__(self, name: str = "topology"):
+        self.name = name
+        self._graph = nx.Graph()
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: str, role: str = "router", **metadata: object) -> None:
+        if node in self._graph:
+            raise ConfigurationError(f"duplicate node {node!r}")
+        self._graph.add_node(node, props=NodeProperties(role=role, metadata=dict(metadata)))
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        bandwidth_bps: float = 1e9,
+        delay_s: float = 0.001,
+        loss_rate: float = 0.0,
+        weight: float = 1.0,
+    ) -> None:
+        for node in (a, b):
+            if node not in self._graph:
+                raise ConfigurationError(f"unknown node {node!r}; add nodes before links")
+        if a == b:
+            raise ConfigurationError(f"self-loop on {a!r} not allowed")
+        if self._graph.has_edge(a, b):
+            raise ConfigurationError(f"duplicate link {a!r}-{b!r}")
+        self._graph.add_edge(
+            a,
+            b,
+            props=LinkProperties(
+                bandwidth_bps=bandwidth_bps,
+                delay_s=delay_s,
+                loss_rate=loss_rate,
+                weight=weight,
+            ),
+        )
+
+    def remove_link(self, a: str, b: str) -> None:
+        if not self._graph.has_edge(a, b):
+            raise ConfigurationError(f"no link {a!r}-{b!r} to remove")
+        self._graph.remove_edge(a, b)
+
+    # -- queries ------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying networkx graph (treat as read-only)."""
+        return self._graph
+
+    def nodes(self, role: Optional[str] = None) -> List[str]:
+        if role is None:
+            return list(self._graph.nodes)
+        return [
+            n for n, data in self._graph.nodes(data=True) if data["props"].role == role
+        ]
+
+    def links(self) -> List[Tuple[str, str]]:
+        return [tuple(sorted(edge)) for edge in self._graph.edges]
+
+    def has_node(self, node: str) -> bool:
+        return node in self._graph
+
+    def has_link(self, a: str, b: str) -> bool:
+        return self._graph.has_edge(a, b)
+
+    def link_properties(self, a: str, b: str) -> LinkProperties:
+        if not self._graph.has_edge(a, b):
+            raise ConfigurationError(f"no link {a!r}-{b!r}")
+        return self._graph.edges[a, b]["props"]
+
+    def node_properties(self, node: str) -> NodeProperties:
+        if node not in self._graph:
+            raise ConfigurationError(f"no node {node!r}")
+        return self._graph.nodes[node]["props"]
+
+    def neighbors(self, node: str) -> List[str]:
+        return list(self._graph.neighbors(node))
+
+    def degree(self, node: str) -> int:
+        return self._graph.degree[node]
+
+    def is_connected(self) -> bool:
+        return bool(self._graph) and nx.is_connected(self._graph)
+
+    def shortest_path(self, src: str, dst: str) -> List[str]:
+        """Weighted shortest path (by link weight)."""
+        return nx.shortest_path(
+            self._graph, src, dst, weight=lambda a, b, data: data["props"].weight
+        )
+
+    def all_shortest_paths(self, src: str, dst: str) -> List[List[str]]:
+        return list(
+            nx.all_shortest_paths(
+                self._graph, src, dst, weight=lambda a, b, data: data["props"].weight
+            )
+        )
+
+    def path_delay(self, path: Iterable[str]) -> float:
+        """Sum of one-way propagation delays along ``path``."""
+        nodes = list(path)
+        total = 0.0
+        for a, b in zip(nodes, nodes[1:]):
+            total += self.link_properties(a, b).delay_s
+        return total
+
+    def copy(self, name: Optional[str] = None) -> "Topology":
+        clone = Topology(name or f"{self.name}-copy")
+        for node, data in self._graph.nodes(data=True):
+            props: NodeProperties = data["props"]
+            clone.add_node(node, role=props.role, **props.metadata)
+        for a, b, data in self._graph.edges(data=True):
+            lp: LinkProperties = data["props"]
+            clone.add_link(
+                a,
+                b,
+                bandwidth_bps=lp.bandwidth_bps,
+                delay_s=lp.delay_s,
+                loss_rate=lp.loss_rate,
+                weight=lp.weight,
+            )
+        return clone
+
+
+# -- generators -------------------------------------------------------
+
+
+def line_topology(length: int, **link_kwargs: float) -> Topology:
+    """``r0 - r1 - ... - r{length-1}`` — the traceroute workhorse."""
+    if length < 2:
+        raise ConfigurationError("line topology needs at least 2 nodes")
+    topo = Topology(f"line-{length}")
+    for i in range(length):
+        topo.add_node(f"r{i}")
+    for i in range(length - 1):
+        topo.add_link(f"r{i}", f"r{i + 1}", **link_kwargs)
+    return topo
+
+
+def triangle_with_hosts() -> Topology:
+    """Three routers in a triangle, one host behind each.
+
+    The smallest topology on which Blink's "reroute to a different
+    next-hop" decision is meaningful: the prefix behind ``r2`` is
+    reachable from ``r0`` directly or via ``r1``.
+    """
+    topo = Topology("triangle")
+    for i in range(3):
+        topo.add_node(f"r{i}")
+        topo.add_node(f"h{i}", role="host")
+        topo.add_link(f"r{i}", f"h{i}", delay_s=0.0005)
+    topo.add_link("r0", "r1", delay_s=0.002)
+    topo.add_link("r1", "r2", delay_s=0.002)
+    topo.add_link("r0", "r2", delay_s=0.001)
+    return topo
+
+
+def random_topology(
+    nodes: int,
+    edge_probability: float = 0.25,
+    seed: Optional[int] = None,
+    **link_kwargs: float,
+) -> Topology:
+    """Connected Erdős–Rényi-style random topology.
+
+    Used by the NetHide benches, which need many medium-sized
+    topologies.  Connectivity is guaranteed by first building a random
+    spanning tree, then sprinkling extra edges.
+    """
+    if nodes < 2:
+        raise ConfigurationError("random topology needs at least 2 nodes")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError("edge_probability must be in [0, 1]")
+    rng = random.Random(seed)
+    topo = Topology(f"random-{nodes}")
+    names = [f"r{i}" for i in range(nodes)]
+    for name in names:
+        topo.add_node(name)
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    for i in range(1, nodes):
+        attach_to = shuffled[rng.randrange(i)]
+        topo.add_link(shuffled[i], attach_to, **link_kwargs)
+    for i in range(nodes):
+        for j in range(i + 1, nodes):
+            if not topo.has_link(names[i], names[j]) and rng.random() < edge_probability:
+                topo.add_link(names[i], names[j], **link_kwargs)
+    return topo
+
+
+def dumbbell_topology(
+    hosts_per_side: int,
+    bottleneck_bps: float = 10e6,
+    bottleneck_delay_s: float = 0.02,
+    edge_bps: float = 1e9,
+) -> Topology:
+    """Classic dumbbell: N senders, bottleneck link, N receivers.
+
+    The PCC experiments run on this shape — senders share a bottleneck
+    whose loss/throughput feed PCC's utility function.
+    """
+    if hosts_per_side < 1:
+        raise ConfigurationError("need at least one host per side")
+    topo = Topology(f"dumbbell-{hosts_per_side}")
+    topo.add_node("rl")
+    topo.add_node("rr")
+    topo.add_link("rl", "rr", bandwidth_bps=bottleneck_bps, delay_s=bottleneck_delay_s)
+    for i in range(hosts_per_side):
+        topo.add_node(f"s{i}", role="host")
+        topo.add_node(f"d{i}", role="host")
+        topo.add_link(f"s{i}", "rl", bandwidth_bps=edge_bps, delay_s=0.001)
+        topo.add_link(f"d{i}", "rr", bandwidth_bps=edge_bps, delay_s=0.001)
+    return topo

@@ -1,0 +1,165 @@
+"""Trace records: a pcap-lite for simulated traffic.
+
+A :class:`TraceRecord` is one observed packet with its observation time
+and point; a :class:`Trace` is an append-only sequence with the handful
+of query helpers the analyses need (per-flow grouping, time slicing,
+inter-arrival statistics).  The CAIDA-substitute generator in
+:mod:`repro.flows.caida` produces these, and Blink's offline analysis
+consumes them — mirroring how the paper computed tR from CAIDA traces.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.netsim.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flows.flow import FiveTuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One packet observation."""
+
+    time: float
+    flow: FiveTuple
+    size: int
+    observation_point: str = ""
+    is_retransmission: bool = False
+    is_fin_or_rst: bool = False
+    malicious_ground_truth: bool = False
+
+    @classmethod
+    def from_packet(
+        cls, time: float, packet: Packet, observation_point: str = ""
+    ) -> "TraceRecord":
+        retrans = bool(packet.tcp and packet.tcp.is_retransmission_ground_truth)
+        fin_rst = bool(packet.tcp and (packet.tcp.flags & 0x01 or packet.tcp.flags & 0x04))
+        return cls(
+            time=time,
+            flow=packet.five_tuple,
+            size=packet.size,
+            observation_point=observation_point,
+            is_retransmission=retrans,
+            is_fin_or_rst=fin_rst,
+            malicious_ground_truth=packet.malicious_ground_truth,
+        )
+
+
+class Trace:
+    """Time-ordered sequence of :class:`TraceRecord`.
+
+    Records must be appended in non-decreasing time order (generators
+    guarantee this; merging multiple traces uses :meth:`merge`).
+    """
+
+    def __init__(self, name: str = "trace"):
+        self.name = name
+        self._records: List[TraceRecord] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def __getitem__(self, index: int) -> TraceRecord:
+        return self._records[index]
+
+    def append(self, record: TraceRecord) -> None:
+        if self._records and record.time < self._records[-1].time:
+            raise ValueError(
+                f"trace {self.name!r} requires non-decreasing times: "
+                f"{record.time} < {self._records[-1].time}"
+            )
+        self._records.append(record)
+
+    def extend(self, records: Iterable[TraceRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    @classmethod
+    def merge(cls, traces: Iterable["Trace"], name: str = "merged") -> "Trace":
+        """Merge several traces into one time-ordered trace."""
+        merged = cls(name)
+        all_records: List[TraceRecord] = []
+        for trace in traces:
+            all_records.extend(trace._records)
+        all_records.sort(key=lambda r: r.time)
+        merged._records = all_records
+        return merged
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        if not self._records:
+            return 0.0
+        return self._records[-1].time - self._records[0].time
+
+    @property
+    def start_time(self) -> float:
+        return self._records[0].time if self._records else 0.0
+
+    @property
+    def end_time(self) -> float:
+        return self._records[-1].time if self._records else 0.0
+
+    def flows(self) -> Dict[FiveTuple, List[TraceRecord]]:
+        grouped: Dict[FiveTuple, List[TraceRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.flow, []).append(record)
+        return grouped
+
+    def flow_count(self) -> int:
+        return len({record.flow for record in self._records})
+
+    def slice(self, start: float, end: float) -> "Trace":
+        """Records with ``start <= time < end`` as a new trace."""
+        times = [r.time for r in self._records]
+        lo = bisect_left(times, start)
+        hi = bisect_left(times, end)
+        sliced = Trace(f"{self.name}[{start},{end})")
+        sliced._records = self._records[lo:hi]
+        return sliced
+
+    def flow_activity_spans(self) -> Dict[FiveTuple, Tuple[float, float]]:
+        """First/last observation time per flow."""
+        spans: Dict[FiveTuple, Tuple[float, float]] = {}
+        for record in self._records:
+            if record.flow in spans:
+                first, _ = spans[record.flow]
+                spans[record.flow] = (first, record.time)
+            else:
+                spans[record.flow] = (record.time, record.time)
+        return spans
+
+    def inter_arrival_gaps(self, flow: FiveTuple) -> List[float]:
+        times = [r.time for r in self._records if r.flow == flow]
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def malicious_fraction(self) -> float:
+        """Ground-truth fraction of records that are attack traffic."""
+        if not self._records:
+            return 0.0
+        bad = sum(1 for r in self._records if r.malicious_ground_truth)
+        return bad / len(self._records)
+
+
+class TraceCollector:
+    """Dataplane program / host handler that records packets to a trace."""
+
+    def __init__(self, name: str = "collector"):
+        self.trace = Trace(name)
+
+    def process(self, packet: Packet, now: float, node: str) -> Optional[str]:
+        self.trace.append(TraceRecord.from_packet(now, packet, observation_point=node))
+        return None
+
+    def __call__(self, packet: Packet, now: float) -> None:
+        self.trace.append(TraceRecord.from_packet(now, packet))

@@ -1,0 +1,47 @@
+"""PCC (Performance-oriented Congestion Control) reimplementation.
+
+PCC Allegro replaces TCP's hardwired reactions with per-monitor-
+interval A/B rate experiments scored by a loss/throughput utility.
+This package provides the utility functions, the rate-control state
+machine and a fluid bottleneck simulation with the MitM tamper hook
+exploited in Section 4.2 of the HotNets paper.
+"""
+
+from repro.pcc.controller import (
+    EPSILON_MAX,
+    EPSILON_MIN,
+    ControlState,
+    MonitorResult,
+    PccAllegroController,
+    RctPlan,
+)
+from repro.pcc.simulator import MiRecord, MiTamper, PathModel, PccSimulation
+from repro.pcc.utility import (
+    ALPHA,
+    LOSS_THRESHOLD,
+    allegro_utility,
+    invert_utility,
+    loss_for_target_utility,
+    sigmoid,
+    vivace_utility,
+)
+
+__all__ = [
+    "ALPHA",
+    "ControlState",
+    "EPSILON_MAX",
+    "EPSILON_MIN",
+    "LOSS_THRESHOLD",
+    "MiRecord",
+    "MiTamper",
+    "MonitorResult",
+    "PathModel",
+    "PccAllegroController",
+    "PccSimulation",
+    "RctPlan",
+    "allegro_utility",
+    "invert_utility",
+    "loss_for_target_utility",
+    "sigmoid",
+    "vivace_utility",
+]

@@ -1,0 +1,237 @@
+"""PCC Allegro's rate-control state machine.
+
+Reconstructed from the NSDI'15 paper, at monitor-interval (MI)
+granularity:
+
+* **Starting state** — double the rate every MI while utility keeps
+  increasing; on the first decrease, fall back to the previous rate and
+  enter decision making (like TCP slow start, but utility-gated).
+* **Decision-making state** — run four consecutive MIs: two at rate
+  r(1+ε) and two at r(1−ε) in randomised order (A/B/A/B experiment).
+  If *both* higher-rate MIs beat *both* lower-rate MIs, move to
+  r(1+ε); in the mirror case move to r(1−ε); otherwise stay at r and
+  escalate ε by ε_min — capped at ε_max = 5 %.  The cap is the lever
+  of the HotNets attack: an attacker who equalises observed utilities
+  keeps PCC in this state with ε pinned at 5 %, so the actual sending
+  rate oscillates ±5 % forever ("the attacker can cause PCC flows to
+  fluctuate by ±5 %, without allowing them to converge").
+* **Rate-adjusting state** — after a decision, keep moving in the
+  chosen direction with growing step n·ε_min·r while utility increases;
+  on decrease, revert to the last good rate and re-enter decision
+  making.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from typing import Callable
+
+from repro.core.errors import ConfigurationError
+from repro.pcc.utility import allegro_utility
+
+#: A per-MI utility function: (rate, loss) -> utility.
+UtilityFn = Callable[[float, float], float]
+
+EPSILON_MIN = 0.01
+EPSILON_MAX = 0.05
+
+
+class ControlState(enum.Enum):
+    STARTING = "starting"
+    DECISION = "decision-making"
+    ADJUSTING = "rate-adjusting"
+
+
+@dataclass
+class MonitorResult:
+    """Feedback for one monitor interval."""
+
+    rate: float
+    loss: float
+    utility: float
+    state: ControlState
+    mi_index: int
+    experiment_direction: int = 0  # +1 / -1 during decision MIs, else 0
+    epsilon: float = 0.0  # ε of the RCT this MI belongs to (decision state)
+
+
+@dataclass
+class RctPlan:
+    """One randomised 4-MI decision experiment."""
+
+    base_rate: float
+    epsilon: float
+    directions: Tuple[int, int, int, int]  # permutation of (+1,+1,-1,-1)
+    results: List[MonitorResult] = field(default_factory=list)
+
+    def rate_for(self, step: int) -> float:
+        return self.base_rate * (1.0 + self.directions[step] * self.epsilon)
+
+
+class PccAllegroController:
+    """The per-flow controller; drive it MI by MI.
+
+    Protocol: call :meth:`next_rate` to get the rate to send at for the
+    upcoming MI, transmit, then call :meth:`complete_mi` with the
+    observed loss.  The controller is deterministic given its RNG seed
+    (the RCT ordering is the only randomness).
+    """
+
+    def __init__(
+        self,
+        initial_rate: float = 2.0,
+        epsilon_min: float = EPSILON_MIN,
+        epsilon_max: float = EPSILON_MAX,
+        min_rate: float = 0.05,
+        max_rate: float = 10_000.0,
+        seed: int = 0,
+        utility_fn: Optional[UtilityFn] = None,
+    ):
+        if initial_rate <= 0:
+            raise ConfigurationError("initial rate must be positive")
+        if not 0 < epsilon_min <= epsilon_max < 1:
+            raise ConfigurationError("need 0 < epsilon_min <= epsilon_max < 1")
+        self.state = ControlState.STARTING
+        self.rate = initial_rate
+        # Pluggable utility: defaults to Allegro's; passing a Vivace-
+        # style function shows the oscillation attack is not
+        # Allegro-specific (the control loop is what gets exploited).
+        self.utility_fn: UtilityFn = utility_fn or allegro_utility
+        self.epsilon_min = epsilon_min
+        self.epsilon_max = epsilon_max
+        self.epsilon = epsilon_min
+        self.min_rate = min_rate
+        self.max_rate = max_rate
+        self._rng = random.Random(seed)
+
+        self._mi_index = 0
+        self._last_utility: Optional[float] = None
+        self._previous_rate = initial_rate
+        self._rct: Optional[RctPlan] = None
+        self._rct_step = 0
+        self._adjust_direction = 0
+        self._adjust_steps = 0
+        self._adjust_last_utility: Optional[float] = None
+        self.history: List[MonitorResult] = []
+
+    # -- MI protocol ---------------------------------------------------------
+
+    def next_rate(self) -> float:
+        """Rate to use for the upcoming monitor interval."""
+        if self.state == ControlState.DECISION:
+            if self._rct is None:
+                self._rct = self._new_rct()
+                self._rct_step = 0
+            return self._clamp(self._rct.rate_for(self._rct_step))
+        return self._clamp(self.rate)
+
+    def complete_mi(self, loss: float) -> MonitorResult:
+        """Report the loss observed during the MI just finished."""
+        rate = self.next_rate()
+        utility = self.utility_fn(rate, loss)
+        direction = 0
+        epsilon = 0.0
+        if self.state == ControlState.DECISION and self._rct is not None:
+            direction = self._rct.directions[self._rct_step]
+            epsilon = self._rct.epsilon
+        result = MonitorResult(
+            rate=rate,
+            loss=loss,
+            utility=utility,
+            state=self.state,
+            mi_index=self._mi_index,
+            experiment_direction=direction,
+            epsilon=epsilon,
+        )
+        self.history.append(result)
+        self._mi_index += 1
+
+        if self.state == ControlState.STARTING:
+            self._starting_step(result)
+        elif self.state == ControlState.DECISION:
+            self._decision_step(result)
+        else:
+            self._adjusting_step(result)
+        return result
+
+    # -- state transitions -----------------------------------------------------
+
+    def _starting_step(self, result: MonitorResult) -> None:
+        if self._last_utility is None or result.utility > self._last_utility:
+            self._last_utility = result.utility
+            self._previous_rate = self.rate
+            self.rate = self._clamp(self.rate * 2.0)
+        else:
+            # Utility dropped: revert to the previous (good) rate.
+            self.rate = self._previous_rate
+            self._enter_decision()
+
+    def _decision_step(self, result: MonitorResult) -> None:
+        assert self._rct is not None
+        self._rct.results.append(result)
+        self._rct_step += 1
+        if self._rct_step < 4:
+            return
+        ups = [r.utility for r in self._rct.results if r.experiment_direction > 0]
+        downs = [r.utility for r in self._rct.results if r.experiment_direction < 0]
+        if min(ups) > max(downs):
+            self._commit_decision(+1)
+        elif max(ups) < min(downs):
+            self._commit_decision(-1)
+        else:
+            # Inconsistent experiment: stay, escalate epsilon.
+            self.epsilon = min(self.epsilon + self.epsilon_min, self.epsilon_max)
+            self._rct = None
+            self._rct_step = 0
+
+    def _commit_decision(self, direction: int) -> None:
+        assert self._rct is not None
+        self.rate = self._clamp(self._rct.base_rate * (1.0 + direction * self._rct.epsilon))
+        self._adjust_direction = direction
+        self._adjust_steps = 1
+        self._adjust_last_utility = None
+        self._rct = None
+        self._rct_step = 0
+        self.state = ControlState.ADJUSTING
+
+    def _adjusting_step(self, result: MonitorResult) -> None:
+        if self._adjust_last_utility is None or result.utility > self._adjust_last_utility:
+            self._adjust_last_utility = result.utility
+            self._previous_rate = self.rate
+            self._adjust_steps += 1
+            step = self._adjust_steps * self.epsilon_min * self.rate
+            self.rate = self._clamp(self.rate + self._adjust_direction * step)
+        else:
+            self.rate = self._previous_rate
+            self._enter_decision()
+
+    def _enter_decision(self) -> None:
+        self.state = ControlState.DECISION
+        self.epsilon = self.epsilon_min
+        self._rct = None
+        self._rct_step = 0
+
+    def _new_rct(self) -> RctPlan:
+        directions = [+1, +1, -1, -1]
+        self._rng.shuffle(directions)
+        return RctPlan(
+            base_rate=self.rate,
+            epsilon=self.epsilon,
+            directions=tuple(directions),
+        )
+
+    def _clamp(self, rate: float) -> float:
+        return max(self.min_rate, min(self.max_rate, rate))
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def mi_count(self) -> int:
+        return self._mi_index
+
+    def recent_rates(self, count: int) -> List[float]:
+        return [r.rate for r in self.history[-count:]]

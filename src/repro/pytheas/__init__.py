@@ -1,0 +1,46 @@
+"""Pytheas reimplementation: group-based E2 QoE optimisation.
+
+Pytheas (Jiang et al., NSDI'17) optimises Quality of Experience by
+running an exploration–exploitation process per client group, driven by
+client-submitted QoE reports.  Section 4.1 of the HotNets paper shows
+those unauthenticated reports let a small set of lying clients steer
+decisions for a whole group; this package provides the system plus the
+simulation harness the attack and defense benches run on.
+"""
+
+from repro.pytheas.controller import GroupState, PytheasController, ReportFilter
+from repro.pytheas.e2 import ArmStats, DiscountedUcb, EpsilonGreedy
+from repro.pytheas.qoe import QOE_MAX, CdnSite, QoEModel
+from repro.pytheas.session import GroupTable, QoEReport, Session, SessionFeatures
+from repro.pytheas.simulator import (
+    GroupPopulation,
+    HonestReporter,
+    PytheasSimulation,
+    ReportStrategy,
+    RoundStats,
+    TargetedLiar,
+    Throttler,
+)
+
+__all__ = [
+    "ArmStats",
+    "CdnSite",
+    "DiscountedUcb",
+    "EpsilonGreedy",
+    "GroupPopulation",
+    "GroupState",
+    "GroupTable",
+    "HonestReporter",
+    "PytheasController",
+    "PytheasSimulation",
+    "QOE_MAX",
+    "QoEModel",
+    "QoEReport",
+    "ReportFilter",
+    "ReportStrategy",
+    "RoundStats",
+    "Session",
+    "SessionFeatures",
+    "TargetedLiar",
+    "Throttler",
+]

@@ -1,0 +1,119 @@
+"""Quality-of-Experience models for the Pytheas simulations.
+
+Pytheas (Jiang et al., NSDI'17) optimises QoE (e.g. video join time /
+rebuffering) by choosing, per session, a decision such as which CDN to
+stream from.  We model the *ground truth* QoE of a decision as a
+capacity-aware noisy score: each CDN has a base quality and a capacity;
+quality degrades as concurrent sessions exceed capacity.  This is the
+minimal model that supports both HotNets attacks: report poisoning
+(Section 4.1, which never touches true QoE) and CDN-imbalance (where
+herding a group onto one CDN genuinely overloads it).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+
+#: QoE scores live on a 0–100 scale (100 = perfect).
+QOE_MAX = 100.0
+
+
+@dataclass
+class CdnSite:
+    """One decision target (a CDN site / server group).
+
+    Attributes:
+        name: decision identifier.
+        base_qoe: mean QoE when unloaded, in [0, 100].
+        capacity: concurrent sessions the site serves at full quality.
+        overload_penalty: QoE points lost per unit of relative
+            overload (load/capacity − 1).
+        noise_std: per-session QoE noise.
+    """
+
+    name: str
+    base_qoe: float = 80.0
+    capacity: int = 1000
+    overload_penalty: float = 60.0
+    noise_std: float = 5.0
+    current_load: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.base_qoe <= QOE_MAX:
+            raise ConfigurationError(f"base_qoe out of range: {self.base_qoe}")
+        if self.capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+
+    def quality_at_load(self, load: int) -> float:
+        """Mean QoE with ``load`` concurrent sessions."""
+        if load <= self.capacity:
+            return self.base_qoe
+        overload = load / self.capacity - 1.0
+        return max(0.0, self.base_qoe - self.overload_penalty * overload)
+
+    def sample_qoe(self, rng: random.Random, load: Optional[int] = None) -> float:
+        """Draw one session's true QoE at the given (or current) load."""
+        effective_load = self.current_load if load is None else load
+        mean = self.quality_at_load(effective_load)
+        return min(QOE_MAX, max(0.0, rng.gauss(mean, self.noise_std)))
+
+
+class QoEModel:
+    """Ground-truth QoE for (group, decision) pairs.
+
+    Different groups may see different per-CDN quality (a CDN close to
+    one ISP is far from another); ``set_group_bias`` configures that.
+    """
+
+    def __init__(self, sites: List[CdnSite], seed: int = 0):
+        if not sites:
+            raise ConfigurationError("need at least one CDN site")
+        names = [s.name for s in sites]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate CDN site names")
+        self.sites: Dict[str, CdnSite] = {s.name: s for s in sites}
+        self._group_bias: Dict[tuple, float] = {}
+        self._rng = random.Random(seed)
+
+    def set_group_bias(self, group_id: str, site: str, bias: float) -> None:
+        """Additive QoE bias for sessions of ``group_id`` using ``site``."""
+        if site not in self.sites:
+            raise ConfigurationError(f"unknown site {site!r}")
+        self._group_bias[(group_id, site)] = bias
+
+    def decision_names(self) -> List[str]:
+        return list(self.sites)
+
+    def begin_round(self, assignments: Dict[str, int]) -> None:
+        """Set per-site load for the upcoming round.
+
+        ``assignments`` maps site name to the number of sessions
+        assigned this round — this is where the herding feedback loop
+        (E6) closes.
+        """
+        for site in self.sites.values():
+            site.current_load = assignments.get(site.name, 0)
+
+    def true_qoe(self, group_id: str, site_name: str) -> float:
+        """Sample one session's ground-truth QoE."""
+        if site_name not in self.sites:
+            raise ConfigurationError(f"unknown site {site_name!r}")
+        site = self.sites[site_name]
+        qoe = site.sample_qoe(self._rng)
+        qoe += self._group_bias.get((group_id, site_name), 0.0)
+        return min(QOE_MAX, max(0.0, qoe))
+
+    def best_decision(self, group_id: str, at_load: Optional[Dict[str, int]] = None) -> str:
+        """The decision with the highest mean QoE for the group."""
+        best_name, best_q = None, -1.0
+        for name, site in self.sites.items():
+            load = (at_load or {}).get(name, 0)
+            q = site.quality_at_load(load) + self._group_bias.get((group_id, name), 0.0)
+            if q > best_q:
+                best_name, best_q = name, q
+        assert best_name is not None
+        return best_name

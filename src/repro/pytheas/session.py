@@ -1,0 +1,98 @@
+"""Pytheas sessions and grouping.
+
+"The driving signals are QoE measurements reported by individual
+clients, which are grouped by their session similarity (e.g., hosts in
+the same ISP or location).  The E2 algorithms run on group
+granularity."  (Section 4.1.)
+
+Grouping is by feature tuple; the default key is (ASN, location) —
+"group membership will not be hard to ascertain even for external
+parties, as it is typically based on features like autonomous system,
+IP prefix and location", which is what makes the poisoning attack
+practical.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+_session_ids = itertools.count(1)
+
+
+@dataclass
+class SessionFeatures:
+    """The client-side features Pytheas groups on."""
+
+    asn: int
+    location: str
+    content_type: str = "video"
+    device: str = "desktop"
+
+    def key(self, granularity: Sequence[str] = ("asn", "location")) -> Tuple:
+        """Grouping key at the requested granularity."""
+        values = []
+        for feature in granularity:
+            if not hasattr(self, feature):
+                raise ConfigurationError(f"unknown grouping feature {feature!r}")
+            values.append(getattr(self, feature))
+        return tuple(values)
+
+
+@dataclass
+class Session:
+    """One client session."""
+
+    features: SessionFeatures
+    malicious_ground_truth: bool = False
+    session_id: int = field(default_factory=lambda: next(_session_ids))
+    group_id: Optional[str] = None
+    decision: Optional[str] = None
+    true_qoe: Optional[float] = None
+    reported_qoe: Optional[float] = None
+
+
+@dataclass
+class QoEReport:
+    """A (possibly manipulated) QoE measurement sent to the controller.
+
+    Reports are data-plane signals: nothing authenticates that
+    ``value`` matches the session's real experience.
+    """
+
+    session_id: int
+    group_id: str
+    decision: str
+    value: float
+    time: float = 0.0
+
+
+class GroupTable:
+    """Maps sessions to groups at a configurable granularity.
+
+    Coarser granularity (fewer features) means bigger groups — and, as
+    the poisoning bench shows, a bigger blast radius per attacker
+    report.
+    """
+
+    def __init__(self, granularity: Sequence[str] = ("asn", "location")):
+        if not granularity:
+            raise ConfigurationError("granularity needs at least one feature")
+        self.granularity = tuple(granularity)
+        self._groups: Dict[Tuple, str] = {}
+
+    def assign(self, session: Session) -> str:
+        key = session.features.key(self.granularity)
+        if key not in self._groups:
+            self._groups[key] = "g:" + ",".join(str(v) for v in key)
+        session.group_id = self._groups[key]
+        return session.group_id
+
+    def group_ids(self) -> List[str]:
+        return list(self._groups.values())
+
+    def __len__(self) -> int:
+        return len(self._groups)

@@ -1,0 +1,10 @@
+"""RON: resilient overlay networks + probe manipulation (Section 3.2)."""
+
+from repro.ron.overlay import (
+    PathMetrics,
+    ProbeInterceptor,
+    RonOverlay,
+    UnderlayModel,
+)
+
+__all__ = ["PathMetrics", "ProbeInterceptor", "RonOverlay", "UnderlayModel"]

@@ -1,0 +1,142 @@
+"""RON: resilient overlay networks and their probe-driven rerouting.
+
+RON (Andersen et al., SOSP'01) nodes continuously probe each other and
+reroute application traffic through an intermediate overlay node when
+the direct Internet path underperforms.
+
+"An attacker in the path between two nodes could drop or delay RON's
+probes, so as to divert traffic to another next-hop."  (Section 3.2.)
+The probe tables trust the measurements; a MitM on the direct path who
+drops a few probes makes RON prefer a detour of the attacker's
+choosing — e.g. one through a link the attacker eavesdrops.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+
+Edge = Tuple[str, str]
+
+#: Probe interceptor: receives (src, dst, true_latency) and returns the
+#: observed latency or None when the probe is dropped.
+ProbeInterceptor = Callable[[str, str, float], Optional[float]]
+
+
+@dataclass
+class PathMetrics:
+    """Smoothed per-virtual-link measurements."""
+
+    latency: float = 0.0
+    loss: float = 0.0
+    samples: int = 0
+
+    def update(self, latency: Optional[float], alpha: float = 0.3) -> None:
+        """EWMA update; a dropped probe (None) counts as a loss."""
+        self.samples += 1
+        if latency is None:
+            self.loss = (1 - alpha) * self.loss + alpha * 1.0
+        else:
+            self.loss = (1 - alpha) * self.loss
+            if self.latency == 0.0:
+                self.latency = latency
+            else:
+                self.latency = (1 - alpha) * self.latency + alpha * latency
+
+
+@dataclass
+class UnderlayModel:
+    """Ground-truth latency/loss of the direct paths between nodes."""
+
+    latencies: Dict[Edge, float]
+    loss_rates: Dict[Edge, float] = field(default_factory=dict)
+
+    def latency(self, a: str, b: str) -> float:
+        key = (a, b) if (a, b) in self.latencies else (b, a)
+        if key not in self.latencies:
+            raise ConfigurationError(f"no underlay path {a!r}<->{b!r}")
+        return self.latencies[key]
+
+    def loss(self, a: str, b: str) -> float:
+        key = (a, b) if (a, b) in self.loss_rates else (b, a)
+        return self.loss_rates.get(key, 0.0)
+
+
+class RonOverlay:
+    """A fully meshed RON overlay over an underlay model."""
+
+    def __init__(
+        self,
+        nodes: List[str],
+        underlay: UnderlayModel,
+        probe_interval: float = 1.0,
+        loss_penalty: float = 1.0,
+        seed: int = 0,
+    ):
+        if len(nodes) < 2:
+            raise ConfigurationError("overlay needs at least two nodes")
+        self.nodes = list(nodes)
+        self.underlay = underlay
+        self.probe_interval = probe_interval
+        self.loss_penalty = loss_penalty
+        self._rng = random.Random(seed)
+        self.metrics: Dict[Edge, PathMetrics] = {}
+        self.interceptors: Dict[Edge, ProbeInterceptor] = {}
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1 :]:
+                self.metrics[(a, b)] = PathMetrics()
+
+    def _edge(self, a: str, b: str) -> Edge:
+        return (a, b) if (a, b) in self.metrics else (b, a)
+
+    def install_interceptor(self, a: str, b: str, interceptor: ProbeInterceptor) -> None:
+        """Place a MitM on the virtual link (both directions)."""
+        self.interceptors[self._edge(a, b)] = interceptor
+
+    # -- probing -----------------------------------------------------------------
+
+    def probe_round(self) -> None:
+        """Every node probes every other node once."""
+        for (a, b), metrics in self.metrics.items():
+            true_latency = self.underlay.latency(a, b)
+            observed: Optional[float] = true_latency
+            if self._rng.random() < self.underlay.loss(a, b):
+                observed = None
+            interceptor = self.interceptors.get((a, b))
+            if interceptor is not None and observed is not None:
+                observed = interceptor(a, b, observed)
+            metrics.update(observed)
+
+    def run_probes(self, rounds: int) -> None:
+        if rounds <= 0:
+            raise ConfigurationError("rounds must be positive")
+        for _ in range(rounds):
+            self.probe_round()
+
+    # -- routing --------------------------------------------------------------------
+
+    def virtual_cost(self, a: str, b: str) -> float:
+        metrics = self.metrics[self._edge(a, b)]
+        if metrics.samples == 0:
+            return float("inf")
+        return metrics.latency + self.loss_penalty * metrics.loss
+
+    def best_route(self, src: str, dst: str) -> List[str]:
+        """Direct path vs one-intermediate detours (RON's design point)."""
+        best_path = [src, dst]
+        best_cost = self.virtual_cost(src, dst)
+        for via in self.nodes:
+            if via in (src, dst):
+                continue
+            cost = self.virtual_cost(src, via) + self.virtual_cost(via, dst)
+            if cost < best_cost:
+                best_cost = cost
+                best_path = [src, via, dst]
+        return best_path
+
+    def true_path_latency(self, path: List[str]) -> float:
+        """Ground-truth end-to-end latency of an overlay path."""
+        return sum(self.underlay.latency(a, b) for a, b in zip(path, path[1:]))

@@ -1,0 +1,9 @@
+"""SilkRoad-style stateful load balancing + state exhaustion (Section 3.2)."""
+
+from repro.silkroad.conntable import (
+    ConnTableLoadBalancer,
+    InsertOutcome,
+    LoadBalancerStats,
+)
+
+__all__ = ["ConnTableLoadBalancer", "InsertOutcome", "LoadBalancerStats"]

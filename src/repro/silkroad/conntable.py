@@ -1,0 +1,141 @@
+"""Stateful load balancing with switch-sized connection tables.
+
+"Some existing data-plane applications also use a number of states
+that scale according to the traffic (e.g., SilkRoad maintains
+per-connection state).  As programmable switches have limited memory,
+these applications are more vulnerable to DDoS attacks than their
+software-based counterparts."  (Section 3.2.)
+
+SilkRoad (SIGCOMM'17) pins each connection to a backend (per-connection
+consistency, "PCC" in their terms) in switch SRAM.  We model the part
+the DDoS claim touches: a fixed-capacity connection table.  New
+connections claim an entry; when the table is full the switch must
+either reject the connection or fall back to stateless hashing — which
+breaks established connections whenever the backend pool changes.  The
+attack fills the table with spoofed SYNs (HOST privilege) and the bench
+measures what happens to legitimate connections during a backend
+update.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import FiveTuple
+
+
+class InsertOutcome(enum.Enum):
+    INSERTED = "inserted"
+    ALREADY_PRESENT = "already-present"
+    REJECTED = "rejected-table-full"
+    STATELESS = "served-stateless"
+
+
+@dataclass
+class LoadBalancerStats:
+    inserts: int = 0
+    rejects: int = 0
+    stateless_fallbacks: int = 0
+    broken_connections: int = 0
+
+
+class ConnTableLoadBalancer:
+    """Fixed-capacity per-connection-state L4 load balancer.
+
+    Args:
+        backends: backend pool (order matters for stateless hashing).
+        capacity: connection-table entries (switch SRAM budget).
+        reject_when_full: True = refuse new connections when full
+            (availability loss); False = serve them *statelessly*
+            (consistency loss on pool changes).  Both failure modes are
+            attacker-reachable; SilkRoad's design goal is avoiding the
+            second.
+    """
+
+    def __init__(
+        self,
+        backends: Sequence[str],
+        capacity: int,
+        reject_when_full: bool = False,
+    ):
+        if not backends:
+            raise ConfigurationError("need at least one backend")
+        if capacity <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.backends = list(backends)
+        self.capacity = capacity
+        self.reject_when_full = reject_when_full
+        self.table: "OrderedDict[FiveTuple, str]" = OrderedDict()
+        self.stats = LoadBalancerStats()
+        self._version = 0  # bumps on pool changes
+
+    # -- dataplane operations ------------------------------------------------
+
+    def _stateless_backend(self, flow: FiveTuple) -> str:
+        return self.backends[flow.stable_hash() % len(self.backends)]
+
+    def open_connection(self, flow: FiveTuple) -> InsertOutcome:
+        """SYN arrives: pin the connection to a backend if possible."""
+        if flow in self.table:
+            return InsertOutcome.ALREADY_PRESENT
+        if len(self.table) >= self.capacity:
+            if self.reject_when_full:
+                self.stats.rejects += 1
+                return InsertOutcome.REJECTED
+            # Serve the connection without state: it works for now but
+            # loses per-connection consistency across pool updates.
+            self.stats.stateless_fallbacks += 1
+            return InsertOutcome.STATELESS
+        self.table[flow] = self._stateless_backend(flow)
+        self.stats.inserts += 1
+        return InsertOutcome.INSERTED
+
+    def close_connection(self, flow: FiveTuple) -> None:
+        """FIN/RST: free the entry."""
+        self.table.pop(flow, None)
+
+    def backend_for(self, flow: FiveTuple) -> str:
+        """Forward a mid-connection packet."""
+        pinned = self.table.get(flow)
+        if pinned is not None:
+            return pinned
+        # No state: stateless hash (consistent only while the pool is
+        # unchanged).
+        self.stats.stateless_fallbacks += 1
+        return self._stateless_backend(flow)
+
+    # -- control-plane events --------------------------------------------------
+
+    def update_pool(self, backends: Sequence[str]) -> None:
+        """Backend pool change (scale-out, failure).
+
+        Pinned connections keep their backend if it still exists;
+        stateless connections silently re-hash — the breakage SilkRoad
+        exists to prevent, and which resurfaces once the table is full.
+        """
+        if not backends:
+            raise ConfigurationError("pool cannot become empty")
+        self.backends = list(backends)
+        self._version += 1
+        for flow, backend in list(self.table.items()):
+            if backend not in self.backends:
+                # Pinned backend gone: the connection breaks regardless.
+                self.stats.broken_connections += 1
+                del self.table[flow]
+
+    def would_break_on_update(self, flow: FiveTuple, new_backends: Sequence[str]) -> bool:
+        """Whether ``flow`` keeps its backend across a pool update."""
+        pinned = self.table.get(flow)
+        if pinned is not None:
+            return pinned not in new_backends
+        current = self._stateless_backend(flow)
+        future = list(new_backends)[flow.stable_hash() % len(new_backends)]
+        return current != future
+
+    @property
+    def occupancy(self) -> float:
+        return len(self.table) / self.capacity

@@ -1,0 +1,15 @@
+"""Probabilistic monitoring structures (Section 3.2 attack surface)."""
+
+from repro.sketches.bloom import BloomFilter, optimal_parameters
+from repro.sketches.flowradar import DecodeResult, FlowRadar
+from repro.sketches.lossradar import LossRadarSegment, PacketDigest, PacketId
+
+__all__ = [
+    "BloomFilter",
+    "DecodeResult",
+    "FlowRadar",
+    "LossRadarSegment",
+    "PacketDigest",
+    "PacketId",
+    "optimal_parameters",
+]

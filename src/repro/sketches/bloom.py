@@ -1,0 +1,90 @@
+"""Bloom filter with attack-relevant instrumentation.
+
+"FlowRadar and LossRadar use probabilistic data structures such as
+bloom filters to monitor network performance.  These data structures
+are vulnerable against adversarial inputs because they are often
+dimensioned for the average case, rather than the worst case.  An
+attacker can pollute, or even saturate a bloom filter, resulting in
+inaccurate network statistics."  (Section 3.2.)
+
+The filter exposes its fill factor and the analytic false-positive
+rate, which are the quantities the pollution bench tracks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import fnv1a_64
+
+
+def _hash_indices(item: bytes, k: int, m: int) -> List[int]:
+    """k indices via double hashing (Kirsch–Mitzenmacher)."""
+    h1 = fnv1a_64(item)
+    h2 = fnv1a_64(item + b"\x01") | 1  # odd => full period
+    return [(h1 + i * h2) % m for i in range(k)]
+
+
+def optimal_parameters(expected_items: int, target_fpr: float) -> tuple:
+    """(m bits, k hashes) minimising space for the target FPR."""
+    if expected_items <= 0:
+        raise ConfigurationError("expected_items must be positive")
+    if not 0.0 < target_fpr < 1.0:
+        raise ConfigurationError("target_fpr must be in (0, 1)")
+    m = math.ceil(-expected_items * math.log(target_fpr) / (math.log(2) ** 2))
+    k = max(1, round(m / expected_items * math.log(2)))
+    return m, k
+
+
+class BloomFilter:
+    """Plain m-bit, k-hash Bloom filter over byte strings."""
+
+    def __init__(self, bits: int, hashes: int):
+        if bits <= 0 or hashes <= 0:
+            raise ConfigurationError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._array = bytearray((bits + 7) // 8)
+        self.inserted = 0
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, target_fpr: float = 0.01) -> "BloomFilter":
+        m, k = optimal_parameters(expected_items, target_fpr)
+        return cls(m, k)
+
+    def add(self, item: bytes) -> None:
+        for index in _hash_indices(item, self.hashes, self.bits):
+            self._array[index // 8] |= 1 << (index % 8)
+        self.inserted += 1
+
+    def add_all(self, items: Iterable[bytes]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._array[index // 8] & (1 << (index % 8))
+            for index in _hash_indices(item, self.hashes, self.bits)
+        )
+
+    @property
+    def fill_factor(self) -> float:
+        """Fraction of bits set — 0.5 is the design point; near 1.0 the
+        filter is saturated and answers yes to everything."""
+        set_bits = sum(bin(byte).count("1") for byte in self._array)
+        return set_bits / self.bits
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Current (not design-time) FPR estimate: fill^k."""
+        return self.fill_factor ** self.hashes
+
+    def measured_false_positive_rate(self, probes: Iterable[bytes]) -> float:
+        """Empirical FPR over ``probes`` assumed not to be members."""
+        probe_list = list(probes)
+        if not probe_list:
+            raise ConfigurationError("need at least one probe")
+        hits = sum(1 for probe in probe_list if probe in self)
+        return hits / len(probe_list)

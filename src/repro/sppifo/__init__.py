@@ -1,0 +1,11 @@
+"""SP-PIFO scheduler and its unpifoness instrumentation (Section 3.2)."""
+
+from repro.sppifo.queues import (
+    IdealPifo,
+    RankedPacket,
+    ScheduleReport,
+    SpPifo,
+    replay_schedule,
+)
+
+__all__ = ["IdealPifo", "RankedPacket", "ScheduleReport", "SpPifo", "replay_schedule"]

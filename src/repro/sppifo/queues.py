@@ -1,0 +1,184 @@
+"""Ideal PIFO and the SP-PIFO approximation.
+
+SP-PIFO (Alcoz et al., NSDI'20) approximates a push-in-first-out queue
+with the n strict-priority FIFO queues available in switch hardware.
+Each queue i keeps an adaptive bound q_i; a packet of rank r is pushed
+into the first queue (scanning from the lowest-priority queue) whose
+bound is ≤ r, and that bound is raised to r ("push-up").  If r is
+smaller than every bound, the packet enters the highest-priority queue
+and all bounds are decreased by the violation q_1 − r ("push-down").
+
+"The proposed heuristic is based on the assumption that given a rank
+distribution, the order in which packet ranks arrive is random.  An
+attacker could send packet sequences of particular ranks, resulting in
+packets being delayed or even dropped."  (Section 3.2.)  The
+adversarial sequence generators live in
+:mod:`repro.attacks.sppifo_attack`; the *unpifoness* metrics below
+quantify the damage.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+
+_arrival_counter = itertools.count()
+
+
+@dataclass(order=True)
+class RankedPacket:
+    """A packet with a scheduling rank (lower = more urgent)."""
+
+    rank: int
+    arrival: int = field(default_factory=lambda: next(_arrival_counter))
+    payload: object = field(default=None, compare=False)
+
+
+class IdealPifo:
+    """Perfect push-in-first-out queue (the gold standard)."""
+
+    def __init__(self) -> None:
+        self._heap: List[RankedPacket] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def enqueue(self, packet: RankedPacket) -> bool:
+        heapq.heappush(self._heap, packet)
+        return True
+
+    def dequeue(self) -> Optional[RankedPacket]:
+        if not self._heap:
+            return None
+        return heapq.heappop(self._heap)
+
+
+class SpPifo:
+    """SP-PIFO: n strict-priority FIFOs with adaptive queue bounds."""
+
+    def __init__(self, queues: int = 8, queue_capacity: Optional[int] = None):
+        if queues < 1:
+            raise ConfigurationError("need at least one queue")
+        if queue_capacity is not None and queue_capacity < 1:
+            raise ConfigurationError("queue capacity must be positive")
+        self.queue_count = queues
+        self.queue_capacity = queue_capacity
+        # Queue 0 is highest priority (serves the lowest ranks).
+        self.queues: List[Deque[RankedPacket]] = [deque() for _ in range(queues)]
+        self.bounds: List[int] = [0] * queues
+        self.pushdowns = 0
+        self.drops = 0
+
+    def __len__(self) -> int:
+        return sum(len(q) for q in self.queues)
+
+    def enqueue(self, packet: RankedPacket) -> bool:
+        """SP-PIFO mapping with push-up / push-down adaptation.
+
+        NSDI'20, Algorithm 1: scan from the lowest-priority queue; the
+        first queue whose bound is ≤ rank admits the packet and raises
+        its bound to the rank (push-up).  If the rank undercuts every
+        bound, admit at top priority and lower all bounds by the
+        violation q_0 − rank (push-down).  Returns False on tail-drop.
+        """
+        for index in range(self.queue_count - 1, -1, -1):
+            if packet.rank >= self.bounds[index]:
+                return self._admit(index, packet, new_bound=packet.rank)
+        # Push-down: rank < every bound.
+        cost = self.bounds[0] - packet.rank
+        self.bounds = [max(0, bound - cost) for bound in self.bounds]
+        self.pushdowns += 1
+        return self._admit(0, packet, new_bound=packet.rank)
+
+    def _admit(self, index: int, packet: RankedPacket, new_bound: int) -> bool:
+        if self.queue_capacity is not None and len(self.queues[index]) >= self.queue_capacity:
+            self.drops += 1
+            return False
+        self.bounds[index] = new_bound
+        self.queues[index].append(packet)
+        return True
+
+    def dequeue(self) -> Optional[RankedPacket]:
+        for queue in self.queues:
+            if queue:
+                return queue.popleft()
+        return None
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of replaying one arrival/departure schedule."""
+
+    departures: List[RankedPacket]
+    inversions: int
+    unpifoness: int
+    drops: int
+
+    @property
+    def inversion_rate(self) -> float:
+        if not self.departures:
+            return 0.0
+        return self.inversions / len(self.departures)
+
+
+def replay_schedule(
+    scheduler,
+    arrivals: Sequence[int],
+    arrivals_per_departure: float = 1.0,
+) -> ScheduleReport:
+    """Feed ranks through a scheduler with interleaved departures.
+
+    ``arrivals_per_departure`` > 1 builds queue depth (bursts);
+    afterwards the queue is drained completely.  Inversions are counted
+    the SP-PIFO way: a departure is inverted if any packet still queued
+    has a strictly smaller rank; unpifoness additionally sums the rank
+    gaps (how *bad* each inversion is).
+    """
+    if arrivals_per_departure <= 0:
+        raise ConfigurationError("arrivals_per_departure must be positive")
+    departures: List[RankedPacket] = []
+    inversions = 0
+    unpifoness = 0
+    queued_ranks: List[int] = []  # multiset via sorted list semantics
+
+    import bisect
+
+    pending = 0.0
+    for rank in arrivals:
+        packet = RankedPacket(rank=rank)
+        if scheduler.enqueue(packet):
+            bisect.insort(queued_ranks, rank)
+        pending += 1.0 / arrivals_per_departure
+        while pending >= 1.0:
+            pending -= 1.0
+            departed = scheduler.dequeue()
+            if departed is None:
+                continue
+            queued_ranks.remove(departed.rank)
+            departures.append(departed)
+            smaller = bisect.bisect_left(queued_ranks, departed.rank)
+            if smaller > 0:
+                inversions += 1
+                unpifoness += departed.rank - queued_ranks[0]
+    while True:
+        departed = scheduler.dequeue()
+        if departed is None:
+            break
+        queued_ranks.remove(departed.rank)
+        departures.append(departed)
+        smaller = bisect.bisect_left(queued_ranks, departed.rank)
+        if smaller > 0:
+            inversions += 1
+            unpifoness += departed.rank - queued_ranks[0]
+    drops = getattr(scheduler, "drops", 0)
+    return ScheduleReport(
+        departures=departures,
+        inversions=inversions,
+        unpifoness=unpifoness,
+        drops=drops,
+    )

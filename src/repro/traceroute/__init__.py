@@ -1,0 +1,10 @@
+"""Traceroute over the simulated network (Section 4.3 substrate)."""
+
+from repro.traceroute.probe import (
+    EchoResponder,
+    Tracer,
+    TracerouteResult,
+    control_plane_path,
+)
+
+__all__ = ["EchoResponder", "Tracer", "TracerouteResult", "control_plane_path"]

@@ -1,0 +1,142 @@
+"""Traceroute over the simulated network.
+
+"Traceroute ... sends a series of IP packets with increasing
+time-to-live (TTL) values, and receives the ICMP time exceeded
+messages from the routers where these TTLs expire.  From the source
+addresses of these replies, it reconstructs the path that packets
+take.  Since there is no authentication of these ICMP replies, any
+attacker who can manipulate them can control the path that traceroute
+displays."  (Section 4.3.)
+
+Two modes:
+
+* :class:`Tracer` — event-driven probing through a
+  :class:`~repro.netsim.network.Network`, receiving real (or attacker-
+  forged) ICMP time-exceeded packets;
+* :func:`control_plane_path` — instant path computation from routing
+  tables, used by NetHide's metrics where thousands of pairs are
+  evaluated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.netsim.network import Network
+from repro.netsim.packet import IcmpType, Packet, Protocol
+
+
+@dataclass
+class TracerouteResult:
+    """The path a user *believes* their packets take."""
+
+    src: str
+    dst: str
+    hops: List[Optional[str]] = field(default_factory=list)  # None = '*' timeout
+    reached: bool = False
+
+    @property
+    def path(self) -> List[str]:
+        """Hops with timeouts stripped (what topology mappers ingest)."""
+        return [h for h in self.hops if h is not None]
+
+    def as_display(self) -> str:
+        lines = [f"traceroute to {self.dst} from {self.src}"]
+        for i, hop in enumerate(self.hops, start=1):
+            lines.append(f"{i:3d}  {hop if hop is not None else '*'}")
+        return "\n".join(lines)
+
+
+class Tracer:
+    """Run traceroute from a host attached to the network."""
+
+    def __init__(self, network: Network, source: str, max_ttl: int = 30):
+        if max_ttl < 1:
+            raise ConfigurationError("max_ttl must be at least 1")
+        self.network = network
+        self.source = source
+        self.max_ttl = max_ttl
+        self._replies: Dict[int, str] = {}  # probe ttl -> replying router
+        self._reached_at: Optional[int] = None
+        self._probe_ttl: Dict[int, int] = {}  # probe packet id -> ttl
+        network.attach_host(source, self._on_packet)
+
+    def _on_packet(self, packet: Packet, now: float) -> None:
+        if packet.protocol != Protocol.ICMP or packet.icmp is None:
+            return
+        if packet.icmp.icmp_type == IcmpType.TIME_EXCEEDED:
+            probe_id = packet.icmp.original_probe_id
+            if probe_id in self._probe_ttl:
+                self._replies[self._probe_ttl[probe_id]] = packet.src
+        elif packet.icmp.icmp_type == IcmpType.ECHO_REPLY:
+            probe_id = packet.icmp.original_probe_id
+            if probe_id in self._probe_ttl:
+                ttl = self._probe_ttl[probe_id]
+                self._replies[ttl] = packet.src
+                if self._reached_at is None or ttl < self._reached_at:
+                    self._reached_at = ttl
+
+    def trace(self, destination: str, settle_time: float = 5.0) -> TracerouteResult:
+        """Probe ``destination`` with TTLs 1..max_ttl; gather replies."""
+        self._replies.clear()
+        self._probe_ttl.clear()
+        self._reached_at = None
+        for ttl in range(1, self.max_ttl + 1):
+            probe = Packet(
+                src=self.source,
+                dst=destination,
+                protocol=Protocol.ICMP,
+                ttl=ttl,
+                payload_size=28,
+            )
+            from repro.netsim.packet import IcmpHeader
+
+            probe.icmp = IcmpHeader(IcmpType.ECHO_REQUEST)
+            self._probe_ttl[probe.packet_id] = ttl
+            self.network.send(probe, from_node=self.source)
+        self.network.run_until(self.network.now + settle_time)
+
+        hops: List[Optional[str]] = []
+        reached = False
+        for ttl in range(1, self.max_ttl + 1):
+            hop = self._replies.get(ttl)
+            hops.append(hop)
+            if self._reached_at is not None and ttl >= self._reached_at:
+                reached = True
+                break
+            if hop == destination:
+                reached = True
+                break
+        return TracerouteResult(src=self.source, dst=destination, hops=hops, reached=reached)
+
+
+def control_plane_path(network: Network, src: str, dst: str) -> List[str]:
+    """The true forwarding path (router hops) from routing tables."""
+    return network.router.path(src, dst)
+
+
+class EchoResponder:
+    """Host handler making a destination answer echo requests."""
+
+    def __init__(self, network: Network, node: str):
+        self.network = network
+        self.node = node
+        network.attach_host(node, self)
+
+    def __call__(self, packet: Packet, now: float) -> None:
+        if packet.protocol != Protocol.ICMP or packet.icmp is None:
+            return
+        if packet.icmp.icmp_type != IcmpType.ECHO_REQUEST:
+            return
+        from repro.netsim.packet import IcmpHeader
+
+        reply = Packet(
+            src=self.node,
+            dst=packet.src,
+            protocol=Protocol.ICMP,
+            payload_size=28,
+            icmp=IcmpHeader(IcmpType.ECHO_REPLY, original_probe_id=packet.packet_id),
+        )
+        self.network.send(reply, from_node=self.node)

@@ -1,0 +1,102 @@
+"""Tests for the experiment sweep runner and reporting helpers."""
+
+import pytest
+
+from repro.analysis.experiment import Sweep
+from repro.analysis.reporting import (
+    ascii_table,
+    comparison_line,
+    format_value,
+    series_block,
+    sparkline,
+)
+from repro.core.errors import ConfigurationError
+
+
+def _experiment(seed, params):
+    return {"value": seed + params.get("x", 0) * 10, "constant": 5.0}
+
+
+class TestSweep:
+    def test_grid_crossing(self):
+        sweep = Sweep("s", _experiment, seeds=[0])
+        sweep.add_axis("x", [1, 2]).add_axis("y", ["a", "b"])
+        result = sweep.run()
+        assert len(result.points) == 4
+        params = [tuple(sorted(p.params.items())) for p in result.points]
+        assert len(set(params)) == 4
+
+    def test_aggregation_over_seeds(self):
+        sweep = Sweep("s", _experiment, seeds=[0, 1, 2])
+        sweep.add_point(x=1)
+        result = sweep.run()
+        aggregated = result.points[0].aggregate()
+        assert aggregated["value.mean"] == pytest.approx(11.0)
+        assert aggregated["value.std"] > 0
+        assert aggregated["constant.std"] == 0.0
+
+    def test_rows_flatten_params_and_metrics(self):
+        sweep = Sweep("s", _experiment, seeds=[0, 1])
+        sweep.add_axis("x", [1, 2])
+        rows = sweep.run().rows(metrics=["value"])
+        assert rows[0]["x"] == 1
+        assert "value.mean" in rows[0]
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Sweep("s", _experiment).add_axis("x", [])
+
+    def test_needs_seeds(self):
+        with pytest.raises(ConfigurationError):
+            Sweep("s", _experiment, seeds=[])
+
+    def test_runs_with_empty_grid(self):
+        result = Sweep("s", _experiment, seeds=[3]).run()
+        assert len(result.points) == 1
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(True) == "yes"
+        assert format_value(1.5) == "1.500"
+        assert format_value(12345.6) == "1.235e+04"
+        assert format_value("x") == "x"
+
+    def test_ascii_table_alignment(self):
+        rows = [{"name": "a", "value": 1.0}, {"name": "bb", "value": 22.5}]
+        table = ascii_table(rows, title="t")
+        lines = table.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_table_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_table([])
+
+    def test_sparkline_shape(self):
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        assert len(line) == 6
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_sparkline_downsamples(self):
+        line = sparkline(list(range(1000)), width=50)
+        assert len(line) == 50
+
+    def test_sparkline_constant(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_series_block(self):
+        block = series_block("rate", [0.0, 1.0, 2.0], [10.0, 20.0, 30.0])
+        assert "rate" in block
+        assert "10.000" in block and "30.000" in block
+
+    def test_series_block_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            series_block("x", [0.0], [1.0, 2.0])
+
+    def test_comparison_line(self):
+        line = comparison_line("Fig2 crossing", "~172 s", 168.4)
+        assert "paper=~172 s" in line
+        assert "measured=168.400" in line

@@ -1,0 +1,96 @@
+"""Tests for the attacker model's privilege gating."""
+
+import pytest
+
+from repro.attacks.attacker import (
+    Attacker,
+    host_attacker,
+    mitm_attacker,
+    operator_attacker,
+)
+from repro.core.entities import Capability, Privilege
+from repro.core.errors import PrivilegeError
+from repro.netsim.link import RecordTap
+from repro.netsim.network import Network
+from repro.netsim.packet import tcp_packet
+from repro.netsim.topology import triangle_with_hosts
+
+
+@pytest.fixture
+def network():
+    return Network(triangle_with_hosts(), seed=2)
+
+
+class TestHostAttacker:
+    def test_can_inject_from_compromised_host(self, network):
+        attacker = host_attacker("h0")
+        received = []
+        network.attach_host("h2", lambda p, t: received.append(p))
+        attacker.inject(network, tcp_packet("h0", "h2", 1, 2, seq=0), from_node="h0")
+        network.run_until(1.0)
+        assert len(received) == 1
+
+    def test_cannot_inject_from_other_host(self, network):
+        attacker = host_attacker("h0")
+        with pytest.raises(PrivilegeError):
+            attacker.inject(network, tcp_packet("h1", "h2", 1, 2, seq=0), from_node="h1")
+
+    def test_cannot_tap_links(self, network):
+        attacker = host_attacker("h0")
+        with pytest.raises(PrivilegeError):
+            attacker.tap_link(network, "r0", "r1", RecordTap())
+
+    def test_cannot_reconfigure(self, network):
+        attacker = host_attacker("h0")
+        with pytest.raises(PrivilegeError):
+            attacker.reconfigure(lambda: None)
+
+
+class TestMitmAttacker:
+    def test_can_tap_intercepted_link(self, network):
+        attacker = mitm_attacker(("r0", "r2"))
+        tap = RecordTap()
+        attacker.tap_link(network, "r0", "r2", tap)
+        network.attach_host("h2", lambda p, t: None)
+        network.send(tcp_packet("h0", "h2", 1, 2, seq=0))
+        network.run_until(1.0)
+        assert len(tap.records) == 1
+
+    def test_link_order_insensitive(self, network):
+        attacker = mitm_attacker(("r2", "r0"))
+        attacker.tap_link(network, "r0", "r2", RecordTap())  # no raise
+
+    def test_cannot_tap_other_links(self, network):
+        attacker = mitm_attacker(("r0", "r2"))
+        with pytest.raises(PrivilegeError):
+            attacker.tap_link(network, "r0", "r1", RecordTap())
+
+    def test_cannot_reconfigure(self, network):
+        with pytest.raises(PrivilegeError):
+            mitm_attacker(("r0", "r1")).reconfigure(lambda: None)
+
+
+class TestOperatorAttacker:
+    def test_taps_anywhere(self, network):
+        operator_attacker().tap_link(network, "r0", "r1", RecordTap())
+
+    def test_injects_anywhere(self, network):
+        received = []
+        network.attach_host("h1", lambda p, t: received.append(p))
+        operator_attacker().inject(
+            network, tcp_packet("r2", "h1", 1, 2, seq=0), from_node="r2"
+        )
+        network.run_until(1.0)
+        assert received
+
+    def test_reconfigures(self, network):
+        result = operator_attacker().reconfigure(lambda x: x * 2, 21)
+        assert result == 42
+
+
+class TestCapabilityQueries:
+    def test_can_reflects_privilege(self):
+        assert host_attacker().can(Capability.INJECT_FROM_HOST)
+        assert not host_attacker().can(Capability.DROP_ON_LINK)
+        assert mitm_attacker().can(Capability.DROP_ON_LINK)
+        assert operator_attacker().can(Capability.CHANGE_CONFIGURATION)

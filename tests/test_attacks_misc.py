@@ -1,0 +1,127 @@
+"""Tests for the survey attacks: traceroute, SP-PIFO, sketches, DAPPER, RON."""
+
+import pytest
+
+from repro.attacks.dapper_attack import DapperMisdiagnosisAttack
+from repro.attacks.ron_attack import ProbeDropper, RonDivertAttack
+from repro.attacks.sketch_attack import (
+    BloomSaturationAttack,
+    FlowRadarOverloadAttack,
+    LossRadarPollutionAttack,
+)
+from repro.attacks.sppifo_attack import (
+    SpPifoAdversarialAttack,
+    interleaved_adversarial_ranks,
+    sawtooth_ranks,
+    uniform_ranks,
+)
+from repro.attacks.traceroute_attack import (
+    IcmpRewriteAttack,
+    MaliciousTopologyAttack,
+    NetHideDefensiveUse,
+)
+from repro.core.entities import Privilege
+from repro.core.errors import PrivilegeError
+
+
+class TestTracerouteAttacks:
+    def test_icmp_rewrite_fools_victim(self):
+        result = IcmpRewriteAttack().run(path_length=5)
+        assert result.success
+        assert result.details["fake_hops"] >= 3
+        assert result.details["accuracy_of_view"] < 0.5
+
+    def test_icmp_rewrite_requires_mitm(self):
+        with pytest.raises(PrivilegeError):
+            IcmpRewriteAttack().run(Privilege.HOST)
+
+    def test_malicious_topology_hides_everything(self):
+        result = MaliciousTopologyAttack().run(nodes=10, seed=1)
+        assert result.success
+        assert result.details["fabricated_routers"] > 0
+
+    def test_defensive_nethide_retains_utility(self):
+        result = NetHideDefensiveUse().run(nodes=14, seed=2, security_threshold=None)
+        assert result.details["max_density_after"] <= result.details["max_density_before"]
+        # Defensive lying keeps far more accuracy than malicious lying.
+        malicious = MaliciousTopologyAttack().run(nodes=14, seed=2)
+        assert result.details["accuracy"] > 1.0 - malicious.magnitude
+
+
+class TestSpPifoAttack:
+    def test_adversarial_ranks_inflate_inversions(self):
+        result = SpPifoAdversarialAttack().run(packets=6000)
+        assert result.success
+        assert result.details["inflation_factor"] > 2.0
+        assert result.details["ideal_pifo_inversions"] == 0
+
+    def test_generators_shapes(self):
+        assert len(uniform_ranks(100)) == 100
+        saw = sawtooth_ranks(200, rank_range=100)
+        assert max(saw) < 100 and min(saw) >= 0
+        mixed = interleaved_adversarial_ranks(300, 0.5, seed=1)
+        assert len(mixed) == 300
+
+    def test_partial_attacker_fraction_still_damages(self):
+        full = SpPifoAdversarialAttack().run(packets=6000, attacker_fraction=1.0)
+        half = SpPifoAdversarialAttack().run(packets=6000, attacker_fraction=0.5)
+        assert (
+            half.details["adversarial_inversion_rate"]
+            > half.details["benign_inversion_rate"]
+        )
+        assert (
+            full.details["adversarial_inversion_rate"]
+            >= half.details["adversarial_inversion_rate"]
+        )
+
+
+class TestSketchAttacks:
+    def test_bloom_saturation(self):
+        result = BloomSaturationAttack().run(design_capacity=3000)
+        assert result.success
+        assert result.details["fpr_after"] > 0.3
+        assert result.details["fpr_before"] < 0.03
+
+    def test_flowradar_overload(self):
+        result = FlowRadarOverloadAttack().run(design_capacity=1500)
+        assert result.success
+        assert result.details["decode_success_before"] > 0.95
+        assert result.details["decode_success_after"] < 0.5
+
+    def test_lossradar_pollution(self):
+        result = LossRadarPollutionAttack().run(
+            cells=1024, legit_packets=8000, true_losses=100, attack_packets=1500
+        )
+        assert result.success
+        assert result.details["report_before"]["recall"] == 1.0
+        assert result.details["report_after"]["recall"] < 1.0
+
+
+class TestDapperAttack:
+    def test_all_three_misdiagnoses_reachable(self):
+        result = DapperMisdiagnosisAttack().run(connections=100)
+        assert result.success
+        assert result.details["flip_rate_to_receiver"] == 1.0
+        assert result.details["flip_rate_to_network"] == 1.0
+        assert result.details["flip_rate_to_sender"] > 0.9
+
+    def test_requires_mitm(self):
+        with pytest.raises(PrivilegeError):
+            DapperMisdiagnosisAttack().run(Privilege.HOST)
+
+
+class TestRonAttack:
+    def test_traffic_diverted_to_chosen_detour(self):
+        result = RonDivertAttack().run()
+        assert result.success
+        assert result.details["route_after"] == ["a", "c", "b"]
+        assert result.details["latency_inflation"] > 1.0
+
+    def test_attacker_chooses_the_other_detour(self):
+        result = RonDivertAttack().run(desired_via="d")
+        assert result.details["route_after"][1] == "d"
+
+    def test_probe_dropper_thinning(self):
+        dropper = ProbeDropper(drop_fraction=0.5)
+        outcomes = [dropper("a", "b", 0.02) for _ in range(100)]
+        assert outcomes.count(None) == 50

@@ -1,0 +1,123 @@
+"""Tests for the PCC oscillation attack (E7)."""
+
+import pytest
+
+from repro.attacks.pcc_attack import PccOscillationAttack, UtilityEqualizer
+from repro.core.entities import Privilege
+from repro.core.errors import ConfigurationError, PrivilegeError
+from repro.pcc.controller import ControlState
+from repro.pcc.simulator import PathModel, PccSimulation
+
+
+class TestUtilityEqualizer:
+    def test_inactive_before_start_time(self):
+        equalizer = UtilityEqualizer(attack_start_time=100.0)
+        assert equalizer.tamper(0, 5.0, 50.0, 0.0) == 0.0
+        assert equalizer.interventions == 0
+
+    def test_injects_loss_once_engaged(self):
+        equalizer = UtilityEqualizer(attack_start_time=0.0)
+        loss = equalizer.tamper(0, 1.0, 100.0, 0.0)
+        assert loss > 0.0
+        assert equalizer.interventions == 1
+
+    def test_never_reduces_natural_loss(self):
+        equalizer = UtilityEqualizer(attack_start_time=0.0)
+        equalizer.tamper(0, 1.0, 100.0, 0.0)
+        # Catastrophic natural loss is left as-is.
+        assert equalizer.tamper(0, 1.1, 100.0, 0.9) == 0.9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            UtilityEqualizer(floor_factor=1.5)
+
+
+class TestOscillationAttack:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PccOscillationAttack().run(mis=900, warmup_mis=200, seed=0)
+
+    def test_paper_outcome(self, result):
+        """ε pinned at its 5% cap, rate oscillating, no convergence."""
+        assert result.success
+        details = result.details
+        assert details["epsilon_pinned_fraction"] > 0.9
+        assert details["fraction_mis_in_decision_attacked"] > 0.9
+
+    def test_amplitude_matches_epsilon_cap(self, result):
+        # Peak-to-peak swing ≈ 2·ε_max = 10%.
+        assert result.details["rate_amplitude_attacked"] == pytest.approx(0.10, abs=0.03)
+
+    def test_oscillation_vs_baseline(self, result):
+        details = result.details
+        assert (
+            details["oscillation_cv_attacked"]
+            > 2.0 * details["oscillation_cv_baseline"]
+        )
+
+    def test_attack_is_cheap(self, result):
+        """The MitM drops only a small fraction of traffic."""
+        assert result.details["attack_budget_fraction"] < 0.10
+
+    def test_no_convergence_to_capacity(self, result):
+        assert result.details["mean_rate_attacked"] < result.details["mean_rate_baseline"]
+
+    def test_epsilon_cap_ablation(self):
+        """Section 5 defense: clamping ε bounds the oscillation."""
+        clamped = PccOscillationAttack().run(
+            mis=700, warmup_mis=200, epsilon_max=0.02, seed=1
+        )
+        assert clamped.details["rate_amplitude_attacked"] < 0.06
+
+    def test_requires_mitm(self):
+        with pytest.raises(PrivilegeError):
+            PccOscillationAttack().run(Privilege.HOST, mis=10)
+
+
+class TestAggregateFluctuations:
+    def test_many_flows_fluctuate_at_destination(self):
+        """'By doing this across a large number of PCC flows towards
+        the same destination, the attacker can create sizable traffic
+        fluctuations at the destination.'"""
+        result = PccOscillationAttack().run(
+            mis=700, warmup_mis=200, flows=8, capacity=400.0, seed=2
+        )
+        assert (
+            result.details["aggregate_oscillation_attacked"]
+            > result.details["aggregate_oscillation_baseline"]
+        )
+
+
+class TestUtilityGenerality:
+    def test_attack_not_allegro_specific(self):
+        """The paper's attack targets PCC's control loop, not one
+        utility function: against a Vivace-style utility the same
+        equaliser (told which utility is deployed, per Kerckhoff) pins
+        epsilon just the same."""
+        from repro.pcc import PathModel, PccSimulation, vivace_utility
+
+        def vivace(rate, loss):
+            return vivace_utility(rate, loss)
+
+        simulation = PccSimulation(
+            PathModel(capacity=100.0),
+            flows=1,
+            tamper=UtilityEqualizer(
+                attack_start_time=30.0, utility_fn=vivace, anchor_factor=0.9
+            ),
+            seed=0,
+            controller_kwargs={"utility_fn": vivace},
+        )
+        simulation.run(900)
+        epsilons = simulation.epsilon_trace(0)[-50:]
+        pinned = sum(1 for e in epsilons if abs(e - 0.05) < 1e-9) / len(epsilons)
+        assert pinned > 0.9
+        assert simulation.time_in_state(0, ControlState.DECISION, 200) > 0.9
+        assert abs(simulation.rate_amplitude(0, 200) - 0.10) < 0.03
+
+    def test_invert_utility_generic(self):
+        from repro.pcc import invert_utility, vivace_utility
+
+        target = vivace_utility(100.0, 0.02)
+        loss = invert_utility(lambda r, l: vivace_utility(r, l), 100.0, target)
+        assert abs(loss - 0.02) < 1e-6

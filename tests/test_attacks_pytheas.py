@@ -1,0 +1,67 @@
+"""Tests for the Pytheas attacks (E5/E6)."""
+
+import pytest
+
+from repro.attacks.pytheas_attack import (
+    PytheasImbalanceAttack,
+    PytheasPoisoningAttack,
+)
+from repro.core.entities import Privilege
+from repro.core.errors import PrivilegeError
+
+
+class TestPoisoning:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PytheasPoisoningAttack().run(
+            attacker_fraction=0.15, rounds=100, sessions_per_round=100, seed=0
+        )
+
+    def test_group_flipped_and_qoe_lost(self, result):
+        assert result.success
+        assert result.details["group_flipped"]
+        assert result.details["qoe_loss"] > 1.0
+
+    def test_amplification_reported(self, result):
+        # 15 attackers degrade 85 benign clients: amplification > 1.
+        assert result.details["victims_per_attacker"] > 1.0
+
+    def test_small_fraction_insufficient(self):
+        result = PytheasPoisoningAttack().run(
+            attacker_fraction=0.01, rounds=60, seed=1
+        )
+        assert not result.details["group_flipped"]
+
+    def test_host_privilege_suffices(self):
+        result = PytheasPoisoningAttack().run(
+            Privilege.HOST, attacker_fraction=0.15, rounds=60, seed=2
+        )
+        assert result.details["attacker_fraction"] == 0.15
+
+
+class TestImbalance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PytheasImbalanceAttack().run(rounds=100, groups=4, seed=0)
+
+    def test_groups_herded_onto_constrained_site(self, result):
+        # Herding oscillates (overloaded B pushes groups back), so the
+        # tail share settles near the mixing equilibrium — what matters
+        # is the jump from the baseline, where B gets almost nothing.
+        assert (
+            result.details["share_b_attacked"]
+            > result.details["share_b_baseline"] + 0.2
+        )
+
+    def test_target_site_overloaded(self, result):
+        assert result.details["peak_overload_attacked"] > 1.2
+
+    def test_benign_qoe_degraded(self, result):
+        assert (
+            result.details["benign_qoe_attacked"]
+            < result.details["benign_qoe_baseline"]
+        )
+
+    def test_requires_mitm(self):
+        with pytest.raises(PrivilegeError):
+            PytheasImbalanceAttack().run(Privilege.HOST, rounds=5)

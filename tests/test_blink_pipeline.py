@@ -1,0 +1,160 @@
+"""Tests for the Blink pipeline: inference, rerouting, replay modes."""
+
+import pytest
+
+from repro.blink.pipeline import BlinkPrefixMonitor, BlinkSwitch
+from repro.core.entities import Signal, SignalKind
+from repro.flows.flow import FiveTuple
+from repro.netsim.packet import TcpFlags, tcp_packet
+
+PREFIX = "198.51.100.0/24"
+
+
+def _flow(i):
+    return FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.1", 1000 + i, 443)
+
+
+def _signal(flow, time, retrans=False, fin=False, malicious=False, seq=None):
+    return Signal(
+        SignalKind.HEADER_FIELD,
+        "tcp.packet",
+        {
+            "flow": flow,
+            "retransmission": retrans,
+            "fin": fin,
+            "malicious": malicious,
+            "seq": seq,
+        },
+        time=time,
+    )
+
+
+def _monitor(cells=8, **kwargs):
+    defaults = dict(next_hops=["nh1", "nh2"], cells=cells)
+    defaults.update(kwargs)
+    return BlinkPrefixMonitor(PREFIX, **defaults)
+
+
+class TestFailureInference:
+    def test_majority_retransmission_triggers_reroute(self):
+        monitor = _monitor(cells=8)
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.0))
+        decisions = []
+        for i in range(40):
+            decisions += monitor.observe(_signal(_flow(i), time=0.5, retrans=True))
+        assert len(decisions) == 1
+        assert decisions[0].action == "reroute"
+        assert decisions[0].value == "nh2"
+        assert monitor.active_next_hop == "nh2"
+
+    def test_below_threshold_no_reroute(self):
+        monitor = _monitor(cells=8)
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.0))
+        # Only a couple of flows retransmit.
+        decisions = monitor.observe(_signal(_flow(0), time=0.5, retrans=True))
+        assert decisions == []
+        assert monitor.active_next_hop == "nh1"
+
+    def test_holddown_suppresses_flapping(self):
+        monitor = _monitor(cells=8, reroute_holddown=10.0)
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.0))
+        first = []
+        for i in range(40):
+            first += monitor.observe(_signal(_flow(i), time=0.5, retrans=True))
+        again = []
+        for i in range(40):
+            again += monitor.observe(_signal(_flow(i), time=1.0, retrans=True))
+        assert len(first) == 1
+        assert again == []  # within holddown
+
+    def test_reroute_event_records_ground_truth(self):
+        monitor = _monitor(cells=8)
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.0, malicious=True))
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.5, retrans=True, malicious=True))
+        assert len(monitor.reroutes) == 1
+        event = monitor.reroutes[0]
+        assert event.malicious_monitored_ground_truth > 0
+        assert event.retransmitting_flows >= monitor.failure_threshold
+
+    def test_backup_cycles_through_next_hops(self):
+        monitor = _monitor(cells=8, reroute_holddown=0.0)
+        assert monitor._choose_backup() == "nh2"
+        monitor.active_next_hop = "nh2"
+        assert monitor._choose_backup() == "nh1"
+
+    def test_state_snapshot_fields(self):
+        monitor = _monitor()
+        monitor.observe(_signal(_flow(0), time=1.0))
+        state = monitor.state()
+        assert state.get("prefix") == PREFIX
+        assert state.get("monitored") == 1
+        assert state.get("active_next_hop") == "nh1"
+
+    def test_reset_restores_initial_state(self):
+        monitor = _monitor(cells=8)
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.0, retrans=False))
+        for i in range(40):
+            monitor.observe(_signal(_flow(i), time=0.5, retrans=True))
+        monitor.reset()
+        assert monitor.reroutes == []
+        assert monitor.active_next_hop == "nh1"
+        assert monitor.selector.occupied_count() == 0
+
+
+class TestBlinkSwitch:
+    def test_monitor_lookup_by_prefix(self):
+        switch = BlinkSwitch({PREFIX: ["a", "b"]})
+        assert switch.monitor_for("198.51.100.77") is not None
+        assert switch.monitor_for("203.0.113.1") is None
+
+    def test_replay_trace_produces_series(self):
+        from repro.flows.generators import blink_attack_workload, DurationDistribution
+
+        _, trace, _ = blink_attack_workload(
+            horizon=40, legitimate_flows=60, malicious_flows=12,
+            duration_model=DurationDistribution(median=3.0),
+        )
+        switch = BlinkSwitch({PREFIX: ["a", "b"]}, cells=16)
+        series = switch.replay_trace(trace, sample_interval=2.0)[PREFIX]
+        assert len(series) > 0
+        # Persistent attack flows accumulate monotonically (no reset
+        # inside this short horizon): last sample should be the max.
+        assert series.values[-1] == max(series.values)
+
+    def test_network_mode_infers_from_duplicate_seq(self):
+        switch = BlinkSwitch({PREFIX: ["a", "b"]}, cells=4)
+        monitor = switch.monitor_for("198.51.100.1")
+        for i in range(20):
+            packet = tcp_packet("10.0.0.%d" % (i + 1), "198.51.100.1", 1000 + i, 443, seq=0)
+            switch.process(packet, now=0.0, node="r0")
+        # Same seq again: duplicates -> retransmissions.
+        decisions_before = len(switch.decisions)
+        for i in range(20):
+            packet = tcp_packet("10.0.0.%d" % (i + 1), "198.51.100.1", 1000 + i, 443, seq=0)
+            switch.process(packet, now=0.5, node="r0")
+        assert len(switch.decisions) > decisions_before
+        assert monitor.active_next_hop == "b"
+
+    def test_process_returns_active_next_hop(self):
+        switch = BlinkSwitch({PREFIX: ["a", "b"]}, cells=4)
+        packet = tcp_packet("10.0.0.1", "198.51.100.1", 1000, 443, seq=0)
+        assert switch.process(packet, now=0.0, node="r0") == "a"
+
+    def test_non_tcp_ignored(self):
+        from repro.netsim.packet import Packet, Protocol
+
+        switch = BlinkSwitch({PREFIX: ["a", "b"]})
+        packet = Packet(src="x", dst="198.51.100.1", protocol=Protocol.ICMP)
+        assert switch.process(packet, now=0.0, node="r0") is None
+
+    def test_requires_at_least_one_prefix(self):
+        from repro.core.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            BlinkSwitch({})

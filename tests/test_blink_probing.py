@@ -1,0 +1,131 @@
+"""Blink's next-hop probing and its manipulation.
+
+Blink (NSDI'19 §4.4) does not blindly commit to one backup: after a
+failure inference it spreads the monitored flows over the backup
+candidates and picks the one whose flows stop retransmitting.  The
+HotNets attack text says the attacker reroutes traffic "possibly onto a
+path that she controls" — with probing enabled, the attacker's lever is
+that tie-breaking is deterministic: silencing her fake retransmissions
+during the probe window makes every candidate look equally healthy, so
+Blink deterministically picks the first backup — which the Kerckhoff
+attacker knows in advance.
+"""
+
+import pytest
+
+from repro.blink.pipeline import BlinkPrefixMonitor
+from repro.core.entities import Signal, SignalKind
+from repro.flows.flow import FiveTuple
+
+PREFIX = "198.51.100.0/24"
+
+
+def _flow(i):
+    return FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.1", 1000 + i, 443)
+
+
+def _signal(flow, time, retrans=False, malicious=False):
+    return Signal(
+        SignalKind.HEADER_FIELD,
+        "tcp.packet",
+        {"flow": flow, "retransmission": retrans, "malicious": malicious},
+        time=time,
+    )
+
+
+def _probing_monitor(**kwargs):
+    defaults = dict(
+        next_hops=["nh-primary", "nh-a", "nh-b"],
+        cells=16,
+        probe_backups=True,
+        probe_duration=2.0,
+        retransmission_window=2.0,
+    )
+    defaults.update(kwargs)
+    return BlinkPrefixMonitor(PREFIX, **defaults)
+
+
+def _trigger_failure(monitor, flows=60, t0=0.0):
+    for i in range(flows):
+        monitor.observe(_signal(_flow(i), time=t0))
+    decisions = []
+    for i in range(flows):
+        decisions += monitor.observe(_signal(_flow(i), time=t0 + 0.5, retrans=True))
+    return decisions
+
+
+class TestProbingMechanics:
+    def test_inference_starts_probe_instead_of_reroute(self):
+        monitor = _probing_monitor()
+        decisions = _trigger_failure(monitor)
+        assert decisions == []
+        assert monitor.probing
+        assert monitor.active_next_hop == "nh-primary"
+
+    def test_probe_assignment_covers_all_candidates(self):
+        monitor = _probing_monitor()
+        _trigger_failure(monitor)
+        assigned = {
+            monitor.probe_next_hop_for(_flow(i)) for i in range(60)
+        }
+        assert assigned == {"nh-a", "nh-b"}
+
+    def test_probe_prefers_healthy_candidate(self):
+        """Flows probing nh-a keep retransmitting (it is also broken),
+        flows probing nh-b recover: Blink must pick nh-b."""
+        monitor = _probing_monitor()
+        _trigger_failure(monitor)
+        decisions = []
+        for t in (1.0, 1.5, 2.0, 2.7):
+            for i in range(60):
+                flow = _flow(i)
+                candidate = monitor.probe_next_hop_for(flow)
+                still_broken = candidate == "nh-a"
+                decisions += monitor.observe(
+                    _signal(flow, time=t, retrans=still_broken)
+                )
+                if not monitor.probing:
+                    break
+            if not monitor.probing:
+                break
+        assert decisions
+        assert decisions[0].value == "nh-b"
+        event = monitor.reroutes[0]
+        assert event.probe_counts is not None
+        assert event.probe_counts["nh-a"] > event.probe_counts["nh-b"]
+
+    def test_two_next_hops_skip_probing(self):
+        """With a single backup there is nothing to probe."""
+        monitor = _probing_monitor(next_hops=["nh-primary", "nh-only"])
+        decisions = _trigger_failure(monitor)
+        assert decisions
+        assert monitor.active_next_hop == "nh-only"
+
+
+class TestProbingManipulation:
+    def test_silent_attacker_steers_to_first_backup(self):
+        """The attacker silences her fakes during the probe: all
+        candidates tie at zero and Blink deterministically picks the
+        first backup — exactly the path a prepared attacker wants."""
+        monitor = _probing_monitor()
+        for i in range(60):
+            monitor.observe(_signal(_flow(i), time=0.0, malicious=True))
+        for i in range(60):
+            monitor.observe(_signal(_flow(i), time=0.5, retrans=True, malicious=True))
+        assert monitor.probing
+        # Attack traffic keeps flowing (stays sampled) but without any
+        # retransmissions during the probe window.
+        decisions = []
+        for t in (1.5, 2.7):
+            for i in range(60):
+                decisions += monitor.observe(
+                    _signal(_flow(i), time=t, malicious=True)
+                )
+                if decisions:
+                    break
+            if decisions:
+                break
+        assert decisions
+        assert decisions[0].value == "nh-a"  # first backup, predictable
+        event = monitor.reroutes[0]
+        assert set(event.probe_counts.values()) == {0}

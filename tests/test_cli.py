@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _attack_registry, _parse_params, main
+
+
+class TestRegistry:
+    def test_covers_all_case_studies(self):
+        registry = _attack_registry()
+        for needle in (
+            "blink-capture-analytical",
+            "pytheas-report-poisoning",
+            "pcc-utility-equalisation",
+            "traceroute-icmp-rewrite",
+            "sppifo-adversarial-ranks",
+            "flowradar-overload",
+            "dapper-misdiagnosis",
+            "ron-probe-divert",
+            "egress-passive-divert",
+            "silkroad-state-exhaustion",
+            "innet-bnn-evasion",
+        ):
+            assert needle in registry
+
+    def test_names_are_unique(self):
+        registry = _attack_registry()
+        assert len(registry) == len(set(registry))
+
+
+class TestParamParsing:
+    def test_type_coercion(self):
+        params = _parse_params(["a=1", "b=2.5", "c=true", "d=hello", "e=false"])
+        assert params == {"a": 1, "b": 2.5, "c": True, "d": "hello", "e": False}
+
+    def test_invalid_pair_rejected(self):
+        with pytest.raises(SystemExit):
+            _parse_params(["nonsense"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "blink-capture-analytical" in out
+        assert "OPERATOR" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2", "--runs", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "107" in out  # theory crossing
+
+    def test_run_success_exit_code(self, capsys):
+        code = main(["run", "ron-probe-divert"])
+        assert code == 0
+        assert "success: True" in capsys.readouterr().out
+
+    def test_run_with_params(self, capsys):
+        code = main(
+            ["run", "blink-capture-analytical", "-p", "runs=5", "-p", "qm=0.002",
+             "-p", "tr=30.0", "-p", "horizon=60.0"]
+        )
+        # Deliberately weak attack: non-zero exit.
+        assert code == 1
+        assert "success: False" in capsys.readouterr().out
+
+    def test_unknown_attack(self, capsys):
+        assert main(["run", "no-such-attack"]) == 2

@@ -1,0 +1,91 @@
+"""Tests for the attack framework (privilege enforcement, campaigns)."""
+
+import pytest
+
+from repro.core.attack import Attack, AttackResult, Campaign
+from repro.core.entities import Capability, Privilege, Target
+from repro.core.errors import PrivilegeError
+
+
+class _ToyAttack(Attack):
+    name = "toy"
+    required_privilege = Privilege.MITM
+    target = Target.ENDPOINT
+    required_capabilities = (Capability.DROP_ON_LINK,)
+
+    def execute(self, privilege, **params):
+        return AttackResult(
+            attack_name=self.name,
+            success=bool(params.get("should_succeed", True)),
+            magnitude=float(params.get("magnitude", 1.0)),
+            details={"privilege": privilege.name},
+        )
+
+
+class TestPrivilegeEnforcement:
+    def test_insufficient_privilege_raises(self):
+        with pytest.raises(PrivilegeError) as info:
+            _ToyAttack().run(Privilege.HOST)
+        assert info.value.required == Privilege.MITM
+        assert info.value.actual == Privilege.HOST
+
+    def test_default_privilege_is_declared_minimum(self):
+        result = _ToyAttack().run()
+        assert result.details["privilege"] == "MITM"
+
+    def test_higher_privilege_accepted(self):
+        assert _ToyAttack().run(Privilege.OPERATOR).success
+
+    def test_capability_check_catches_misdeclared_attack(self):
+        class Misdeclared(_ToyAttack):
+            required_privilege = Privilege.HOST  # but needs DROP_ON_LINK
+
+        with pytest.raises(PrivilegeError):
+            Misdeclared().run()
+
+    def test_threat_vector_reflects_declaration(self):
+        vector = _ToyAttack().threat_vector
+        assert vector.privilege == Privilege.MITM
+        assert vector.target == Target.ENDPOINT
+
+
+class TestAttackResult:
+    def test_truthiness_follows_success(self):
+        assert AttackResult("a", success=True)
+        assert not AttackResult("a", success=False)
+
+
+class TestCampaign:
+    def test_runs_all_entries_in_order(self):
+        campaign = Campaign("sweep")
+        for magnitude in (1.0, 2.0, 3.0):
+            campaign.add(_ToyAttack(), magnitude=magnitude)
+        report = campaign.run()
+        assert [r.magnitude for r in report.results] == [1.0, 2.0, 3.0]
+        assert len(campaign) == 3
+
+    def test_success_rate(self):
+        campaign = Campaign("mixed")
+        campaign.add(_ToyAttack(), should_succeed=True)
+        campaign.add(_ToyAttack(), should_succeed=False)
+        report = campaign.run()
+        assert report.success_rate == 0.5
+        assert len(report.successes) == 1
+
+    def test_by_attack_grouping(self):
+        campaign = Campaign("grouped")
+        campaign.add(_ToyAttack())
+        campaign.add(_ToyAttack())
+        grouped = campaign.run().by_attack()
+        assert set(grouped) == {"toy"}
+        assert len(grouped["toy"]) == 2
+
+    def test_privilege_violations_propagate(self):
+        campaign = Campaign("bad")
+        campaign.add(_ToyAttack(), privilege=Privilege.HOST)
+        with pytest.raises(PrivilegeError):
+            campaign.run()
+
+    def test_wall_time_recorded(self):
+        campaign = Campaign("t").add(_ToyAttack())
+        assert campaign.run().wall_seconds >= 0.0

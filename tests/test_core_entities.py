@@ -1,0 +1,105 @@
+"""Tests for the threat-model entities (Section 2)."""
+
+import pytest
+
+from repro.core.entities import (
+    AttackSurface,
+    Capability,
+    Privilege,
+    Signal,
+    SignalKind,
+    Target,
+    ThreatVector,
+    capabilities_of,
+    minimum_privilege_for,
+)
+
+
+class TestPrivilegeOrdering:
+    def test_three_levels_exist(self):
+        assert len(list(Privilege)) == 3
+
+    def test_operator_strongest(self):
+        assert Privilege.OPERATOR > Privilege.MITM > Privilege.HOST
+
+    def test_descriptions_nonempty(self):
+        for privilege in Privilege:
+            assert privilege.describe()
+
+    def test_descriptions_match_paper_keywords(self):
+        assert "inject" in Privilege.HOST.describe().lower()
+        assert "encryption" in Privilege.MITM.describe().lower()
+        assert "configuration" in Privilege.OPERATOR.describe().lower()
+
+
+class TestCapabilities:
+    def test_capability_sets_monotone(self):
+        host = capabilities_of(Privilege.HOST)
+        mitm = capabilities_of(Privilege.MITM)
+        operator = capabilities_of(Privilege.OPERATOR)
+        assert host < mitm < operator
+
+    def test_host_cannot_drop_on_link(self):
+        assert Capability.DROP_ON_LINK not in capabilities_of(Privilege.HOST)
+
+    def test_only_operator_changes_configuration(self):
+        assert Capability.CHANGE_CONFIGURATION not in capabilities_of(Privilege.MITM)
+        assert Capability.CHANGE_CONFIGURATION in capabilities_of(Privilege.OPERATOR)
+
+    def test_minimum_privilege_for_injection_is_host(self):
+        assert minimum_privilege_for([Capability.INJECT_FROM_HOST]) == Privilege.HOST
+
+    def test_minimum_privilege_for_link_drop_is_mitm(self):
+        assert (
+            minimum_privilege_for([Capability.DROP_ON_LINK, Capability.INJECT_FROM_HOST])
+            == Privilege.MITM
+        )
+
+    def test_minimum_privilege_for_configuration_is_operator(self):
+        assert minimum_privilege_for([Capability.CHANGE_CONFIGURATION]) == Privilege.OPERATOR
+
+
+class TestThreatVector:
+    def test_subsumes_same_target_higher_privilege(self):
+        weak = ThreatVector(Privilege.HOST, Target.INFRASTRUCTURE)
+        strong = ThreatVector(Privilege.OPERATOR, Target.INFRASTRUCTURE)
+        assert strong.subsumes(weak)
+        assert not weak.subsumes(strong)
+
+    def test_no_subsumption_across_targets(self):
+        infra = ThreatVector(Privilege.OPERATOR, Target.INFRASTRUCTURE)
+        endpoint = ThreatVector(Privilege.HOST, Target.ENDPOINT)
+        assert not infra.subsumes(endpoint)
+
+
+class TestAttackSurface:
+    def test_state_reachable_by_host(self):
+        surface = AttackSurface(
+            "blink",
+            state_signals=["tcp.retransmission"],
+            algorithm_parameters=["failure_threshold"],
+        )
+        reachable = surface.manipulable_by(Privilege.HOST)
+        assert reachable["state"] == ["tcp.retransmission"]
+        assert reachable["algorithms"] == []
+
+    def test_algorithms_require_operator(self):
+        surface = AttackSurface(
+            "blink",
+            state_signals=["tcp.retransmission"],
+            algorithm_parameters=["failure_threshold"],
+        )
+        assert surface.manipulable_by(Privilege.OPERATOR)["algorithms"] == [
+            "failure_threshold"
+        ]
+
+
+class TestSignal:
+    def test_signals_untrusted_by_default(self):
+        signal = Signal(SignalKind.HEADER_FIELD, "tcp.seq", 42)
+        assert signal.trusted is False
+
+    def test_signal_is_frozen(self):
+        signal = Signal(SignalKind.TIMING, "rtt", 0.02)
+        with pytest.raises(AttributeError):
+            signal.value = 1.0

@@ -1,0 +1,136 @@
+"""Tests for metric primitives."""
+
+import math
+
+import pytest
+
+from repro.core.metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    TimeSeries,
+    coefficient_of_variation,
+    first_crossing_time,
+    mean,
+    percentile,
+    stddev,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 50) == 5.0
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 150)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_gauge_tracks_extremes(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.add(-7.0)
+        assert gauge.value == -2.0
+        assert gauge.minimum == -2.0
+        assert gauge.maximum == 5.0
+
+
+class TestTimeSeries:
+    def test_requires_monotone_times(self):
+        series = TimeSeries("s")
+        series.record(1.0, 10.0)
+        with pytest.raises(ValueError):
+            series.record(0.5, 11.0)
+
+    def test_window_query(self):
+        series = TimeSeries("s")
+        for t in range(10):
+            series.record(float(t), float(t * t))
+        window = series.window(2.0, 5.0)
+        assert [t for t, _ in window] == [2.0, 3.0, 4.0]
+
+    def test_value_at_step_semantics(self):
+        series = TimeSeries("s")
+        series.record(1.0, 10.0)
+        series.record(3.0, 30.0)
+        assert series.value_at(0.5, default=-1.0) == -1.0
+        assert series.value_at(2.0) == 10.0
+        assert series.value_at(3.0) == 30.0
+
+    def test_summary_contains_percentiles(self):
+        series = TimeSeries("s")
+        for t in range(100):
+            series.record(float(t), float(t))
+        summary = series.summary()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(49.5)
+
+
+class TestRegistry:
+    def test_same_name_same_object(self):
+        registry = MetricRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.timeseries("y") is registry.timeseries("y")
+
+    def test_snapshot_flat_keys(self):
+        registry = MetricRegistry()
+        registry.counter("a").increment()
+        registry.gauge("b").set(2.0)
+        registry.timeseries("c").record(0.0, 1.0)
+        snap = registry.snapshot()
+        assert snap["counter.a"] == 1.0
+        assert snap["gauge.b"] == 2.0
+        assert snap["series.c"]["count"] == 1
+
+
+class TestStatistics:
+    def test_mean_and_stddev(self):
+        assert mean([1, 2, 3]) == 2
+        assert stddev([2, 2, 2]) == 0.0
+
+    def test_cv_of_constant_is_zero(self):
+        assert coefficient_of_variation([5, 5, 5]) == 0.0
+
+    def test_cv_of_zero_mean_with_spread_is_inf(self):
+        assert math.isinf(coefficient_of_variation([-1, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestFirstCrossing:
+    def test_finds_first_crossing(self):
+        times = [0, 1, 2, 3]
+        values = [0, 10, 20, 30]
+        assert first_crossing_time(times, values, 15) == 2
+
+    def test_none_when_never_crossed(self):
+        assert first_crossing_time([0, 1], [0, 1], 5) is None
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            first_crossing_time([0], [0, 1], 1)

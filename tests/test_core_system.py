@@ -1,0 +1,72 @@
+"""Tests for the driver interface and the recording decorator."""
+
+import pytest
+
+from repro.core.entities import Signal, SignalKind
+from repro.core.system import DataDrivenSystem, Decision, RecordingSystem, SystemState
+
+
+class _Echo(DataDrivenSystem):
+    name = "echo"
+
+    def __init__(self):
+        self.count = 0
+
+    def observe(self, signal):
+        self.count += 1
+        if signal.value == "quiet":
+            return []
+        return [Decision("echo", "world", signal.value, time=signal.time)]
+
+    def state(self):
+        return SystemState(time=0.0, variables={"count": self.count})
+
+    def reset(self):
+        self.count = 0
+
+
+def _sig(value):
+    return Signal(SignalKind.CONTENT, "msg", value)
+
+
+class TestObserveAll:
+    def test_concatenates_decisions(self):
+        echo = _Echo()
+        decisions = echo.observe_all([_sig("a"), _sig("quiet"), _sig("b")])
+        assert [d.value for d in decisions] == ["a", "b"]
+
+
+class TestRecordingSystem:
+    def test_records_signals_and_decisions(self):
+        recorder = RecordingSystem(_Echo())
+        recorder.observe(_sig("a"))
+        recorder.observe(_sig("quiet"))
+        assert len(recorder.signals) == 2
+        assert len(recorder.decisions) == 1
+
+    def test_passthrough_of_state(self):
+        recorder = RecordingSystem(_Echo())
+        recorder.observe(_sig("a"))
+        assert recorder.state().get("count") == 1
+
+    def test_reset_clears_logs_and_inner(self):
+        recorder = RecordingSystem(_Echo())
+        recorder.observe(_sig("a"))
+        recorder.reset()
+        assert recorder.signals == []
+        assert recorder.decisions == []
+        assert recorder.state().get("count") == 0
+
+    def test_max_records_bounds_memory(self):
+        recorder = RecordingSystem(_Echo(), max_records=2)
+        for i in range(5):
+            recorder.observe(_sig(str(i)))
+        assert len(recorder.signals) == 2
+        assert recorder.signals[-1].value == "4"
+
+    def test_invalid_max_records(self):
+        with pytest.raises(ValueError):
+            RecordingSystem(_Echo(), max_records=0)
+
+    def test_name_wraps_inner(self):
+        assert RecordingSystem(_Echo()).name == "recording(echo)"

@@ -1,0 +1,138 @@
+"""Tests for DAPPER diagnosis and RON overlay routing."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.dapper.diagnosis import (
+    Bottleneck,
+    ConnectionStats,
+    DapperClassifier,
+    delay_acks,
+    inject_spurious_retransmissions,
+    rewrite_receive_window,
+)
+from repro.flows.flow import FiveTuple
+from repro.ron.overlay import RonOverlay, UnderlayModel
+
+
+def _stats(**overrides):
+    defaults = dict(
+        flow=FiveTuple("10.0.0.1", "198.51.100.9", 40000, 443),
+        flight_bytes=30000,
+        receive_window=90000,
+        estimated_cwnd=90000,
+        loss_events=0,
+        total_segments=1000,
+        sender_idle_fraction=0.05,
+    )
+    defaults.update(overrides)
+    return ConnectionStats(**defaults)
+
+
+class TestDapperClassifier:
+    def test_healthy_connection_unknown(self):
+        assert DapperClassifier().classify(_stats()).bottleneck == Bottleneck.UNKNOWN
+
+    def test_receiver_limited(self):
+        stats = _stats(flight_bytes=89000, receive_window=90000, estimated_cwnd=200000)
+        assert DapperClassifier().classify(stats).bottleneck == Bottleneck.RECEIVER
+
+    def test_network_limited_by_loss(self):
+        stats = _stats(loss_events=50)
+        assert DapperClassifier().classify(stats).bottleneck == Bottleneck.NETWORK
+
+    def test_network_limited_by_cwnd(self):
+        stats = _stats(flight_bytes=89000, estimated_cwnd=90000, receive_window=500000)
+        assert DapperClassifier().classify(stats).bottleneck == Bottleneck.NETWORK
+
+    def test_sender_limited_by_idleness(self):
+        stats = _stats(sender_idle_fraction=0.6)
+        assert DapperClassifier().classify(stats).bottleneck == Bottleneck.SENDER
+
+    def test_evidence_captured(self):
+        diagnosis = DapperClassifier().classify(_stats())
+        assert "loss_rate" in diagnosis.evidence
+
+
+class TestDapperManipulations:
+    def test_rwnd_rewrite_flips_to_receiver(self):
+        classifier = DapperClassifier()
+        healthy = _stats()
+        attacked = rewrite_receive_window(healthy, healthy.flight_bytes // 2)
+        assert classifier.classify(attacked).bottleneck == Bottleneck.RECEIVER
+        # Original object untouched (attacker modifies packets, not state).
+        assert healthy.receive_window == 90000
+
+    def test_fake_retransmissions_flip_to_network(self):
+        classifier = DapperClassifier()
+        attacked = inject_spurious_retransmissions(_stats(), 100)
+        assert classifier.classify(attacked).bottleneck == Bottleneck.NETWORK
+
+    def test_delayed_acks_flip_to_sender(self):
+        classifier = DapperClassifier()
+        attacked = delay_acks(_stats(), idle_boost=0.5)
+        assert classifier.classify(attacked).bottleneck == Bottleneck.SENDER
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            rewrite_receive_window(_stats(), -1)
+        with pytest.raises(ConfigurationError):
+            inject_spurious_retransmissions(_stats(), -1)
+        with pytest.raises(ConfigurationError):
+            delay_acks(_stats(), -0.5)
+
+
+def _underlay():
+    return UnderlayModel(
+        latencies={
+            ("a", "b"): 0.020,
+            ("a", "c"): 0.030,
+            ("c", "b"): 0.030,
+            ("a", "d"): 0.050,
+            ("d", "b"): 0.050,
+            ("c", "d"): 0.040,
+        }
+    )
+
+
+class TestRonOverlay:
+    def test_prefers_direct_path_when_healthy(self):
+        overlay = RonOverlay(["a", "b", "c", "d"], _underlay(), seed=1)
+        overlay.run_probes(30)
+        assert overlay.best_route("a", "b") == ["a", "b"]
+
+    def test_probe_loss_diverts_to_detour(self):
+        overlay = RonOverlay(["a", "b", "c", "d"], _underlay(), seed=1)
+        overlay.install_interceptor("a", "b", lambda a, b, lat: None)  # drop all
+        overlay.run_probes(30)
+        route = overlay.best_route("a", "b")
+        assert len(route) == 3  # via some intermediate
+
+    def test_delay_injection_also_diverts(self):
+        overlay = RonOverlay(["a", "b", "c", "d"], _underlay(), seed=1)
+        overlay.install_interceptor("a", "b", lambda a, b, lat: lat + 0.5)
+        overlay.run_probes(30)
+        assert overlay.best_route("a", "b") != ["a", "b"]
+
+    def test_true_latency_of_detour_is_worse(self):
+        overlay = RonOverlay(["a", "b", "c", "d"], _underlay(), seed=1)
+        direct = overlay.true_path_latency(["a", "b"])
+        detour = overlay.true_path_latency(["a", "c", "b"])
+        assert detour > direct
+
+    def test_ambient_loss_penalised(self):
+        underlay = UnderlayModel(
+            latencies={("a", "b"): 0.020, ("a", "c"): 0.022, ("c", "b"): 0.001},
+            loss_rates={("a", "b"): 0.8},
+        )
+        overlay = RonOverlay(["a", "b", "c"], underlay, loss_penalty=1.0, seed=2)
+        overlay.run_probes(60)
+        assert overlay.best_route("a", "b") == ["a", "c", "b"]
+
+    def test_unknown_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            _underlay().latency("a", "ghost")
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            RonOverlay(["a"], _underlay())

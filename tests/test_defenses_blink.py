@@ -1,0 +1,138 @@
+"""Tests for the Blink RTO-plausibility defense (Section 5)."""
+
+import pytest
+
+from repro.blink.pipeline import BlinkPrefixMonitor
+from repro.core.entities import Signal, SignalKind
+from repro.defenses.blink_defense import (
+    RtoPlausibilityModel,
+    evaluate_detector,
+    genuine_failure_gaps,
+    supervised_blink,
+)
+from repro.flows.flow import FiveTuple
+from repro.flows.tcp import make_rng_rtts
+
+PREFIX = "198.51.100.0/24"
+
+
+def _flow(i):
+    return FiveTuple(f"10.0.{i // 250}.{i % 250 + 1}", "198.51.100.1", 1000 + i, 443)
+
+
+def _signal(flow, time, retrans=False, malicious=False):
+    return Signal(
+        SignalKind.HEADER_FIELD,
+        "tcp.packet",
+        {"flow": flow, "retransmission": retrans, "malicious": malicious},
+        time=time,
+    )
+
+
+def _drive_attack(monitor, flows=40, gap=0.5):
+    """Fake retransmissions at sub-RTO cadence (the attack pattern)."""
+    decisions = []
+    for i in range(flows):
+        decisions += monitor.observe(_signal(_flow(i), time=0.0))
+    for i in range(flows):
+        decisions += monitor.observe(_signal(_flow(i), time=gap, retrans=True, malicious=True))
+    return decisions
+
+
+def _drive_genuine_failure(monitor, flows=40, rto=1.2):
+    """Retransmissions at plausible RTO gaps (a real failure)."""
+    decisions = []
+    for i in range(flows):
+        decisions += monitor.observe(_signal(_flow(i), time=0.0))
+    for i in range(flows):
+        decisions += monitor.observe(_signal(_flow(i), time=rto, retrans=True))
+    return decisions
+
+
+class TestRtoPlausibilityModel:
+    def test_attack_scores_high_risk(self):
+        monitor = BlinkPrefixMonitor(PREFIX, ["a", "b"], cells=8)
+        _drive_attack(monitor)
+        model = RtoPlausibilityModel(monitor)
+        assert model.implausible_fraction() > 0.9
+
+    def test_genuine_failure_scores_low_risk(self):
+        monitor = BlinkPrefixMonitor(PREFIX, ["a", "b"], cells=8)
+        _drive_genuine_failure(monitor)
+        model = RtoPlausibilityModel(monitor)
+        assert model.implausible_fraction() < 0.1
+
+    def test_non_reroute_decisions_not_audited(self):
+        from repro.core.system import Decision
+
+        monitor = BlinkPrefixMonitor(PREFIX, ["a", "b"], cells=8)
+        _drive_attack(monitor)
+        model = RtoPlausibilityModel(monitor)
+        other = Decision("telemetry", "x", 1, 0.0)
+        assert model.risk(monitor.state(), other) == 0.0
+
+
+class TestSupervisedBlink:
+    def test_attack_reroute_vetoed(self):
+        monitor = BlinkPrefixMonitor(PREFIX, ["a", "b"], cells=8)
+        supervised = supervised_blink(monitor)
+        decisions = []
+        for i in range(40):
+            decisions += supervised.observe(_signal(_flow(i), time=0.0))
+        for i in range(40):
+            decisions += supervised.observe(
+                _signal(_flow(i), time=0.5, retrans=True, malicious=True)
+            )
+        assert decisions == []
+        assert len(supervised.suppressed) >= 1
+
+    def test_genuine_failure_reroute_allowed(self):
+        monitor = BlinkPrefixMonitor(PREFIX, ["a", "b"], cells=8)
+        supervised = supervised_blink(monitor)
+        decisions = []
+        for i in range(40):
+            decisions += supervised.observe(_signal(_flow(i), time=0.0))
+        for i in range(40):
+            decisions += supervised.observe(_signal(_flow(i), time=1.3, retrans=True))
+        assert len(decisions) == 1
+        assert decisions[0].action == "reroute"
+
+    def test_rate_limit_caps_reroute_storms(self):
+        monitor = BlinkPrefixMonitor(
+            PREFIX, ["a", "b"], cells=8, reroute_holddown=0.0
+        )
+        supervised = supervised_blink(monitor, max_reroutes_per_window=2)
+        allowed = 0
+        t = 0.0
+        for round_index in range(6):
+            for i in range(40):
+                supervised.observe(_signal(_flow(i), time=t))
+            t += 1.3
+            for i in range(40):
+                allowed += len(
+                    supervised.observe(_signal(_flow(i), time=t, retrans=True))
+                )
+            t += 1.3
+        assert allowed <= 2
+
+
+class TestOfflineDetector:
+    def test_separates_attack_from_failure(self):
+        rtts = make_rng_rtts(100, seed=0)
+        genuine = genuine_failure_gaps(50, rtts)
+        attack = [0.5] * 200
+        verdict = evaluate_detector(attack, genuine)
+        assert verdict["detects_attack"]
+        assert not verdict["false_positive"]
+
+    def test_backoff_gaps_remain_plausible(self):
+        rtts = make_rng_rtts(100, seed=1)
+        gaps = genuine_failure_gaps(20, rtts, retransmissions_per_flow=4)
+        # Exponential backoff: all gaps at or above the RTO floor.
+        assert min(gaps) >= 1.0
+
+    def test_aggressive_stack_floor(self):
+        """With a 200 ms floor, 0.5 s fakes become plausible — the
+        defense's sensitivity depends on the assumed RTO floor."""
+        verdict = evaluate_detector([0.5] * 100, [1.5] * 100, min_plausible_gap=0.2)
+        assert not verdict["detects_attack"]

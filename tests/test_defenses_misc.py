@@ -1,0 +1,109 @@
+"""Tests for input-quality measures and control-logic obfuscation."""
+
+import pytest
+
+from repro.core.entities import Signal, SignalKind
+from repro.core.errors import ConfigurationError
+from repro.defenses.input_quality import (
+    ActiveProbeVerifier,
+    AuthenticatedChannel,
+    majority_vote,
+)
+from repro.defenses.obfuscation import (
+    BlinkParameterRandomizer,
+    attack_success_under_randomization,
+)
+
+
+class TestAuthenticatedChannel:
+    def test_valid_key_marks_trusted_and_adds_latency(self):
+        channel = AuthenticatedChannel("secret", per_signal_latency=0.01)
+        signal = Signal(SignalKind.REPORT, "qoe", 80.0, time=1.0)
+        out = channel.receive(signal, "secret")
+        assert out is not None
+        assert out.trusted
+        assert out.time == pytest.approx(1.01)
+        assert channel.accepted == 1
+
+    def test_wrong_key_rejected(self):
+        channel = AuthenticatedChannel("secret")
+        signal = Signal(SignalKind.REPORT, "qoe", 80.0)
+        assert channel.receive(signal, "forged") is None
+        assert channel.rejected == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AuthenticatedChannel("")
+        with pytest.raises(ConfigurationError):
+            AuthenticatedChannel("k", per_signal_latency=-1)
+
+
+class TestMajorityVote:
+    def test_strict_majority_wins(self):
+        assert majority_vote(["up", "up", "down"]) == "up"
+
+    def test_no_majority_returns_none(self):
+        assert majority_vote(["a", "b"]) is None
+
+    def test_custom_quorum(self):
+        assert majority_vote(["a", "a", "b", "c"], quorum=2) == "a"
+        assert majority_vote(["a", "b", "c"], quorum=2) is None
+
+    def test_empty(self):
+        assert majority_vote([]) is None
+
+    def test_attack_needs_majority_of_signals(self):
+        """Deciding on many independent inputs: one corrupted signal
+        among three cannot force the decision."""
+        honest = ["no-failure", "no-failure"]
+        assert majority_vote(honest + ["failure!"]) == "no-failure"
+
+
+class TestActiveProbeVerifier:
+    def test_confirms_true_events(self):
+        verifier = ActiveProbeVerifier(lambda claim: claim == "real", probe_latency=0.1)
+        assert verifier.verify("real").confirmed
+        assert not verifier.verify("fake").confirmed
+        assert verifier.confirmation_rate == 0.5
+
+    def test_latency_cost_accumulates(self):
+        verifier = ActiveProbeVerifier(lambda c: True, probe_latency=0.2)
+        for _ in range(5):
+            verifier.verify("x")
+        assert verifier.total_latency == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ActiveProbeVerifier(lambda c: True, probe_latency=-0.1)
+
+
+class TestObfuscation:
+    def test_randomizer_draws_within_envelope(self):
+        randomizer = BlinkParameterRandomizer(seed=1)
+        for _ in range(50):
+            draw = randomizer.draw()
+            assert 240.0 <= draw.reset_interval <= 510.0
+            assert 32 <= draw.failure_threshold <= 48
+
+    def test_randomization_hurts_marginal_attacker(self):
+        # An attacker sized just barely for the published defaults.
+        from repro.blink.analysis import minimum_qm
+
+        qm = minimum_qm(32, 8.37, budget=510.0, confidence=0.6)
+        randomizer = BlinkParameterRandomizer(
+            reset_range=(120.0, 510.0), threshold_range=(32, 56), seed=2
+        )
+        outcome = attack_success_under_randomization(qm, 8.37, randomizer, draws=100)
+        assert outcome["success_randomized_parameters"] < outcome["success_fixed_parameters"]
+        assert outcome["obfuscation_gain"] > 0.05
+
+    def test_overwhelming_attacker_unaffected(self):
+        randomizer = BlinkParameterRandomizer(seed=3)
+        outcome = attack_success_under_randomization(0.5, 8.37, randomizer, draws=50)
+        assert outcome["obfuscation_gain"] < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlinkParameterRandomizer(reset_range=(10.0, 5.0))
+        with pytest.raises(ConfigurationError):
+            BlinkParameterRandomizer(threshold_range=(0, 10))

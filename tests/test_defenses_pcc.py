@@ -1,0 +1,78 @@
+"""Tests for the PCC phase-loss auditor and ε clamp (Section 5)."""
+
+import pytest
+
+from repro.attacks.pcc_attack import UtilityEqualizer
+from repro.core.errors import ConfigurationError
+from repro.defenses.pcc_defense import (
+    PhaseLossAuditor,
+    clamped_controller_kwargs,
+)
+from repro.pcc.simulator import PathModel, PccSimulation
+
+
+def _run(tampered: bool, mis=700, base_loss=0.0, seed=0, **controller_kwargs):
+    simulation = PccSimulation(
+        PathModel(capacity=100.0, base_loss=base_loss),
+        flows=1,
+        tamper=UtilityEqualizer(attack_start_time=20.0) if tampered else None,
+        seed=seed,
+        controller_kwargs=controller_kwargs or None,
+    )
+    simulation.run(mis)
+    return simulation
+
+
+class TestPhaseLossAuditor:
+    def test_detects_equalisation_attack(self):
+        simulation = _run(tampered=True)
+        report = PhaseLossAuditor().audit(simulation.records)
+        assert report.suspicious
+        assert report.epsilon_pinned_fraction > 0.8
+        assert report.decision_fraction > 0.9
+
+    def test_benign_congestion_not_flagged(self):
+        simulation = _run(tampered=False, base_loss=0.005)
+        report = PhaseLossAuditor().audit(simulation.records)
+        assert not report.suspicious
+
+    def test_clean_path_not_flagged(self):
+        simulation = _run(tampered=False)
+        report = PhaseLossAuditor().audit(simulation.records)
+        assert not report.suspicious
+
+    def test_lossy_benign_path_not_flagged(self):
+        """Ambient loss hits experiments and non-experiments alike and
+        benign PCC keeps committing directions, so neither signal
+        fires."""
+        simulation = _run(tampered=False, base_loss=0.01, seed=5)
+        report = PhaseLossAuditor().audit(simulation.records)
+        assert not report.suspicious
+        assert report.epsilon_pinned_fraction < 0.5
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PhaseLossAuditor(concentration_threshold=0.5)
+        with pytest.raises(ConfigurationError):
+            PhaseLossAuditor(pinned_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PhaseLossAuditor().audit([])
+
+
+class TestEpsilonClamp:
+    def test_kwargs_validation(self):
+        assert clamped_controller_kwargs(0.02) == {"epsilon_max": 0.02}
+        with pytest.raises(ConfigurationError):
+            clamped_controller_kwargs(0.0)
+
+    def test_clamp_bounds_oscillation_amplitude(self):
+        attacked = _run(tampered=True)
+        clamped = _run(tampered=True, **clamped_controller_kwargs(0.02))
+        assert clamped.rate_amplitude(0, 200) < attacked.rate_amplitude(0, 200)
+        # Amplitude is bounded by roughly 2x the clamp.
+        assert clamped.rate_amplitude(0, 200) < 0.06
+
+    def test_clamp_does_not_hurt_benign_convergence(self):
+        benign = _run(tampered=False, **clamped_controller_kwargs(0.02))
+        rates = benign.flow_rates(0)[-100:]
+        assert sum(rates) / len(rates) == pytest.approx(100.0, rel=0.08)

@@ -1,0 +1,102 @@
+"""Tests for the Pytheas MAD outlier filter (Section 5)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.defenses.pytheas_defense import MadOutlierFilter, mad, median
+from repro.pytheas.session import QoEReport
+
+
+def _reports(values, decision="cdn-A", group="g"):
+    return [
+        QoEReport(session_id=i, group_id=group, decision=decision, value=v)
+        for i, v in enumerate(values)
+    ]
+
+
+class TestRobustStats:
+    def test_median(self):
+        assert median([1.0, 9.0, 5.0]) == 5.0
+
+    def test_mad(self):
+        assert mad([1.0, 2.0, 3.0, 4.0, 100.0], 3.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            median([])
+        with pytest.raises(ConfigurationError):
+            mad([], 0.0)
+
+
+class TestMadOutlierFilter:
+    def test_keeps_honest_reports(self):
+        filt = MadOutlierFilter()
+        reports = _reports([78, 81, 79, 80, 82, 77, 80, 83, 79, 81])
+        kept = filt("g", reports)
+        assert len(kept) == len(reports)
+        assert filt.rejected == 0
+
+    def test_rejects_poisoned_minority(self):
+        filt = MadOutlierFilter()
+        honest = [78, 81, 79, 80, 82, 77, 80, 83, 79, 81, 80, 78]
+        poison = [1.0, 1.0, 2.0]
+        kept = filt("g", _reports(honest + poison))
+        kept_values = [r.value for r in kept]
+        assert all(v > 50 for v in kept_values)
+        assert filt.rejected == 3
+
+    def test_small_groups_not_filtered(self):
+        filt = MadOutlierFilter(min_samples=8)
+        reports = _reports([80, 1.0, 79])  # too few to judge
+        assert len(filt("g", reports)) == 3
+
+    def test_filters_per_decision(self):
+        filt = MadOutlierFilter()
+        a = _reports([80] * 10 + [1.0], decision="cdn-A")
+        b = _reports([30] * 10, decision="cdn-B")
+        kept = filt("g", a + b)
+        # cdn-B's low-but-consistent values are NOT outliers.
+        assert sum(1 for r in kept if r.decision == "cdn-B") == 10
+        assert sum(1 for r in kept if r.decision == "cdn-A") == 10
+
+    def test_rejection_rate(self):
+        filt = MadOutlierFilter()
+        filt("g", _reports([80] * 10 + [1.0] * 2))
+        assert filt.rejection_rate == pytest.approx(2 / 12)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MadOutlierFilter(k=0)
+        with pytest.raises(ConfigurationError):
+            MadOutlierFilter(min_samples=2)
+
+
+class TestEndToEndDefense:
+    def test_filter_neutralises_poisoning(self):
+        """E11: with the filter installed, the poisoning attack that
+        previously flipped the group no longer does."""
+        from repro.attacks.pytheas_attack import PytheasPoisoningAttack
+
+        undefended = PytheasPoisoningAttack().run(
+            attacker_fraction=0.15, rounds=80, seed=3
+        )
+        defended = PytheasPoisoningAttack().run(
+            attacker_fraction=0.15,
+            rounds=80,
+            seed=3,
+            report_filter=MadOutlierFilter(),
+        )
+        assert undefended.details["group_flipped"]
+        assert not defended.details["group_flipped"]
+        assert defended.details["reports_filtered"] > 0
+        assert defended.details["qoe_loss"] < undefended.details["qoe_loss"]
+
+    def test_filter_does_not_break_benign_optimisation(self):
+        from repro.attacks.pytheas_attack import PytheasPoisoningAttack
+
+        benign = PytheasPoisoningAttack().run(
+            attacker_fraction=0.0, rounds=80, seed=4, report_filter=MadOutlierFilter()
+        )
+        # Baseline and "attacked" (0% attackers) runs should both pick
+        # the genuinely better CDN.
+        assert benign.details["preferred_attacked"] == benign.details["preferred_baseline"]

@@ -1,0 +1,185 @@
+"""Tests for passive egress selection and the connection-table LB."""
+
+import random
+
+import pytest
+
+from repro.core.entities import Signal, SignalKind
+from repro.core.errors import ConfigurationError
+from repro.egress.selector import PassiveEgressSelector
+from repro.flows.flow import FiveTuple
+from repro.silkroad.conntable import (
+    ConnTableLoadBalancer,
+    InsertOutcome,
+)
+
+
+def _sample(prefix, egress, rtt, lost=False, t=0.0):
+    return Signal(
+        SignalKind.TIMING,
+        "egress.sample",
+        {"prefix": prefix, "egress": egress, "rtt": rtt, "lost": lost},
+        time=t,
+    )
+
+
+class TestEgressSelector:
+    def _feed(self, selector, rtts, rounds=30):
+        rng = random.Random(1)
+        for i in range(rounds):
+            for egress, rtt in rtts.items():
+                selector.observe(
+                    _sample("p", egress, max(0.001, rng.gauss(rtt, 0.001)), t=float(i))
+                )
+
+    def test_picks_the_faster_egress(self):
+        selector = PassiveEgressSelector(["A", "B"])
+        self._feed(selector, {"A": 0.020, "B": 0.035})
+        assert selector.egress_for("p") == "A"
+
+    def test_needs_min_samples_before_steering(self):
+        selector = PassiveEgressSelector(["A", "B"], min_samples=10)
+        selector.observe(_sample("p", "A", 0.02))
+        assert selector.egress_for("p") is None
+
+    def test_hysteresis_prevents_flapping(self):
+        selector = PassiveEgressSelector(["A", "B"], hysteresis=0.2)
+        self._feed(selector, {"A": 0.020, "B": 0.021})
+        switches_before = len(selector.switches)
+        # Tiny fluctuations around near-equal paths: no extra switches.
+        self._feed(selector, {"A": 0.021, "B": 0.020})
+        assert len(selector.switches) == switches_before
+
+    def test_loss_penalised(self):
+        selector = PassiveEgressSelector(["A", "B"], loss_penalty=1.0)
+        rng = random.Random(2)
+        for i in range(40):
+            selector.observe(
+                _sample("p", "A", 0.02, lost=rng.random() < 0.3, t=float(i))
+            )
+            selector.observe(_sample("p", "B", 0.035, t=float(i)))
+        assert selector.egress_for("p") == "B"
+
+    def test_delay_injection_diverts(self):
+        selector = PassiveEgressSelector(["A", "B"])
+        self._feed(selector, {"A": 0.020, "B": 0.035})
+        assert selector.egress_for("p") == "A"
+        # MitM adds 40 ms to A.
+        self._feed(selector, {"A": 0.060, "B": 0.035}, rounds=40)
+        assert selector.egress_for("p") == "B"
+
+    def test_unknown_egress_rejected(self):
+        selector = PassiveEgressSelector(["A"])
+        with pytest.raises(ConfigurationError):
+            selector.observe(_sample("p", "ghost", 0.02))
+
+    def test_state_snapshot(self):
+        selector = PassiveEgressSelector(["A", "B"])
+        self._feed(selector, {"A": 0.020, "B": 0.035})
+        state = selector.state()
+        assert state.get("assignment")["p"] == "A"
+
+
+def _flow(i, subnet=0):
+    return FiveTuple(f"10.{subnet}.{i // 250}.{i % 250 + 1}", "198.51.100.10", 1000 + i, 443)
+
+
+class TestConnTable:
+    def test_pins_connections_until_full(self):
+        lb = ConnTableLoadBalancer(["b0", "b1"], capacity=3)
+        assert lb.open_connection(_flow(1)) == InsertOutcome.INSERTED
+        assert lb.open_connection(_flow(1)) == InsertOutcome.ALREADY_PRESENT
+        lb.open_connection(_flow(2))
+        lb.open_connection(_flow(3))
+        assert lb.occupancy == 1.0
+        assert lb.open_connection(_flow(4)) == InsertOutcome.STATELESS
+
+    def test_reject_mode(self):
+        lb = ConnTableLoadBalancer(["b0"], capacity=1, reject_when_full=True)
+        lb.open_connection(_flow(1))
+        assert lb.open_connection(_flow(2)) == InsertOutcome.REJECTED
+        assert lb.stats.rejects == 1
+
+    def test_close_frees_entry(self):
+        lb = ConnTableLoadBalancer(["b0"], capacity=1)
+        lb.open_connection(_flow(1))
+        lb.close_connection(_flow(1))
+        assert lb.open_connection(_flow(2)) == InsertOutcome.INSERTED
+
+    def test_pinned_connection_survives_pool_growth(self):
+        lb = ConnTableLoadBalancer(["b0", "b1"], capacity=10)
+        flow = _flow(1)
+        lb.open_connection(flow)
+        backend = lb.backend_for(flow)
+        lb.update_pool(["b0", "b1", "b2", "b3"])
+        assert lb.backend_for(flow) == backend
+
+    def test_stateless_connections_rehash_on_pool_change(self):
+        lb = ConnTableLoadBalancer(["b0", "b1"], capacity=1)
+        lb.open_connection(_flow(1))  # occupies the only slot
+        stateless = [_flow(i, subnet=1) for i in range(200)]
+        for flow in stateless:
+            lb.open_connection(flow)
+        rehashed = sum(
+            1
+            for flow in stateless
+            if lb.would_break_on_update(flow, ["b0", "b1", "b2"])
+        )
+        # Growing the pool from 2 to 3 backends remaps a substantial
+        # share of stateless connections (~2/3 in expectation).
+        assert rehashed > 80
+
+    def test_removing_pinned_backend_breaks_connection(self):
+        lb = ConnTableLoadBalancer(["b0", "b1"], capacity=10)
+        flows = [_flow(i) for i in range(10)]
+        for flow in flows:
+            lb.open_connection(flow)
+        lb.update_pool(["b0"])
+        assert lb.stats.broken_connections > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConnTableLoadBalancer([], capacity=1)
+        with pytest.raises(ConfigurationError):
+            ConnTableLoadBalancer(["b0"], capacity=0)
+        lb = ConnTableLoadBalancer(["b0"], capacity=1)
+        with pytest.raises(ConfigurationError):
+            lb.update_pool([])
+
+
+class TestExtraAttacks:
+    def test_egress_divert_attack(self):
+        from repro.attacks import EgressDivertAttack
+
+        result = EgressDivertAttack().run()
+        assert result.success
+        assert result.details["egress_after_attack"] == "egress-B"
+
+    def test_state_exhaustion_attack_consistency_mode(self):
+        from repro.attacks import StateExhaustionAttack
+
+        result = StateExhaustionAttack().run(
+            capacity=2000, attack_connections=2500, legitimate_connections=500
+        )
+        assert result.success
+        assert result.details["attacked"]["broken_on_update"] > 0
+        assert result.details["baseline"]["broken_on_update"] == 0
+
+    def test_state_exhaustion_attack_reject_mode(self):
+        from repro.attacks import StateExhaustionAttack
+
+        result = StateExhaustionAttack().run(
+            capacity=2000,
+            attack_connections=2500,
+            legitimate_connections=500,
+            reject_when_full=True,
+        )
+        assert result.details["attacked"]["rejected"] == 500  # total denial
+
+    def test_innet_evasion_attack(self):
+        from repro.attacks import InNetworkEvasionAttack
+
+        result = InNetworkEvasionAttack().run()
+        assert result.success
+        assert result.details["clean_accuracy"] > 0.9
+        assert result.details["evasion_rate"] > 0.7

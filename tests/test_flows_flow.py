@@ -1,0 +1,76 @@
+"""Tests for 5-tuples and stable hashing."""
+
+import pytest
+
+from repro.flows.flow import FiveTuple, fnv1a_64, hosts_in_prefix, ip_in_prefix
+
+
+class TestFiveTuple:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FiveTuple("a", "b", -1, 443)
+        with pytest.raises(ValueError):
+            FiveTuple("a", "b", 1, 70000)
+        with pytest.raises(ValueError):
+            FiveTuple("a", "b", 1, 2, protocol=300)
+
+    def test_reversed(self):
+        flow = FiveTuple("a", "b", 1, 2)
+        rev = flow.reversed()
+        assert rev.src == "b" and rev.dst == "a"
+        assert rev.src_port == 2 and rev.dst_port == 1
+        assert rev.reversed() == flow
+
+    def test_str_form(self):
+        assert str(FiveTuple("a", "b", 1, 2, 6)) == "a:1->b:2/6"
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        flow = FiveTuple("10.0.0.1", "198.51.100.2", 1234, 443)
+        assert flow.stable_hash() == flow.stable_hash()
+        assert flow.stable_hash() == FiveTuple("10.0.0.1", "198.51.100.2", 1234, 443).stable_hash()
+
+    def test_distinct_flows_differ(self):
+        a = FiveTuple("10.0.0.1", "198.51.100.2", 1234, 443)
+        b = FiveTuple("10.0.0.1", "198.51.100.2", 1235, 443)
+        assert a.stable_hash() != b.stable_hash()
+
+    def test_cell_index_range_and_seed_sensitivity(self):
+        flow = FiveTuple("10.0.0.1", "198.51.100.2", 1234, 443)
+        indexes = {flow.cell_index(64, seed=s) for s in range(20)}
+        assert all(0 <= i < 64 for i in indexes)
+        assert len(indexes) > 1  # reseeding actually remaps
+
+    def test_cell_index_roughly_uniform(self):
+        counts = [0] * 16
+        for port in range(4096):
+            flow = FiveTuple("10.0.0.1", "198.51.100.2", port % 60000 + 1, 443)
+            counts[flow.cell_index(16)] += 1
+        expected = 4096 / 16
+        assert all(0.6 * expected < c < 1.4 * expected for c in counts)
+
+    def test_invalid_cell_count(self):
+        with pytest.raises(ValueError):
+            FiveTuple("a", "b", 1, 2).cell_index(0)
+
+    def test_fnv_known_property(self):
+        # FNV-1a of empty input is the offset basis.
+        assert fnv1a_64(b"") == 0xCBF29CE484222325
+
+
+class TestPrefixHelpers:
+    def test_ip_in_prefix(self):
+        assert ip_in_prefix("198.51.100.17", "198.51.100.0/24")
+        assert not ip_in_prefix("198.51.101.17", "198.51.100.0/24")
+
+    def test_symbolic_names_never_match(self):
+        assert not ip_in_prefix("h1", "10.0.0.0/8")
+
+    def test_hosts_in_prefix(self):
+        hosts = list(hosts_in_prefix("198.51.100.0/24", 3))
+        assert hosts == ["198.51.100.1", "198.51.100.2", "198.51.100.3"]
+
+    def test_hosts_in_prefix_capacity(self):
+        with pytest.raises(ValueError):
+            list(hosts_in_prefix("198.51.100.0/30", 10))

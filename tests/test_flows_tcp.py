@@ -1,0 +1,132 @@
+"""Tests for the TCP machinery (RTO estimation, sender/sink)."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import FiveTuple
+from repro.flows.tcp import RtoEstimator, TcpSender, TcpSink, make_rng_rtts
+from repro.netsim.network import Network
+from repro.netsim.topology import line_topology
+
+
+class TestRtoEstimator:
+    def test_initial_rto_default(self):
+        assert RtoEstimator().rto == 1.0
+
+    def test_floor_respected(self):
+        est = RtoEstimator(min_rto=1.0)
+        for _ in range(10):
+            est.on_measurement(0.01)
+        assert est.rto == 1.0
+
+    def test_srtt_converges_to_constant_rtt(self):
+        est = RtoEstimator(min_rto=0.2)
+        for _ in range(50):
+            est.on_measurement(0.1)
+        assert est.srtt == pytest.approx(0.1, rel=0.01)
+
+    def test_backoff_doubles_and_caps(self):
+        est = RtoEstimator(min_rto=1.0, max_rto=8.0)
+        est.on_measurement(0.05)
+        base = est.rto
+        est.on_timeout()
+        assert est.rto == pytest.approx(2 * base)
+        for _ in range(10):
+            est.on_timeout()
+        assert est.rto == 8.0
+
+    def test_measurement_resets_backoff(self):
+        est = RtoEstimator()
+        est.on_measurement(0.05)
+        est.on_timeout()
+        est.on_measurement(0.05)
+        assert est.rto == pytest.approx(1.0)
+
+    def test_negative_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            RtoEstimator().on_measurement(-0.1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(min_rto=0)
+        with pytest.raises(ConfigurationError):
+            RtoEstimator(min_rto=2.0, max_rto=1.0)
+
+
+def _wired_network():
+    topo = line_topology(2, delay_s=0.005)
+    topo.add_node("s", role="host")
+    topo.add_node("d", role="host")
+    topo.add_link("s", "r0", delay_s=0.001)
+    topo.add_link("d", "r1", delay_s=0.001)
+    return Network(topo, seed=7)
+
+
+class TestTransferEndToEnd:
+    def _transfer(self, loss_rate=0.0, total_bytes=50 * 1460):
+        network = _wired_network()
+        if loss_rate:
+            link = network.link("r0", "r1")
+            link.loss_rate = loss_rate
+        flow = FiveTuple("s", "d", 40000, 443)
+        sink = TcpSink(network, "d")
+        network.attach_host("d", sink)
+        sender = TcpSender(network, "s", flow, total_bytes=total_bytes, min_rto=0.2)
+        network.attach_host("s", lambda p, t: sender.on_ack(p, t))
+        sender.start()
+        network.run_until(120.0)
+        return sender, sink
+
+    def test_lossless_transfer_completes(self):
+        sender, sink = self._transfer()
+        assert sender.finished
+        assert sink.received_bytes == 50 * 1460
+        assert sender.retransmitted_segments == 0
+
+    def test_lossy_transfer_retransmits_and_completes(self):
+        sender, sink = self._transfer(loss_rate=0.1)
+        assert sender.finished
+        assert sink.received_bytes == 50 * 1460
+        assert sender.retransmitted_segments > 0
+
+    def test_retransmissions_repeat_sequence_numbers(self):
+        """The property Blink's detection relies on."""
+        network = _wired_network()
+        from repro.netsim.link import RecordTap
+
+        tap = RecordTap()
+        network.install_tap("r0", "r1", tap)
+        network.link("r0", "r1").loss_rate = 0.2
+        flow = FiveTuple("s", "d", 40001, 443)
+        sink = TcpSink(network, "d")
+        network.attach_host("d", sink)
+        sender = TcpSender(network, "s", flow, total_bytes=30 * 1460, min_rto=0.2)
+        network.attach_host("s", lambda p, t: sender.on_ack(p, t))
+        sender.start()
+        network.run_until(120.0)
+        seqs = [p.tcp.seq for _, p in tap.records if p.tcp and p.payload_size > 0]
+        assert len(seqs) != len(set(seqs))  # duplicates observed on the wire
+
+    def test_window_limits_in_flight(self):
+        network = _wired_network()
+        flow = FiveTuple("s", "d", 40002, 443)
+        sink = TcpSink(network, "d")
+        network.attach_host("d", sink)
+        sender = TcpSender(network, "s", flow, total_bytes=10**6, window_segments=5)
+        network.attach_host("s", lambda p, t: sender.on_ack(p, t))
+        sender.start()
+        assert sender.in_flight == 5
+
+
+class TestRttPopulation:
+    def test_lognormal_population_positive(self):
+        rtts = make_rng_rtts(500, median_rtt=0.08, seed=3)
+        assert len(rtts) == 500
+        assert all(r > 0 for r in rtts)
+        rtts.sort()
+        median = rtts[250]
+        assert 0.04 < median < 0.16
+
+    def test_count_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_rng_rtts(0)

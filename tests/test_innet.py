@@ -1,0 +1,135 @@
+"""Tests for the in-network BNN and its adversarial examples."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.innet.adversarial import craft_adversarial_bits, evasion_rate
+from repro.innet.bnn import (
+    BinarizedClassifier,
+    PacketFeaturizer,
+    PacketSample,
+    accuracy,
+    synthetic_traffic,
+    train_binarized,
+)
+
+
+class TestFeaturizer:
+    def test_width_and_values(self):
+        featurizer = PacketFeaturizer()
+        bits = featurizer.encode(PacketSample(443, 900, 10.0, label=1))
+        assert len(bits) == featurizer.width
+        assert all(b in (-1, 1) for b in bits)
+
+    def test_thermometer_monotone(self):
+        featurizer = PacketFeaturizer()
+        small = featurizer.encode(PacketSample(80, 64, 0.01, label=1))
+        large = featurizer.encode(PacketSample(60000, 1500, 200.0, label=1))
+        # Larger values can only turn -1 bits into +1.
+        assert all(l >= s for s, l in zip(small, large))
+
+    def test_all_bits_attacker_controllable(self):
+        featurizer = PacketFeaturizer()
+        assert featurizer.attacker_controllable_bits() == list(range(featurizer.width))
+
+
+class TestBinarizedClassifier:
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            BinarizedClassifier([])
+        with pytest.raises(ConfigurationError):
+            BinarizedClassifier([2, 1])
+
+    def test_score_is_integer_dot_product(self):
+        classifier = BinarizedClassifier([1, -1, 1], bias=1)
+        assert classifier.score([1, 1, 1]) == 1 - 1 + 1 + 1
+        assert classifier.classify([1, 1, 1]) == 1
+        assert classifier.classify([-1, 1, -1]) == -1
+
+    def test_width_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BinarizedClassifier([1, 1]).score([1])
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return train_binarized(synthetic_traffic(2000, seed=0), seed=0)
+
+    def test_high_clean_accuracy(self, model):
+        holdout = synthetic_traffic(600, seed=1)
+        assert accuracy(model, holdout) > 0.95
+
+    def test_deterministic_per_seed(self):
+        a = train_binarized(synthetic_traffic(500, seed=2), seed=3)
+        b = train_binarized(synthetic_traffic(500, seed=2), seed=3)
+        assert a.weights == b.weights and a.bias == b.bias
+
+    def test_needs_samples(self):
+        with pytest.raises(ConfigurationError):
+            train_binarized([])
+
+
+class TestAdversarial:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return train_binarized(synthetic_traffic(2000, seed=0), seed=0)
+
+    def test_crafting_flips_classification(self, model):
+        featurizer = PacketFeaturizer()
+        sample = synthetic_traffic(10, seed=4)[0]
+        bits = featurizer.encode(sample)
+        result = craft_adversarial_bits(
+            model, bits, featurizer.attacker_controllable_bits()
+        )
+        assert result.succeeded
+        assert result.final_class != result.original_class
+
+    def test_budget_limits_flips(self, model):
+        featurizer = PacketFeaturizer()
+        sample = synthetic_traffic(10, seed=4)[0]
+        bits = featurizer.encode(sample)
+        result = craft_adversarial_bits(
+            model, bits, featurizer.attacker_controllable_bits(), max_flips=1
+        )
+        assert result.perturbation_size <= 1
+
+    def test_greedy_flips_largest_contributors_first(self, model):
+        featurizer = PacketFeaturizer()
+        sample = synthetic_traffic(10, seed=4)[0]
+        bits = featurizer.encode(sample)
+        result = craft_adversarial_bits(
+            model, bits, featurizer.attacker_controllable_bits()
+        )
+        # Each flip must have reduced the margin toward the boundary.
+        assert result.perturbation_size >= 1
+
+    def test_high_evasion_rate(self, model):
+        holdout = synthetic_traffic(400, seed=5)
+        rate, mean_flips = evasion_rate(model, holdout, max_flips=4)
+        assert rate > 0.7
+        assert 1.0 <= mean_flips <= 4.0
+
+    def test_restricted_control_reduces_evasion(self, model):
+        """If the attacker could only flip two specific bits, fewer
+        packets are evadable — the defense lever of feature choice."""
+        featurizer = PacketFeaturizer()
+        holdout = synthetic_traffic(200, seed=6)
+        full = sum(
+            craft_adversarial_bits(
+                model,
+                featurizer.encode(s),
+                featurizer.attacker_controllable_bits(),
+                max_flips=4,
+            ).succeeded
+            for s in holdout
+            if model.classify(featurizer.encode(s)) == s.label
+        )
+        limited = sum(
+            craft_adversarial_bits(
+                model, featurizer.encode(s), [0, 1], max_flips=4
+            ).succeeded
+            for s in holdout
+            if model.classify(featurizer.encode(s)) == s.label
+        )
+        assert limited < full

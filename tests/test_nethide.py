@@ -1,0 +1,144 @@
+"""Tests for NetHide metrics, obfuscation and the malicious faker."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.nethide.metrics import (
+    flow_density,
+    levenshtein,
+    max_flow_density,
+    path_accuracy,
+    path_links,
+    path_utility,
+    topology_accuracy,
+)
+from repro.nethide.obfuscation import (
+    MaliciousTopologyFaker,
+    NetHideObfuscator,
+    VirtualTopologyResponder,
+    physical_paths_for,
+)
+from repro.netsim.topology import line_topology, random_topology
+
+
+class TestMetrics:
+    def test_levenshtein_basics(self):
+        assert levenshtein("abc", "abc") == 0
+        assert levenshtein("abc", "abd") == 1
+        assert levenshtein("abc", "") == 3
+
+    def test_identical_paths_score_one(self):
+        assert path_accuracy(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+        assert path_utility(["a", "b", "c"], ["a", "b", "c"]) == 1.0
+
+    def test_disjoint_paths_score_low(self):
+        assert path_accuracy(["a", "b", "c"], ["a", "x", "y", "c"]) < 0.6
+        assert path_utility(["a", "b"], ["a", "x", "b"]) == 0.0
+
+    def test_path_links_undirected(self):
+        assert path_links(["a", "b", "c"]) == {("a", "b"), ("b", "c")}
+
+    def test_flow_density_counts_pairs(self):
+        paths = {("a", "c"): ["a", "b", "c"], ("a", "b"): ["a", "b"]}
+        density = flow_density(paths)
+        assert density[("a", "b")] == 2
+        assert density[("b", "c")] == 1
+        assert max_flow_density(paths) == 2
+
+    def test_topology_accuracy_requires_matching_pairs(self):
+        with pytest.raises(ConfigurationError):
+            topology_accuracy({("a", "b"): ["a", "b"]}, {})
+
+
+class TestObfuscator:
+    @pytest.fixture(scope="class")
+    def topology(self):
+        return random_topology(14, edge_probability=0.3, seed=5)
+
+    def test_identity_when_threshold_loose(self, topology):
+        physical = physical_paths_for(topology)
+        loose = max_flow_density(physical) + 1
+        virtual = NetHideObfuscator(topology, security_threshold=loose).compute()
+        assert virtual.accuracy == 1.0
+        assert virtual.utility == 1.0
+        assert virtual.secure
+
+    def test_meets_tight_threshold(self, topology):
+        physical = physical_paths_for(topology)
+        tight = max(1, int(max_flow_density(physical) * 0.7))
+        virtual = NetHideObfuscator(topology, security_threshold=tight).compute()
+        assert virtual.secure
+        assert virtual.max_density <= tight
+
+    def test_security_costs_accuracy(self, topology):
+        physical = physical_paths_for(topology)
+        base = max_flow_density(physical)
+        loose = NetHideObfuscator(topology, security_threshold=base).compute()
+        tight = NetHideObfuscator(
+            topology, security_threshold=max(1, int(base * 0.6))
+        ).compute()
+        assert tight.accuracy <= loose.accuracy
+
+    def test_bridge_link_handled_with_virtual_waypoint(self):
+        # A pure line: every link is a bridge; only fabricated
+        # waypoints can reduce density.
+        topology = line_topology(5)
+        physical = physical_paths_for(topology)
+        base = max_flow_density(physical)
+        virtual = NetHideObfuscator(topology, security_threshold=base - 2).compute()
+        assert virtual.secure
+        fabricated = {
+            node
+            for path in virtual.virtual_paths.values()
+            for node in path
+            if node.startswith("virt-")
+        }
+        assert fabricated
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            NetHideObfuscator(line_topology(3), security_threshold=0)
+
+
+class TestMaliciousFaker:
+    def test_decoy_paths_have_no_real_routers(self):
+        topology = random_topology(8, seed=2)
+        virtual = MaliciousTopologyFaker(topology, decoy_hops=3).compute()
+        for (src, dst), path in virtual.virtual_paths.items():
+            middle = path[1:-1]
+            assert all(h.startswith("decoy-") for h in middle)
+            assert path[0] == src and path[-1] == dst
+
+    def test_accuracy_collapses(self):
+        topology = random_topology(10, seed=4)
+        virtual = MaliciousTopologyFaker(topology).compute()
+        assert virtual.accuracy < 0.5
+
+
+class TestResponder:
+    def test_traceroute_view_follows_virtual_path(self):
+        topology = line_topology(4)
+        virtual = NetHideObfuscator(
+            topology, security_threshold=10**6
+        ).compute()  # identity
+        responder = VirtualTopologyResponder(virtual)
+        view = responder.traceroute_view("r0", "r3")
+        assert view == ["r1", "r2", "r3"]
+
+    def test_reply_none_at_destination_ttl(self):
+        topology = line_topology(3)
+        virtual = NetHideObfuscator(topology, security_threshold=10**6).compute()
+        responder = VirtualTopologyResponder(virtual)
+        assert responder.reply_source_for("r0", "r2", 1) == "r1"
+        assert responder.reply_source_for("r0", "r2", 2) is None
+
+    def test_reverse_pair_lookup(self):
+        topology = line_topology(3)
+        virtual = NetHideObfuscator(topology, security_threshold=10**6).compute()
+        assert virtual.virtual_path("r2", "r0") == ["r2", "r1", "r0"]
+
+    def test_unknown_pair_rejected(self):
+        topology = line_topology(3)
+        virtual = NetHideObfuscator(topology, security_threshold=10**6).compute()
+        with pytest.raises(ConfigurationError):
+            virtual.virtual_path("r0", "ghost")

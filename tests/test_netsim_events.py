@@ -1,0 +1,110 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.core.errors import SchedulingError, SimulationError
+from repro.netsim.events import EventLoop
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, loop):
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append("b"))
+        loop.schedule_at(1.0, lambda: fired.append("a"))
+        loop.run_until(3.0)
+        assert fired == ["a", "b"]
+
+    def test_same_time_fifo_tiebreak(self, loop):
+        fired = []
+        for name in "abc":
+            loop.schedule_at(1.0, lambda n=name: fired.append(n))
+        loop.run_until(1.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_past_scheduling_rejected(self, loop):
+        loop.run_until(5.0)
+        with pytest.raises(SchedulingError):
+            loop.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self, loop):
+        with pytest.raises(SchedulingError):
+            loop.schedule_in(-0.1, lambda: None)
+
+    def test_clock_advances_to_end_time(self, loop):
+        loop.run_until(10.0)
+        assert loop.now == 10.0
+
+    def test_clock_set_to_event_times_during_callbacks(self, loop):
+        seen = []
+        loop.schedule_at(4.2, lambda: seen.append(loop.now))
+        loop.run_until(10.0)
+        assert seen == [4.2]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, loop):
+        fired = []
+        event = loop.schedule_at(1.0, lambda: fired.append(1))
+        event.cancel()
+        loop.run_until(2.0)
+        assert fired == []
+
+    def test_cancel_inside_callback(self, loop):
+        fired = []
+        later = loop.schedule_at(2.0, lambda: fired.append("later"))
+        loop.schedule_at(1.0, later.cancel)
+        loop.run_until(3.0)
+        assert fired == []
+
+
+class TestPeriodic:
+    def test_periodic_fires_repeatedly(self, loop):
+        ticks = []
+        loop.schedule_periodic(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_custom_start_delay(self, loop):
+        ticks = []
+        loop.schedule_periodic(2.0, lambda: ticks.append(loop.now), start_delay=0.5)
+        loop.run_until(5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_cancelling_periodic_stops_recurrence(self, loop):
+        ticks = []
+        event = loop.schedule_periodic(1.0, lambda: ticks.append(loop.now))
+        loop.run_until(2.0)
+        event.cancel()
+        loop.run_until(10.0)
+        assert ticks == [1.0, 2.0]
+
+    def test_zero_period_rejected(self, loop):
+        with pytest.raises(SchedulingError):
+            loop.schedule_periodic(0.0, lambda: None)
+
+    def test_run_all_refuses_periodic(self, loop):
+        loop.schedule_periodic(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            loop.run_all()
+
+
+class TestSafetyLimits:
+    def test_max_events_guard(self, loop):
+        def reschedule():
+            loop.schedule_in(0.001, reschedule)
+
+        loop.schedule_in(0.0, reschedule)
+        with pytest.raises(SimulationError):
+            loop.run_until(1e9, max_events=100)
+
+    def test_event_cascade_counts(self, loop):
+        loop.schedule_at(1.0, lambda: loop.schedule_in(1.0, lambda: None))
+        processed = loop.run_until(5.0)
+        assert processed == 2
+        assert loop.processed_events == 2
+
+    def test_pending_events_excludes_cancelled(self, loop):
+        event = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        event.cancel()
+        assert loop.pending_events == 1

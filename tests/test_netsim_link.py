@@ -1,0 +1,105 @@
+"""Tests for the link model and MitM taps."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.netsim.events import EventLoop
+from repro.netsim.link import ChainTap, DelayTap, DropTap, Link, RecordTap
+from repro.netsim.packet import Packet
+
+
+def _make_link(loop, **kwargs):
+    defaults = dict(bandwidth_bps=8e6, delay_s=0.01)
+    defaults.update(kwargs)
+    return Link(loop, "a", "b", **defaults)
+
+
+def _packet(size=960):
+    return Packet(src="a", dst="b", payload_size=size)
+
+
+class TestTransmission:
+    def test_delivery_after_serialisation_plus_propagation(self, loop):
+        link = _make_link(loop)  # 8 Mbps, 10 ms
+        delivered = []
+        packet = _packet(size=960)  # 1000 B wire = 1 ms serialisation
+        assert link.transmit(packet, lambda p: delivered.append(loop.now))
+        loop.run_until(1.0)
+        assert delivered == [pytest.approx(0.011)]
+
+    def test_fifo_queueing_serialises_backlog(self, loop):
+        link = _make_link(loop)
+        times = []
+        for _ in range(3):
+            link.transmit(_packet(960), lambda p: times.append(loop.now))
+        loop.run_until(1.0)
+        assert times == [pytest.approx(0.011), pytest.approx(0.012), pytest.approx(0.013)]
+
+    def test_queue_overflow_drops(self, loop):
+        link = _make_link(loop, queue_packets=2)
+        accepted = [link.transmit(_packet(), lambda p: None) for _ in range(4)]
+        assert accepted == [True, True, False, False]
+        assert link.stats()[f"link.a->b.queue_dropped"] == 2
+
+    def test_random_loss(self, loop):
+        import random
+
+        link = _make_link(loop, loss_rate=0.5, rng=random.Random(42))
+        outcomes = [link.transmit(_packet(), lambda p: None) for _ in range(200)]
+        loss = outcomes.count(False) / len(outcomes)
+        assert 0.35 < loss < 0.65
+
+    def test_invalid_configuration(self, loop):
+        with pytest.raises(ConfigurationError):
+            Link(loop, "a", "b", bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            Link(loop, "a", "b", loss_rate=1.5)
+        with pytest.raises(ConfigurationError):
+            Link(loop, "a", "b", queue_packets=0)
+
+
+class TestTaps:
+    def test_drop_tap_with_budget(self, loop):
+        link = _make_link(loop)
+        tap = DropTap(lambda p, t: True, max_drops=2)
+        link.tap = tap
+        results = [link.transmit(_packet(), lambda p: None) for _ in range(4)]
+        assert results == [False, False, True, True]
+        assert tap.dropped == 2
+        assert tap.seen == 4
+
+    def test_delay_tap_adds_latency(self, loop):
+        link = _make_link(loop)
+        link.tap = DelayTap(lambda p, t: True, extra_delay=0.5)
+        times = []
+        link.transmit(_packet(960), lambda p: times.append(loop.now))
+        loop.run_until(1.0)
+        assert times == [pytest.approx(0.511)]
+
+    def test_record_tap_captures_packets(self, loop):
+        link = _make_link(loop)
+        tap = RecordTap()
+        link.tap = tap
+        packet = _packet()
+        link.transmit(packet, lambda p: None)
+        assert len(tap.records) == 1
+        assert tap.records[0][1] is packet
+
+    def test_chain_tap_drop_wins(self, loop):
+        link = _make_link(loop)
+        link.tap = ChainTap([RecordTap(), DropTap(lambda p, t: True)])
+        assert link.transmit(_packet(), lambda p: None) is False
+
+    def test_chain_tap_accumulates_delay(self, loop):
+        link = _make_link(loop)
+        link.tap = ChainTap(
+            [DelayTap(lambda p, t: True, 0.1), DelayTap(lambda p, t: True, 0.2)]
+        )
+        times = []
+        link.transmit(_packet(960), lambda p: times.append(loop.now))
+        loop.run_until(1.0)
+        assert times == [pytest.approx(0.311)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelayTap(lambda p, t: True, -0.1)

@@ -1,0 +1,97 @@
+"""Tests for routing tables, LPM and Blink's next-hop override."""
+
+import pytest
+
+from repro.core.errors import RoutingError
+from repro.netsim.routing import RoutingTable, StaticRouter
+from repro.netsim.topology import Topology, line_topology, triangle_with_hosts
+
+
+class TestRoutingTable:
+    def test_symbolic_route(self):
+        table = RoutingTable("r0")
+        table.install("dst", "r1")
+        assert table.lookup("dst").next_hop == "r1"
+
+    def test_longest_prefix_match(self):
+        table = RoutingTable("r0")
+        table.install("10.0.0.0/8", "coarse")
+        table.install("10.1.0.0/16", "fine")
+        assert table.lookup("10.1.2.3").next_hop == "fine"
+        assert table.lookup("10.2.2.3").next_hop == "coarse"
+
+    def test_no_route_raises(self):
+        table = RoutingTable("r0")
+        with pytest.raises(RoutingError):
+            table.lookup("192.0.2.1")
+
+    def test_withdraw(self):
+        table = RoutingTable("r0")
+        table.install("10.0.0.0/8", "nh")
+        table.withdraw("10.0.0.0/8")
+        with pytest.raises(RoutingError):
+            table.lookup("10.1.1.1")
+
+    def test_override_replaces_entry(self):
+        table = RoutingTable("r0")
+        table.install("10.0.0.0/8", "nh1", origin="spf")
+        table.install("10.0.0.0/8", "nh2", origin="blink-override")
+        route = table.lookup("10.0.0.1")
+        assert route.next_hop == "nh2"
+        assert route.origin == "blink-override"
+
+
+class TestStaticRouter:
+    def test_all_pairs_reachable_on_line(self):
+        router = StaticRouter(line_topology(4))
+        router.compute()
+        assert router.path("r0", "r3") == ["r0", "r1", "r2", "r3"]
+        assert router.path("r3", "r0") == ["r3", "r2", "r1", "r0"]
+
+    def test_prefix_announcement(self):
+        topo = triangle_with_hosts()
+        router = StaticRouter(topo)
+        router.compute()
+        router.announce_prefix("198.51.100.0/24", "r2")
+        assert router.table("r0").lookup("198.51.100.9").next_hop == "r2"
+
+    def test_prefix_at_unknown_node_rejected(self):
+        router = StaticRouter(line_topology(3))
+        with pytest.raises(RoutingError):
+            router.announce_prefix("10.0.0.0/8", "ghost")
+
+    def test_override_must_be_adjacent(self):
+        topo = triangle_with_hosts()
+        router = StaticRouter(topo)
+        router.compute()
+        with pytest.raises(RoutingError):
+            router.override_next_hop("r0", "198.51.100.0/24", "h2")
+
+    def test_blink_override_changes_forwarding(self):
+        topo = triangle_with_hosts()
+        router = StaticRouter(topo)
+        router.compute()
+        router.announce_prefix("198.51.100.0/24", "r2")
+        # default is the direct edge r0-r2
+        assert router.table("r0").lookup("198.51.100.1").next_hop == "r2"
+        router.override_next_hop("r0", "198.51.100.0/24", "r1")
+        assert router.table("r0").lookup("198.51.100.1").next_hop == "r1"
+
+    def test_routing_loop_detected(self):
+        topo = line_topology(3)
+        router = StaticRouter(topo)
+        router.compute()
+        # Manually corrupt tables into a loop.
+        router.table("r0").install("r2", "r1")
+        router.table("r1").install("r2", "r0")
+        with pytest.raises(RoutingError):
+            router.path("r0", "r2")
+
+    def test_recompute_after_topology_change(self):
+        topo = triangle_with_hosts()
+        router = StaticRouter(topo)
+        router.compute()
+        assert router.path("r0", "r2") == ["r0", "r2"]
+        topo.remove_link("r0", "r2")
+        router.compute()
+        assert router.path("r0", "r2") == ["r0", "r1", "r2"]

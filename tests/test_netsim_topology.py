@@ -1,0 +1,115 @@
+"""Tests for topology construction and generators."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.netsim.topology import (
+    LinkProperties,
+    Topology,
+    dumbbell_topology,
+    line_topology,
+    random_topology,
+    triangle_with_hosts,
+)
+
+
+class TestTopologyConstruction:
+    def test_duplicate_node_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ConfigurationError):
+            topo.add_node("a")
+
+    def test_link_requires_existing_nodes(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "ghost")
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        with pytest.raises(ConfigurationError):
+            topo.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_node("a")
+        topo.add_node("b")
+        topo.add_link("a", "b")
+        with pytest.raises(ConfigurationError):
+            topo.add_link("b", "a")
+
+    def test_link_property_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkProperties(bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            LinkProperties(loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            LinkProperties(delay_s=-1)
+
+    def test_remove_link(self):
+        topo = line_topology(3)
+        topo.remove_link("r0", "r1")
+        assert not topo.has_link("r0", "r1")
+        with pytest.raises(ConfigurationError):
+            topo.remove_link("r0", "r1")
+
+
+class TestQueries:
+    def test_roles(self):
+        topo = triangle_with_hosts()
+        assert sorted(topo.nodes(role="host")) == ["h0", "h1", "h2"]
+        assert len(topo.nodes(role="router")) == 3
+
+    def test_shortest_path_respects_weights(self):
+        topo = Topology()
+        for n in "abc":
+            topo.add_node(n)
+        topo.add_link("a", "b", weight=1.0)
+        topo.add_link("b", "c", weight=1.0)
+        topo.add_link("a", "c", weight=5.0)
+        assert topo.shortest_path("a", "c") == ["a", "b", "c"]
+
+    def test_path_delay_sums_links(self):
+        topo = line_topology(3, delay_s=0.01)
+        assert topo.path_delay(["r0", "r1", "r2"]) == pytest.approx(0.02)
+
+    def test_copy_is_deep(self):
+        topo = triangle_with_hosts()
+        clone = topo.copy()
+        clone.remove_link("r0", "r1")
+        assert topo.has_link("r0", "r1")
+        assert not clone.has_link("r0", "r1")
+
+
+class TestGenerators:
+    def test_line_topology_shape(self):
+        topo = line_topology(5)
+        assert len(topo.nodes()) == 5
+        assert len(topo.links()) == 4
+
+    def test_line_requires_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            line_topology(1)
+
+    def test_random_topology_connected(self):
+        for seed in range(5):
+            topo = random_topology(15, edge_probability=0.1, seed=seed)
+            assert topo.is_connected()
+
+    def test_random_topology_deterministic_per_seed(self):
+        a = random_topology(10, seed=3)
+        b = random_topology(10, seed=3)
+        assert sorted(a.links()) == sorted(b.links())
+
+    def test_dumbbell_bottleneck(self):
+        topo = dumbbell_topology(3, bottleneck_bps=1e6)
+        props = topo.link_properties("rl", "rr")
+        assert props.bandwidth_bps == 1e6
+        assert len(topo.nodes(role="host")) == 6
+
+    def test_triangle_has_two_paths_to_each_prefix(self):
+        topo = triangle_with_hosts()
+        paths = topo.all_shortest_paths("r0", "r2")
+        assert ["r0", "r2"] in paths

@@ -1,0 +1,97 @@
+"""Tests for trace records and queries."""
+
+import pytest
+
+from repro.flows.flow import FiveTuple
+from repro.netsim.trace import Trace, TraceRecord
+
+
+def _record(t, src="10.0.0.1", sport=1000, retrans=False, fin=False, bad=False):
+    return TraceRecord(
+        time=t,
+        flow=FiveTuple(src, "198.51.100.1", sport, 443),
+        size=1500,
+        is_retransmission=retrans,
+        is_fin_or_rst=fin,
+        malicious_ground_truth=bad,
+    )
+
+
+class TestTraceOrdering:
+    def test_rejects_time_regression(self):
+        trace = Trace()
+        trace.append(_record(1.0))
+        with pytest.raises(ValueError):
+            trace.append(_record(0.5))
+
+    def test_merge_sorts(self):
+        t1, t2 = Trace("a"), Trace("b")
+        t1.append(_record(0.0))
+        t1.append(_record(2.0))
+        t2.append(_record(1.0))
+        merged = Trace.merge([t1, t2])
+        assert [r.time for r in merged] == [0.0, 1.0, 2.0]
+
+
+class TestQueries:
+    def test_flow_grouping(self):
+        trace = Trace()
+        trace.append(_record(0.0, sport=1))
+        trace.append(_record(1.0, sport=2))
+        trace.append(_record(2.0, sport=1))
+        flows = trace.flows()
+        assert trace.flow_count() == 2
+        assert len(flows[FiveTuple("10.0.0.1", "198.51.100.1", 1, 443)]) == 2
+
+    def test_slice_half_open(self):
+        trace = Trace()
+        for t in range(5):
+            trace.append(_record(float(t)))
+        sliced = trace.slice(1.0, 3.0)
+        assert [r.time for r in sliced] == [1.0, 2.0]
+
+    def test_activity_spans(self):
+        trace = Trace()
+        trace.append(_record(0.0, sport=7))
+        trace.append(_record(5.0, sport=7))
+        spans = trace.flow_activity_spans()
+        assert spans[FiveTuple("10.0.0.1", "198.51.100.1", 7, 443)] == (0.0, 5.0)
+
+    def test_inter_arrival_gaps(self):
+        trace = Trace()
+        for t in (0.0, 0.5, 1.5):
+            trace.append(_record(t, sport=9))
+        gaps = trace.inter_arrival_gaps(FiveTuple("10.0.0.1", "198.51.100.1", 9, 443))
+        assert gaps == [0.5, 1.0]
+
+    def test_malicious_fraction(self):
+        trace = Trace()
+        trace.append(_record(0.0, bad=True))
+        trace.append(_record(1.0))
+        assert trace.malicious_fraction() == 0.5
+
+    def test_duration_and_bounds(self):
+        trace = Trace()
+        assert trace.duration == 0.0
+        trace.append(_record(1.0))
+        trace.append(_record(4.0))
+        assert trace.start_time == 1.0
+        assert trace.end_time == 4.0
+        assert trace.duration == 3.0
+
+
+class TestFromPacket:
+    def test_tcp_flags_extracted(self):
+        from repro.netsim.packet import TcpFlags, tcp_packet
+
+        packet = tcp_packet("a", "b", 1, 2, seq=5, flags=TcpFlags.FIN | TcpFlags.ACK)
+        record = TraceRecord.from_packet(1.0, packet, "r0")
+        assert record.is_fin_or_rst
+        assert record.observation_point == "r0"
+
+    def test_retransmission_marker_carried(self):
+        from repro.netsim.packet import tcp_packet
+
+        packet = tcp_packet("a", "b", 1, 2, seq=5, retransmission=True)
+        record = TraceRecord.from_packet(0.0, packet)
+        assert record.is_retransmission

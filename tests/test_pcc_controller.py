@@ -1,0 +1,144 @@
+"""Tests for the PCC Allegro state machine."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.pcc.controller import ControlState, PccAllegroController
+
+
+class TestStarting:
+    def test_doubles_while_utility_grows(self):
+        controller = PccAllegroController(initial_rate=2.0)
+        assert controller.next_rate() == 2.0
+        controller.complete_mi(0.0)
+        assert controller.next_rate() == 4.0
+        controller.complete_mi(0.0)
+        assert controller.next_rate() == 8.0
+
+    def test_utility_drop_reverts_and_enters_decision(self):
+        controller = PccAllegroController(initial_rate=2.0)
+        controller.complete_mi(0.0)  # rate 2 -> fine, next 4
+        controller.complete_mi(0.0)  # rate 4 -> fine, next 8
+        controller.complete_mi(0.5)  # rate 8 with heavy loss: utility drops
+        assert controller.state == ControlState.DECISION
+        assert controller.rate == 4.0  # reverted to previous good rate
+
+
+class TestDecision:
+    def _enter_decision(self, seed=0):
+        controller = PccAllegroController(initial_rate=10.0, seed=seed)
+        controller.complete_mi(0.0)
+        controller.complete_mi(0.5)  # forces decision state at rate 10
+        assert controller.state == ControlState.DECISION
+        return controller
+
+    def test_rct_uses_two_up_two_down(self):
+        controller = self._enter_decision()
+        directions = []
+        for _ in range(4):
+            rate = controller.next_rate()
+            directions.append(+1 if rate > controller.rate else -1)
+            controller.complete_mi(0.0)
+        assert sorted(directions) == [-1, -1, 1, 1]
+
+    def test_consistent_up_commits_up(self):
+        controller = self._enter_decision()
+        base = controller.rate
+        for _ in range(4):
+            rate = controller.next_rate()
+            # Higher rate -> strictly better utility (zero loss).
+            controller.complete_mi(0.0)
+        assert controller.state == ControlState.ADJUSTING
+        assert controller.rate > base
+
+    def test_consistent_down_commits_down(self):
+        controller = self._enter_decision()
+        base = controller.rate
+        for _ in range(4):
+            rate = controller.next_rate()
+            # Punish the higher rate with loss: down looks better.
+            controller.complete_mi(0.3 if rate > base else 0.0)
+        assert controller.state == ControlState.ADJUSTING
+        assert controller.rate < base
+
+    def _straddling_loss(self, controller, up_count):
+        """Loss making the two up-MIs straddle the down-MIs' utility —
+        the robust inconsistency the Section 4.2 attacker enforces."""
+        base = controller.rate
+        rate = controller.next_rate()
+        if rate > base:
+            up_count[0] += 1
+            return 0.0 if up_count[0] % 2 else 0.5
+        return 0.03
+
+    def test_inconsistent_experiments_escalate_epsilon(self):
+        controller = self._enter_decision()
+        assert controller.epsilon == controller.epsilon_min
+        up_count = [0]
+        for _ in range(4):
+            controller.complete_mi(self._straddling_loss(controller, up_count))
+        assert controller.state == ControlState.DECISION
+        assert controller.epsilon == pytest.approx(2 * controller.epsilon_min)
+
+    def test_epsilon_caps_at_max(self):
+        controller = self._enter_decision()
+        up_count = [0]
+        for _ in range(4 * 20):
+            controller.complete_mi(self._straddling_loss(controller, up_count))
+        assert controller.state == ControlState.DECISION
+        assert controller.epsilon == pytest.approx(controller.epsilon_max)
+
+    def test_epsilon_recorded_in_results(self):
+        controller = self._enter_decision()
+        controller.next_rate()
+        result = controller.complete_mi(0.0)
+        assert result.epsilon == controller.epsilon_min
+        assert result.experiment_direction in (-1, 1)
+
+
+class TestAdjusting:
+    def test_growing_steps_while_utility_increases(self):
+        controller = PccAllegroController(initial_rate=10.0, seed=1)
+        controller.complete_mi(0.0)
+        controller.complete_mi(0.5)  # decision at rate 10
+        for _ in range(4):
+            controller.next_rate()
+            controller.complete_mi(0.0)  # consistent experiment
+        assert controller.state == ControlState.ADJUSTING
+        rates = []
+        for _ in range(3):
+            rates.append(controller.next_rate())
+            controller.complete_mi(0.0)
+        deltas = [b - a for a, b in zip(rates, rates[1:])]
+        assert all(d > 0 for d in deltas)
+        assert deltas[1] > deltas[0]  # accelerating
+
+    def test_utility_drop_reverts_to_decision(self):
+        controller = PccAllegroController(initial_rate=10.0, seed=1)
+        controller.complete_mi(0.0)
+        controller.complete_mi(0.5)
+        for _ in range(4):
+            controller.next_rate()
+            controller.complete_mi(0.0)
+        assert controller.state == ControlState.ADJUSTING
+        controller.next_rate()
+        controller.complete_mi(0.0)
+        previous = controller.rate
+        controller.next_rate()
+        controller.complete_mi(0.9)  # catastrophic loss
+        assert controller.state == ControlState.DECISION
+        assert controller.rate <= previous
+
+
+class TestBounds:
+    def test_rate_clamped(self):
+        controller = PccAllegroController(initial_rate=1.0, max_rate=4.0)
+        for _ in range(10):
+            controller.complete_mi(0.0)
+        assert controller.next_rate() <= 4.0 * (1 + controller.epsilon_max)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PccAllegroController(initial_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PccAllegroController(epsilon_min=0.1, epsilon_max=0.05)

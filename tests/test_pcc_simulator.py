@@ -1,0 +1,102 @@
+"""Tests for the fluid PCC simulation."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.pcc.controller import ControlState
+from repro.pcc.simulator import PathModel, PccSimulation
+
+
+class TestPathModel:
+    def test_no_loss_below_capacity(self):
+        path = PathModel(capacity=100.0)
+        assert path.loss_for(50.0, 90.0) == 0.0
+
+    def test_proportional_overload_loss(self):
+        path = PathModel(capacity=100.0)
+        assert path.loss_for(60.0, 200.0) == pytest.approx(0.5)
+
+    def test_base_loss_composition(self):
+        path = PathModel(capacity=100.0, base_loss=0.01)
+        assert path.loss_for(10.0, 50.0) == pytest.approx(0.01)
+        # Under congestion the two compose without exceeding 1.
+        assert path.loss_for(60.0, 200.0) == pytest.approx(0.5 + 0.01 * 0.5)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathModel().loss_for(-1.0, 10.0)
+
+
+class TestConvergence:
+    def test_single_flow_converges_to_capacity(self):
+        simulation = PccSimulation(PathModel(capacity=100.0), flows=1, seed=0)
+        simulation.run(500)
+        rates = simulation.flow_rates(0)[-100:]
+        assert sum(rates) / len(rates) == pytest.approx(100.0, rel=0.05)
+
+    def test_benign_oscillation_is_small(self):
+        simulation = PccSimulation(PathModel(capacity=100.0), flows=1, seed=0)
+        simulation.run(500)
+        assert simulation.rate_oscillation(0, tail_mis=100) < 0.03
+
+    def test_two_flows_share_capacity(self):
+        simulation = PccSimulation(PathModel(capacity=100.0), flows=2, seed=1)
+        simulation.run(800)
+        mean_rates = [
+            sum(simulation.flow_rates(f)[-100:]) / 100 for f in range(2)
+        ]
+        assert sum(mean_rates) == pytest.approx(100.0, rel=0.15)
+
+    def test_aggregate_series_recorded(self):
+        simulation = PccSimulation(PathModel(), flows=1, seed=0)
+        simulation.run(10)
+        assert len(simulation.aggregate_rate_series) == 10
+
+
+class TestTamperHook:
+    def test_tamper_can_only_add_loss(self):
+        class Healer:
+            def tamper(self, flow_id, time, rate, natural_loss):
+                return 0.0  # try to *remove* loss
+
+        simulation = PccSimulation(
+            PathModel(capacity=10.0, base_loss=0.02), flows=1, tamper=Healer(), seed=0
+        )
+        simulation.run(50)
+        # Observed loss never drops below natural.
+        assert all(r.result.loss >= r.natural_loss - 1e-12 for r in simulation.records)
+        assert all(r.injected_loss == 0.0 for r in simulation.records)
+
+    def test_injected_loss_accounted(self):
+        class ConstantDropper:
+            def tamper(self, flow_id, time, rate, natural_loss):
+                return natural_loss + 0.1
+
+        simulation = PccSimulation(PathModel(), flows=1, tamper=ConstantDropper(), seed=0)
+        simulation.run(20)
+        assert simulation.attack_budget_fraction() == pytest.approx(0.1, rel=0.01)
+
+    def test_records_capture_state_and_time(self):
+        simulation = PccSimulation(PathModel(), flows=2, seed=0)
+        simulation.run(5)
+        assert len(simulation.records) == 10
+        assert simulation.records[0].result.state == ControlState.STARTING
+        times = {r.time for r in simulation.records}
+        assert len(times) == 5
+
+
+class TestAnalysisHelpers:
+    def test_time_in_state_sums_to_one(self):
+        simulation = PccSimulation(PathModel(capacity=50.0), flows=1, seed=2)
+        simulation.run(300)
+        total = sum(
+            simulation.time_in_state(0, state, tail_mis=100) for state in ControlState
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PccSimulation(PathModel(), flows=0)
+        simulation = PccSimulation(PathModel(), flows=1)
+        with pytest.raises(ConfigurationError):
+            simulation.run(0)

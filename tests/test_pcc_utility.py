@@ -1,0 +1,90 @@
+"""Tests for PCC utility functions."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.pcc.utility import (
+    allegro_utility,
+    loss_for_target_utility,
+    sigmoid,
+    vivace_utility,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(0.0) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        assert sigmoid(-0.1) > sigmoid(0.0) > sigmoid(0.1)
+
+    def test_extreme_arguments_no_overflow(self):
+        assert sigmoid(1e6) == pytest.approx(0.0, abs=1e-9)
+        assert sigmoid(-1e6) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestAllegroUtility:
+    def test_zero_loss_near_goodput(self):
+        # sigmoid(-5) ≈ 0.9933, so u ≈ 0.9933 * rate at zero loss.
+        assert allegro_utility(100.0, 0.0) == pytest.approx(99.33, abs=0.1)
+
+    def test_utility_decreasing_in_loss(self):
+        utilities = [allegro_utility(100.0, loss) for loss in (0.0, 0.02, 0.05, 0.2)]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_five_percent_loss_cliff(self):
+        """The sigmoid makes utility collapse around 5% loss."""
+        before = allegro_utility(100.0, 0.04)
+        after = allegro_utility(100.0, 0.08)
+        assert after < 0.3 * before
+
+    def test_heavy_loss_negative_utility(self):
+        assert allegro_utility(100.0, 0.5) < 0.0
+
+    def test_more_rate_better_at_zero_loss(self):
+        assert allegro_utility(20.0, 0.0) > allegro_utility(10.0, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            allegro_utility(-1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            allegro_utility(1.0, 1.5)
+
+
+class TestUtilityInversion:
+    def test_roundtrip(self):
+        target = allegro_utility(100.0, 0.03)
+        loss = loss_for_target_utility(100.0, target)
+        assert loss == pytest.approx(0.03, abs=1e-6)
+
+    def test_unreachable_high_target_gives_zero_loss(self):
+        assert loss_for_target_utility(50.0, 1e9) == 0.0
+
+    def test_attack_planning_example(self):
+        """The Section 4.2 computation: equalise 105 vs 95 Mbps."""
+        down_utility = allegro_utility(95.0, 0.0)
+        loss = loss_for_target_utility(105.0, down_utility)
+        assert 0.0 < loss < 0.05
+        assert allegro_utility(105.0, loss) == pytest.approx(down_utility, abs=1e-6)
+
+    def test_zero_rate_needs_no_loss(self):
+        assert loss_for_target_utility(0.0, -10.0) == 0.0
+
+
+class TestVivace:
+    def test_loss_penalised(self):
+        assert vivace_utility(100.0, 0.0) > vivace_utility(100.0, 0.1)
+
+    def test_latency_gradient_penalised(self):
+        assert vivace_utility(100.0, 0.0, rtt_gradient=0.0) > vivace_utility(
+            100.0, 0.0, rtt_gradient=0.01
+        )
+
+    def test_negative_gradient_ignored(self):
+        assert vivace_utility(100.0, 0.0, rtt_gradient=-0.5) == vivace_utility(
+            100.0, 0.0, rtt_gradient=0.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            vivace_utility(-1.0, 0.0)

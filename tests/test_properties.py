@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blink.analysis import capture_probability, mean_crossing_time
+from repro.blink.selector import FlowSelector
+from repro.core.metrics import percentile
+from repro.flows.flow import FiveTuple
+from repro.nethide.metrics import levenshtein, path_accuracy, path_utility
+from repro.pcc.utility import allegro_utility, loss_for_target_utility
+from repro.sppifo.queues import IdealPifo, RankedPacket
+from repro.sketches.hashing import partitioned_indices
+
+# -- strategies ----------------------------------------------------------
+
+ports = st.integers(min_value=0, max_value=65535)
+octets = st.integers(min_value=1, max_value=254)
+
+
+@st.composite
+def five_tuples(draw):
+    return FiveTuple(
+        src=f"10.{draw(octets)}.{draw(octets)}.{draw(octets)}",
+        dst=f"198.51.{draw(octets)}.{draw(octets)}",
+        src_port=draw(ports),
+        dst_port=draw(ports),
+        protocol=draw(st.sampled_from([6, 17])),
+    )
+
+
+# -- FiveTuple hashing ---------------------------------------------------
+
+
+@given(five_tuples(), st.integers(min_value=1, max_value=1024), st.integers(0, 100))
+def test_cell_index_always_in_range(flow, cells, seed):
+    assert 0 <= flow.cell_index(cells, seed) < cells
+
+
+@given(five_tuples())
+def test_stable_hash_deterministic(flow):
+    clone = FiveTuple(flow.src, flow.dst, flow.src_port, flow.dst_port, flow.protocol)
+    assert flow.stable_hash() == clone.stable_hash()
+
+
+@given(five_tuples())
+def test_reverse_is_involution(flow):
+    assert flow.reversed().reversed() == flow
+
+
+# -- sketch hashing ------------------------------------------------------
+
+
+@given(
+    st.binary(min_size=1, max_size=64),
+    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=16, max_value=4096),
+)
+def test_partitioned_indices_distinct_and_in_range(key, hashes, cells):
+    indices = partitioned_indices(key, hashes, cells)
+    assert len(indices) == hashes
+    assert len(set(indices)) == hashes  # guaranteed distinct
+    assert all(0 <= i < cells for i in indices)
+
+
+# -- percentile ----------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(
+            allow_nan=False,
+            allow_infinity=False,
+            allow_subnormal=False,  # interpolation underflows on denormals
+            min_value=-1e9,
+            max_value=1e9,
+        ),
+        min_size=1,
+    )
+)
+def test_percentile_bounds(values):
+    p0 = percentile(values, 0)
+    p50 = percentile(values, 50)
+    p100 = percentile(values, 100)
+    assert p0 == min(values)
+    assert p100 == max(values)
+    assert p0 <= p50 <= p100
+
+
+# -- Blink capture model --------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.001, max_value=0.5),
+    st.floats(min_value=0.5, max_value=60.0),
+    st.floats(min_value=0.0, max_value=510.0),
+    st.floats(min_value=0.0, max_value=510.0),
+)
+def test_capture_probability_monotone(qm, tr, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert capture_probability(lo, qm, tr) <= capture_probability(hi, qm, tr) + 1e-12
+
+
+@given(
+    st.floats(min_value=0.001, max_value=0.5),
+    st.floats(min_value=0.5, max_value=60.0),
+)
+def test_mean_crossing_decreases_with_qm(qm, tr):
+    t_weak = mean_crossing_time(32, qm, tr)
+    t_strong = mean_crossing_time(32, min(0.9, qm * 2), tr)
+    assert t_strong <= t_weak
+
+
+# -- flow selector invariants ----------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(five_tuples(), st.floats(min_value=0.0, max_value=100.0)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_selector_occupancy_bounded(events):
+    selector = FlowSelector(cells=8, reset_interval=1e9)
+    for flow, jitter in sorted(events, key=lambda e: e[1]):
+        selector.observe(flow, now=jitter)
+    assert 0 <= selector.occupied_count() <= 8
+    assert selector.malicious_count() == 0  # nothing marked malicious
+
+
+@given(st.lists(five_tuples(), min_size=1, max_size=40, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_selector_monitors_at_most_one_flow_per_cell(flows):
+    selector = FlowSelector(cells=4, reset_interval=1e9)
+    for i, flow in enumerate(flows):
+        selector.observe(flow, now=float(i) * 0.01)
+    monitored = selector.monitored_flows()
+    assert len(monitored) == len(set(monitored.values()))
+    for index, flow in monitored.items():
+        assert flow.cell_index(4, selector.hash_seed) == index
+
+
+# -- PCC utility ------------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.01, max_value=10000.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_allegro_utility_bounded_by_goodput(rate, loss):
+    utility = allegro_utility(rate, loss)
+    assert utility <= rate * (1.0 - loss) + 1e-9
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1000.0),
+    st.floats(min_value=0.0, max_value=0.9),
+)
+def test_loss_inversion_roundtrip(rate, loss):
+    target = allegro_utility(rate, loss)
+    recovered = loss_for_target_utility(rate, target)
+    assert allegro_utility(rate, recovered) <= target + 1e-6
+    assert abs(recovered - loss) < 1e-6
+
+
+# -- ideal PIFO ---------------------------------------------------------------
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+def test_ideal_pifo_outputs_sorted_when_drained(ranks):
+    pifo = IdealPifo()
+    for rank in ranks:
+        pifo.enqueue(RankedPacket(rank=rank))
+    out = []
+    while True:
+        packet = pifo.dequeue()
+        if packet is None:
+            break
+        out.append(packet.rank)
+    assert out == sorted(ranks)
+
+
+# -- NetHide metrics -----------------------------------------------------------
+
+
+@given(st.lists(st.sampled_from("abcdefgh"), max_size=12),
+       st.lists(st.sampled_from("abcdefgh"), max_size=12))
+def test_levenshtein_symmetric_and_bounded(a, b):
+    d = levenshtein(a, b)
+    assert d == levenshtein(b, a)
+    assert abs(len(a) - len(b)) <= d <= max(len(a), len(b))
+
+
+@given(st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=10, unique=True))
+def test_path_metrics_identity(path):
+    assert path_accuracy(path, path) == 1.0
+    assert path_utility(path, path) == 1.0
+
+
+@given(
+    st.lists(st.sampled_from("abcdefgh"), min_size=1, max_size=10, unique=True),
+    st.lists(st.sampled_from("ijklmnop"), min_size=1, max_size=10, unique=True),
+)
+def test_path_metrics_in_unit_interval(p1, p2):
+    assert 0.0 <= path_accuracy(p1, p2) <= 1.0
+    assert 0.0 <= path_utility(p1, p2) <= 1.0

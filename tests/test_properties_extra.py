@@ -1,0 +1,121 @@
+"""Property-based tests for the extension modules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flows.flow import FiveTuple
+from repro.innet.bnn import BinarizedClassifier, PacketFeaturizer, PacketSample
+from repro.pcc.utility import allegro_utility, invert_utility, vivace_utility
+from repro.silkroad.conntable import ConnTableLoadBalancer, InsertOutcome
+from repro.sppifo.queues import SpPifo, RankedPacket, replay_schedule
+
+ports = st.integers(min_value=0, max_value=65535)
+
+
+@st.composite
+def five_tuples(draw):
+    return FiveTuple(
+        src=f"10.{draw(st.integers(1, 250))}.{draw(st.integers(1, 250))}.{draw(st.integers(1, 250))}",
+        dst="198.51.100.10",
+        src_port=draw(ports),
+        dst_port=443,
+    )
+
+
+# -- connection table -------------------------------------------------------
+
+
+@given(st.lists(five_tuples(), min_size=1, max_size=120, unique=True),
+       st.integers(min_value=1, max_value=40))
+@settings(max_examples=50, deadline=None)
+def test_conntable_never_exceeds_capacity(flows, capacity):
+    balancer = ConnTableLoadBalancer(["b0", "b1", "b2"], capacity=capacity)
+    for flow in flows:
+        balancer.open_connection(flow)
+    assert len(balancer.table) <= capacity
+    assert 0.0 <= balancer.occupancy <= 1.0
+
+
+@given(st.lists(five_tuples(), min_size=1, max_size=60, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_conntable_pinned_backend_is_stable(flows):
+    balancer = ConnTableLoadBalancer(["b0", "b1", "b2"], capacity=1000)
+    first = {}
+    for flow in flows:
+        balancer.open_connection(flow)
+        first[flow] = balancer.backend_for(flow)
+    # Repeated lookups never move a pinned connection.
+    for flow in flows:
+        assert balancer.backend_for(flow) == first[flow]
+
+
+@given(st.lists(five_tuples(), min_size=1, max_size=60, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_conntable_pool_growth_never_breaks_pinned(flows):
+    balancer = ConnTableLoadBalancer(["b0", "b1"], capacity=1000)
+    for flow in flows:
+        balancer.open_connection(flow)
+    assert all(
+        not balancer.would_break_on_update(flow, ["b0", "b1", "b2", "b3"])
+        for flow in flows
+    )
+
+
+# -- SP-PIFO ---------------------------------------------------------------
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=400),
+    st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_sppifo_conserves_packets_without_drops(ranks, queues):
+    report = replay_schedule(SpPifo(queues=queues), ranks, arrivals_per_departure=1.3)
+    assert len(report.departures) == len(ranks)
+    assert sorted(p.rank for p in report.departures) == sorted(ranks)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_sppifo_bounds_stay_nonnegative(ranks):
+    scheduler = SpPifo(queues=8)
+    for rank in ranks:
+        scheduler.enqueue(RankedPacket(rank=rank))
+    assert all(bound >= 0 for bound in scheduler.bounds)
+
+
+# -- utility inversion -------------------------------------------------------
+
+
+@given(
+    st.floats(min_value=0.5, max_value=500.0),
+    st.floats(min_value=0.0, max_value=0.8),
+)
+@settings(max_examples=100, deadline=None)
+def test_invert_utility_roundtrip_both_families(rate, loss):
+    for fn in (allegro_utility, lambda r, l: vivace_utility(r, l)):
+        target = fn(rate, loss)
+        recovered = invert_utility(fn, rate, target)
+        assert fn(rate, recovered) <= target + 1e-6
+
+
+# -- BNN ----------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.sampled_from([-1, 1]), min_size=1, max_size=32),
+    st.integers(min_value=-5, max_value=5),
+)
+def test_bnn_score_bounded_by_width(weights, bias):
+    classifier = BinarizedClassifier(weights, bias=bias)
+    bits = [1] * len(weights)
+    assert abs(classifier.score(bits) - bias) <= len(weights)
+
+
+@given(st.integers(0, 65535), st.integers(0, 2000),
+       st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+def test_featurizer_always_valid(port, size, iat):
+    featurizer = PacketFeaturizer()
+    bits = featurizer.encode(PacketSample(port, size, iat, label=1))
+    assert len(bits) == featurizer.width
+    assert set(bits) <= {-1, 1}

@@ -1,0 +1,120 @@
+"""Tests for the Pytheas controller."""
+
+import pytest
+
+from repro.core.entities import Signal, SignalKind
+from repro.core.errors import ConfigurationError
+from repro.pytheas.controller import PytheasController
+from repro.pytheas.session import QoEReport, Session, SessionFeatures
+
+
+def _session(asn=1):
+    return Session(SessionFeatures(asn=asn, location="zrh"))
+
+
+def _report(group_id, decision, value, t=0.0):
+    return QoEReport(session_id=1, group_id=group_id, decision=decision, value=value, time=t)
+
+
+class TestServe:
+    def test_serve_assigns_group_and_decision(self):
+        controller = PytheasController(["a", "b"])
+        session = _session()
+        decision = controller.serve(session)
+        assert decision in ("a", "b")
+        assert session.group_id is not None
+        assert session.decision == decision
+
+    def test_groups_get_independent_bandits(self):
+        controller = PytheasController(["a", "b"])
+        s1, s2 = _session(asn=1), _session(asn=2)
+        controller.serve(s1)
+        controller.serve(s2)
+        controller.ingest_reports([_report(s1.group_id, "a", 90.0)])
+        assert controller.group_means(s1.group_id)["a"] == pytest.approx(90.0)
+        assert controller.group_means(s2.group_id)["a"] == 0.0
+
+
+class TestIngest:
+    def test_reports_update_preference(self):
+        controller = PytheasController(["a", "b"])
+        session = _session()
+        controller.serve(session)
+        gid = session.group_id
+        controller.ingest_reports(
+            [_report(gid, "a", 90.0), _report(gid, "b", 20.0)]
+        )
+        assert controller.preferred_decision(gid) == "a"
+
+    def test_preference_change_emits_decision(self):
+        controller = PytheasController(["a", "b"])
+        session = _session()
+        controller.serve(session)
+        gid = session.group_id
+        controller.ingest_reports([_report(gid, "a", 90.0)])
+        log_len = len(controller.decisions_log)
+        # Flood b with better reports until preference flips.
+        for _ in range(100):
+            controller.ingest_reports([_report(gid, "b", 99.0)])
+        assert controller.preferred_decision(gid) == "b"
+        assert len(controller.decisions_log) > log_len
+
+    def test_report_filter_applied(self):
+        dropped = []
+
+        def drop_low(group_id, reports):
+            kept = [r for r in reports if r.value > 10.0]
+            dropped.extend(r for r in reports if r.value <= 10.0)
+            return kept
+
+        controller = PytheasController(["a", "b"], report_filter=drop_low)
+        session = _session()
+        controller.serve(session)
+        gid = session.group_id
+        controller.ingest_reports([_report(gid, "a", 5.0), _report(gid, "a", 80.0)])
+        assert len(dropped) == 1
+        assert controller.group_means(gid)["a"] == pytest.approx(80.0)
+        assert controller._state[gid].reports_filtered == 1
+
+
+class TestDriverInterface:
+    def test_observe_qoe_report_signal(self):
+        controller = PytheasController(["a", "b"])
+        session = _session()
+        controller.serve(session)
+        signal = Signal(
+            SignalKind.REPORT,
+            "qoe.report",
+            _report(session.group_id, "a", 77.0),
+            time=1.0,
+        )
+        controller.observe(signal)
+        assert controller.group_means(session.group_id)["a"] == pytest.approx(77.0)
+
+    def test_invalid_signal_payload_rejected(self):
+        controller = PytheasController(["a"])
+        signal = Signal(SignalKind.REPORT, "qoe.report", {"not": "a report"})
+        with pytest.raises(ConfigurationError):
+            controller.observe(signal)
+
+    def test_state_exposes_group_means(self):
+        controller = PytheasController(["a", "b"])
+        session = _session()
+        controller.serve(session)
+        controller.ingest_reports([_report(session.group_id, "a", 66.0)])
+        state = controller.state()
+        assert state.get("groups") == 1
+        assert session.group_id in state.get("group_means")
+
+    def test_reset(self):
+        controller = PytheasController(["a"])
+        session = _session()
+        controller.serve(session)
+        controller.ingest_reports([_report(session.group_id, "a", 66.0)])
+        controller.reset()
+        assert controller.state().get("groups") == 0
+        assert controller.decisions_log == []
+
+    def test_requires_decisions(self):
+        with pytest.raises(ConfigurationError):
+            PytheasController([])

@@ -1,0 +1,98 @@
+"""Tests for the QoE / CDN capacity model."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.pytheas.qoe import CdnSite, QoEModel
+from repro.pytheas.session import GroupTable, Session, SessionFeatures
+
+
+class TestCdnSite:
+    def test_quality_flat_below_capacity(self):
+        site = CdnSite("x", base_qoe=80, capacity=100)
+        assert site.quality_at_load(50) == 80
+        assert site.quality_at_load(100) == 80
+
+    def test_quality_degrades_with_overload(self):
+        site = CdnSite("x", base_qoe=80, capacity=100, overload_penalty=60)
+        assert site.quality_at_load(200) == pytest.approx(80 - 60 * 1.0)
+        assert site.quality_at_load(150) == pytest.approx(80 - 60 * 0.5)
+
+    def test_quality_never_negative(self):
+        site = CdnSite("x", base_qoe=10, capacity=10, overload_penalty=100)
+        assert site.quality_at_load(1000) == 0.0
+
+    def test_sampling_respects_bounds(self):
+        site = CdnSite("x", base_qoe=95, noise_std=20)
+        rng = random.Random(0)
+        samples = [site.sample_qoe(rng, load=0) for _ in range(500)]
+        assert all(0.0 <= s <= 100.0 for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CdnSite("x", base_qoe=150)
+        with pytest.raises(ConfigurationError):
+            CdnSite("x", capacity=0)
+
+
+class TestQoEModel:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoEModel([CdnSite("a"), CdnSite("a")])
+
+    def test_group_bias_shifts_best_decision(self):
+        model = QoEModel([CdnSite("a", base_qoe=70), CdnSite("b", base_qoe=70)])
+        model.set_group_bias("g1", "b", 10.0)
+        assert model.best_decision("g1") == "b"
+
+    def test_load_feedback_changes_best_decision(self):
+        model = QoEModel(
+            [
+                CdnSite("a", base_qoe=80, capacity=10, overload_penalty=100),
+                CdnSite("b", base_qoe=75, capacity=1000),
+            ]
+        )
+        assert model.best_decision("g", at_load={"a": 0, "b": 0}) == "a"
+        assert model.best_decision("g", at_load={"a": 100, "b": 0}) == "b"
+
+    def test_true_qoe_unknown_site_rejected(self):
+        model = QoEModel([CdnSite("a")])
+        with pytest.raises(ConfigurationError):
+            model.true_qoe("g", "ghost")
+
+    def test_begin_round_sets_loads(self):
+        model = QoEModel([CdnSite("a", capacity=10)])
+        model.begin_round({"a": 25})
+        assert model.sites["a"].current_load == 25
+
+
+class TestGrouping:
+    def test_same_features_same_group(self):
+        table = GroupTable()
+        s1 = Session(SessionFeatures(asn=1, location="x"))
+        s2 = Session(SessionFeatures(asn=1, location="x"))
+        assert table.assign(s1) == table.assign(s2)
+        assert len(table) == 1
+
+    def test_different_asn_different_group(self):
+        table = GroupTable()
+        g1 = table.assign(Session(SessionFeatures(asn=1, location="x")))
+        g2 = table.assign(Session(SessionFeatures(asn=2, location="x")))
+        assert g1 != g2
+
+    def test_coarser_granularity_merges_groups(self):
+        table = GroupTable(granularity=("location",))
+        g1 = table.assign(Session(SessionFeatures(asn=1, location="x")))
+        g2 = table.assign(Session(SessionFeatures(asn=2, location="x")))
+        assert g1 == g2
+
+    def test_unknown_feature_rejected(self):
+        table = GroupTable(granularity=("nonsense",))
+        with pytest.raises(ConfigurationError):
+            table.assign(Session(SessionFeatures(asn=1, location="x")))
+
+    def test_empty_granularity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GroupTable(granularity=())

@@ -1,0 +1,117 @@
+"""Tests for ideal PIFO and SP-PIFO."""
+
+import random
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.sppifo.queues import IdealPifo, RankedPacket, SpPifo, replay_schedule
+
+
+class TestIdealPifo:
+    def test_dequeues_in_rank_order(self):
+        pifo = IdealPifo()
+        for rank in (5, 1, 3):
+            pifo.enqueue(RankedPacket(rank=rank))
+        assert [pifo.dequeue().rank for _ in range(3)] == [1, 3, 5]
+
+    def test_fifo_within_equal_ranks(self):
+        pifo = IdealPifo()
+        first = RankedPacket(rank=2)
+        second = RankedPacket(rank=2)
+        pifo.enqueue(first)
+        pifo.enqueue(second)
+        assert pifo.dequeue() is first
+        assert pifo.dequeue() is second
+
+    def test_empty_dequeue(self):
+        assert IdealPifo().dequeue() is None
+
+    def test_never_inverts(self):
+        rng = random.Random(0)
+        ranks = [rng.randrange(100) for _ in range(2000)]
+        report = replay_schedule(IdealPifo(), ranks, arrivals_per_departure=1.5)
+        assert report.inversions == 0
+
+
+class TestSpPifoMapping:
+    def test_push_up_raises_bound(self):
+        sp = SpPifo(queues=2)
+        sp.enqueue(RankedPacket(rank=7))
+        assert sp.bounds[1] == 7
+
+    def test_packet_below_all_bounds_triggers_pushdown(self):
+        sp = SpPifo(queues=2)
+        sp.enqueue(RankedPacket(rank=10))  # q1 bound 10
+        sp.bounds[0] = 5
+        sp.enqueue(RankedPacket(rank=2))  # below both bounds
+        assert sp.pushdowns == 1
+        assert sp.bounds[0] == 2  # lowered by the violation (5 - 2)
+
+    def test_strict_priority_dequeue(self):
+        sp = SpPifo(queues=3)
+        sp.queues[2].append(RankedPacket(rank=90))
+        sp.queues[0].append(RankedPacket(rank=5))
+        assert sp.dequeue().rank == 5
+
+    def test_tail_drop_counts(self):
+        sp = SpPifo(queues=1, queue_capacity=2)
+        assert sp.enqueue(RankedPacket(rank=1))
+        assert sp.enqueue(RankedPacket(rank=1))
+        assert not sp.enqueue(RankedPacket(rank=1))
+        assert sp.drops == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpPifo(queues=0)
+        with pytest.raises(ConfigurationError):
+            SpPifo(queues=2, queue_capacity=0)
+
+    def test_len_counts_all_queues(self):
+        sp = SpPifo(queues=4)
+        for rank in (1, 50, 99):
+            sp.enqueue(RankedPacket(rank=rank))
+        assert len(sp) == 3
+
+
+class TestReplaySchedule:
+    def test_conserves_packets(self):
+        rng = random.Random(1)
+        ranks = [rng.randrange(100) for _ in range(500)]
+        report = replay_schedule(SpPifo(queues=4), ranks, arrivals_per_departure=1.2)
+        assert len(report.departures) == 500
+
+    def test_drops_reduce_departures(self):
+        ranks = [5] * 100
+        report = replay_schedule(
+            SpPifo(queues=1, queue_capacity=4), ranks, arrivals_per_departure=4.0
+        )
+        assert report.drops > 0
+        assert len(report.departures) == 100 - report.drops
+
+    def test_random_arrivals_moderate_inversions(self):
+        rng = random.Random(2)
+        ranks = [rng.randrange(100) for _ in range(3000)]
+        report = replay_schedule(
+            SpPifo(queues=8, queue_capacity=32), ranks, arrivals_per_departure=1.05
+        )
+        assert 0.0 < report.inversion_rate < 0.6
+
+    def test_descending_sequence_maximises_inversions(self):
+        from repro.attacks.sppifo_attack import sawtooth_ranks, uniform_ranks
+
+        benign = replay_schedule(
+            SpPifo(queues=8, queue_capacity=32),
+            uniform_ranks(3000),
+            arrivals_per_departure=1.05,
+        )
+        attacked = replay_schedule(
+            SpPifo(queues=8, queue_capacity=32),
+            sawtooth_ranks(3000),
+            arrivals_per_departure=1.05,
+        )
+        assert attacked.inversion_rate > 1.5 * benign.inversion_rate
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            replay_schedule(SpPifo(), [1, 2], arrivals_per_departure=0.0)

@@ -1,0 +1,63 @@
+"""Tests for traceroute over the simulated network."""
+
+import pytest
+
+from repro.netsim.network import Network
+from repro.netsim.topology import line_topology
+from repro.traceroute.probe import EchoResponder, Tracer, control_plane_path
+
+
+def _network(length=4):
+    topo = line_topology(length)
+    topo.add_node("src", role="host")
+    topo.add_node("dst", role="host")
+    topo.add_link("src", "r0", delay_s=0.0005)
+    topo.add_link("dst", f"r{length - 1}", delay_s=0.0005)
+    return Network(topo, seed=3)
+
+
+class TestTraceroute:
+    def test_reconstructs_router_path(self):
+        network = _network(4)
+        EchoResponder(network, "dst")
+        tracer = Tracer(network, "src")
+        result = tracer.trace("dst")
+        assert result.reached
+        assert result.path[:4] == ["r0", "r1", "r2", "r3"]
+
+    def test_silent_router_shows_star(self):
+        network = _network(4)
+        network.set_icmp_enabled("r1", False)
+        EchoResponder(network, "dst")
+        result = Tracer(network, "src").trace("dst")
+        assert result.hops[1] is None
+        assert "*" in result.as_display()
+
+    def test_matches_control_plane_path(self):
+        network = _network(5)
+        EchoResponder(network, "dst")
+        result = Tracer(network, "src").trace("dst")
+        expected = control_plane_path(network, "src", "dst")
+        # control plane path includes src itself; traceroute sees hops after it.
+        assert result.path[: len(expected) - 1] == expected[1:]
+
+    def test_unreachable_destination_never_reached(self):
+        network = _network(3)
+        # No echo responder: traceroute sees routers but no final reply.
+        result = Tracer(network, "src", max_ttl=6).trace("dst")
+        assert not result.reached or result.hops[-1] == "dst"
+
+    def test_max_ttl_limits_probing(self):
+        network = _network(4)
+        EchoResponder(network, "dst")
+        result = Tracer(network, "src", max_ttl=2).trace("dst")
+        assert len(result.hops) <= 2
+        assert not result.reached
+
+    def test_display_format(self):
+        network = _network(3)
+        EchoResponder(network, "dst")
+        result = Tracer(network, "src").trace("dst")
+        display = result.as_display()
+        assert "traceroute to dst" in display
+        assert "r0" in display
