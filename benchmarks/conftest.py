@@ -6,14 +6,31 @@ times it), print the paper-style table/series to stdout, assert the
 *shape* of the paper's result (who wins, by roughly what factor), and
 stash the headline numbers into ``benchmark.extra_info`` so they land
 in the benchmark JSON.
+
+``run_once`` additionally activates a :class:`repro.obs.Tracer` around
+the timed call and stashes its roll-up (event counts per kind, span
+totals) under ``extra_info["trace"]`` — so the benchmark JSON records
+not just how long a reproduction took but what it did.  Emission on
+the instrumented paths is rare enough that this does not perturb the
+timings (the fig2 bench guards this with its <5 % wall-time bound).
 """
 
 from __future__ import annotations
 
+from repro.obs import Tracer, activate
+
 
 def run_once(benchmark, fn, *args, **kwargs):
-    """Execute ``fn`` exactly once under the benchmark timer."""
-    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Execute ``fn`` exactly once under the benchmark timer, traced."""
+    tracer = Tracer()
+
+    def traced(*call_args, **call_kwargs):
+        with activate(tracer):
+            return fn(*call_args, **call_kwargs)
+
+    result = benchmark.pedantic(traced, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    benchmark.extra_info["trace"] = tracer.summary()
+    return result
 
 
 def banner(title: str) -> None:

@@ -65,9 +65,15 @@ def sparkline(values: Sequence[float], width: int = 60) -> str:
     if not values:
         raise ConfigurationError("no values to plot")
     if len(values) > width:
-        # Downsample by striding (keeps the shape, bounds the width).
-        stride = len(values) / width
-        sampled = [values[int(i * stride)] for i in range(width)]
+        # Downsample by even index spacing over [0, len-1] (keeps the
+        # shape, bounds the width, and always includes the endpoints —
+        # plain striding could skip the final value, letting the range
+        # annotation and the glyphs disagree).
+        if width == 1:
+            sampled = [values[-1]]
+        else:
+            last = len(values) - 1
+            sampled = [values[round(i * last / (width - 1))] for i in range(width)]
     else:
         sampled = list(values)
     low = min(sampled)

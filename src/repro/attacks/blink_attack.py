@@ -65,7 +65,15 @@ class BlinkAnalyticalAttack(Attack):
 
 
 class BlinkCaptureAttack(Attack):
-    """Packet-level capture attack through the real Blink pipeline."""
+    """Packet-level capture attack through the real Blink pipeline.
+
+    With ``defended=True`` each per-prefix monitor is wrapped in the
+    Section 5 RTO-plausibility supervisor
+    (:func:`repro.defenses.supervised_blink`); the attack then only
+    succeeds if a reroute decision makes it *past* the supervisor, and
+    the result records how many were vetoed (also visible as
+    ``supervisor.*`` events in a trace).
+    """
 
     name = "blink-capture-packet-level"
     required_privilege = Privilege.HOST
@@ -82,6 +90,8 @@ class BlinkCaptureAttack(Attack):
         seed = int(params.get("seed", 0))
         sample_interval = float(params.get("sample_interval", 1.0))
         cells = int(params.get("cells", DEFAULT_CELLS))
+        defended = bool(params.get("defended", False))
+        min_plausible_gap = float(params.get("min_plausible_gap", 1.0))
 
         _, trace, summary = blink_attack_workload(
             destination_prefix=prefix,
@@ -91,32 +101,55 @@ class BlinkCaptureAttack(Attack):
             duration_model=DurationDistribution(median=duration_median),
             seed=seed,
         )
-        switch = BlinkSwitch({prefix: ["nh-primary", "nh-backup"]}, cells=cells)
+        supervise = None
+        if defended:
+            from repro.defenses.blink_defense import supervised_blink
+
+            def supervise(monitor):  # noqa: F811 - factory for BlinkSwitch
+                return supervised_blink(monitor, min_plausible_gap=min_plausible_gap)
+
+        switch = BlinkSwitch(
+            {prefix: ["nh-primary", "nh-backup"]}, cells=cells, supervise=supervise
+        )
         series = switch.replay_trace(trace, sample_interval=sample_interval)[prefix]
         monitor = switch.monitors[prefix]
 
         threshold = cells // 2
         crossing = first_crossing_time(series.times, series.values, threshold)
         reroutes = monitor.reroutes
+        released = switch.decisions
         measured_tr: Optional[float] = None
         if monitor.selector.stats.legit_occupancy_durations:
             measured_tr = monitor.selector.stats.mean_legit_occupancy()
+        # Undefended, every inferred reroute is released; defended, the
+        # attack must get a decision past the supervisor to count.
+        success = bool(released) if defended else bool(reroutes)
+        details: Dict[str, object] = {
+            "time_to_half_sample": crossing,
+            "reroute_events": len(reroutes),
+            "first_reroute": reroutes[0].time if reroutes else None,
+            "malicious_at_first_reroute": (
+                reroutes[0].malicious_monitored_ground_truth if reroutes else None
+            ),
+            "measured_tr": measured_tr,
+            "qm": malicious_flows / legitimate_flows,
+            "packets": len(trace),
+            "occupancy_series": series,
+            "workload": summary,
+        }
+        if defended:
+            driver = switch.drivers[prefix]
+            suppressed = getattr(driver, "suppressed", [])
+            details["defended"] = True
+            details["reroutes_released"] = len(released)
+            details["reroutes_vetoed"] = len(suppressed)
         return AttackResult(
             attack_name=self.name,
-            success=bool(reroutes),
-            time_to_success=reroutes[0].time if reroutes else None,
+            success=success,
+            time_to_success=(
+                released[0].time if defended and released
+                else reroutes[0].time if reroutes else None
+            ),
             magnitude=max(series.values) / cells if len(series) else 0.0,
-            details={
-                "time_to_half_sample": crossing,
-                "reroute_events": len(reroutes),
-                "first_reroute": reroutes[0].time if reroutes else None,
-                "malicious_at_first_reroute": (
-                    reroutes[0].malicious_monitored_ground_truth if reroutes else None
-                ),
-                "measured_tr": measured_tr,
-                "qm": malicious_flows / legitimate_flows,
-                "packets": len(trace),
-                "occupancy_series": series,
-                "workload": summary,
-            },
+            details=details,
         )

@@ -20,7 +20,7 @@ Three integration surfaces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.blink.constants import (
     DEFAULT_CELLS,
@@ -37,6 +37,7 @@ from repro.core.system import DataDrivenSystem, Decision, SystemState
 from repro.flows.flow import FiveTuple, ip_in_prefix
 from repro.netsim.packet import Packet, Protocol, TcpFlags
 from repro.netsim.trace import Trace, TraceRecord
+from repro.obs import tracer as obs
 
 
 @dataclass
@@ -174,6 +175,13 @@ class BlinkPrefixMonitor(DataDrivenSystem):
         self._probe_candidates = [
             hop for hop in self.next_hops if hop != self.active_next_hop
         ] or list(self.next_hops)
+        if obs.enabled():
+            obs.emit(
+                "blink.probe_start",
+                t_sim=now,
+                prefix=self.prefix,
+                candidates=list(self._probe_candidates),
+            )
 
     def _maybe_finish_probe(self, now: float) -> List[Decision]:
         assert self._probe_start is not None
@@ -230,6 +238,18 @@ class BlinkPrefixMonitor(DataDrivenSystem):
         self.reroutes.append(event)
         self._last_reroute_time = now
         self.active_next_hop = new
+        if obs.enabled():
+            obs.emit(
+                "blink.reroute",
+                t_sim=now,
+                prefix=self.prefix,
+                old_next_hop=event.old_next_hop,
+                new_next_hop=new,
+                retransmitting=retransmitting,
+                monitored=event.monitored_flows,
+                malicious_ground_truth=event.malicious_monitored_ground_truth,
+                probed=note_counts is not None,
+            )
         return [
             Decision(
                 action="reroute",
@@ -256,6 +276,7 @@ class BlinkSwitch:
         self,
         prefixes: Dict[str, Sequence[str]],
         metrics: Optional[MetricRegistry] = None,
+        supervise: Optional[Callable[[BlinkPrefixMonitor], DataDrivenSystem]] = None,
         **monitor_kwargs: object,
     ):
         if not prefixes:
@@ -264,20 +285,33 @@ class BlinkSwitch:
             prefix: BlinkPrefixMonitor(prefix, next_hops, **monitor_kwargs)  # type: ignore[arg-type]
             for prefix, next_hops in prefixes.items()
         }
+        # Optional Section 5 wrapper: ``supervise`` turns each per-prefix
+        # monitor into a supervised driver (e.g. defenses.supervised_blink);
+        # signals then pass through the supervisor on their way in, so
+        # vetoed reroutes never reach :attr:`decisions`.
+        self.drivers: Dict[str, DataDrivenSystem] = {
+            prefix: supervise(monitor) if supervise is not None else monitor
+            for prefix, monitor in self.monitors.items()
+        }
         self.metrics = metrics or MetricRegistry()
         self.decisions: List[Decision] = []
+        obs.attach_metrics("blink", self.metrics)
+
+    def prefix_for(self, destination: str) -> Optional[str]:
+        for prefix in self.monitors:
+            if destination == prefix or ip_in_prefix(destination, prefix):
+                return prefix
+        return None
 
     def monitor_for(self, destination: str) -> Optional[BlinkPrefixMonitor]:
-        for prefix, monitor in self.monitors.items():
-            if destination == prefix or ip_in_prefix(destination, prefix):
-                return monitor
-        return None
+        prefix = self.prefix_for(destination)
+        return self.monitors[prefix] if prefix is not None else None
 
     # -- trace replay (Fig. 2 experiments) ------------------------------------
 
     def replay_record(self, record: TraceRecord) -> List[Decision]:
-        monitor = self.monitor_for(record.flow.dst)
-        if monitor is None:
+        prefix = self.prefix_for(record.flow.dst)
+        if prefix is None:
             return []
         signal = Signal(
             kind=SignalKind.HEADER_FIELD,
@@ -291,7 +325,9 @@ class BlinkSwitch:
             time=record.time,
             source=record.flow,
         )
-        decisions = monitor.observe(signal)
+        decisions = self.drivers[prefix].observe(signal)
+        if decisions:
+            self.metrics.counter("blink.decisions_released").increment(len(decisions))
         self.decisions.extend(decisions)
         return decisions
 
@@ -309,17 +345,35 @@ class BlinkSwitch:
             prefix: self.metrics.timeseries(f"blink.{prefix}.malicious_monitored")
             for prefix in self.monitors
         }
-        next_sample = trace.start_time if len(trace) else 0.0
-        for record in trace:
-            while record.time >= next_sample:
-                for prefix, monitor in self.monitors.items():
-                    monitor.selector.maybe_reset(next_sample)
-                    series[prefix].record(
-                        next_sample, monitor.selector.malicious_count(next_sample)
-                    )
-                next_sample += sample_interval
-            self.replay_record(record)
+        with obs.span(
+            "blink.replay_trace", packets=len(trace), prefixes=len(self.monitors)
+        ):
+            next_sample = trace.start_time if len(trace) else 0.0
+            for record in trace:
+                while record.time >= next_sample:
+                    for prefix, monitor in self.monitors.items():
+                        monitor.selector.maybe_reset(next_sample)
+                        series[prefix].record(
+                            next_sample, monitor.selector.malicious_count(next_sample)
+                        )
+                    next_sample += sample_interval
+                self.replay_record(record)
+            self._snapshot_selector_metrics()
         return series
+
+    def _snapshot_selector_metrics(self) -> None:
+        """Fold per-prefix selector statistics into the metric registry."""
+        for prefix, monitor in self.monitors.items():
+            stats = monitor.selector.stats
+            for name, value in (
+                ("installs", stats.installs),
+                ("evictions_inactive", stats.evictions_inactive),
+                ("evictions_fin", stats.evictions_fin),
+                ("resets", stats.resets),
+                ("collisions_ignored", stats.collisions_ignored),
+                ("reroutes", len(monitor.reroutes)),
+            ):
+                self.metrics.gauge(f"blink.{prefix}.{name}").set(float(value))
 
     # -- dataplane program mode (hijack experiment) ----------------------------
 
@@ -327,9 +381,10 @@ class BlinkSwitch:
         """:class:`~repro.netsim.network.DataplaneProgram` interface."""
         if packet.protocol != Protocol.TCP or packet.tcp is None:
             return None
-        monitor = self.monitor_for(packet.dst)
-        if monitor is None:
+        prefix = self.prefix_for(packet.dst)
+        if prefix is None:
             return None
+        monitor = self.monitors[prefix]
         fin = bool(packet.tcp.flags & (TcpFlags.FIN | TcpFlags.RST))
         signal = Signal(
             kind=SignalKind.HEADER_FIELD,
@@ -346,7 +401,7 @@ class BlinkSwitch:
             time=now,
             source=packet.five_tuple,
         )
-        decisions = monitor.observe(signal)
+        decisions = self.drivers[prefix].observe(signal)
         self.decisions.extend(decisions)
         self.metrics.counter("blink.packets_seen").increment()
         if monitor.probing:

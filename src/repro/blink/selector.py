@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 from repro.blink.constants import DEFAULT_CELLS, EVICTION_TIMEOUT, RESET_INTERVAL
 from repro.core.errors import ConfigurationError
 from repro.flows.flow import FiveTuple
+from repro.obs import tracer as obs
 
 
 @dataclass
@@ -135,6 +136,14 @@ class FlowSelector:
         if cell.occupied and cell.flow != flow:
             if now - cell.last_activity >= self.eviction_timeout:
                 self.stats.evictions_inactive += 1
+                if obs.enabled():
+                    obs.emit(
+                        "blink.eviction",
+                        t_sim=now,
+                        cell=index,
+                        reason="inactive",
+                        malicious=cell.malicious_ground_truth,
+                    )
                 self._record_occupancy(cell, cell.last_activity + self.eviction_timeout)
                 cell.clear()
             else:
@@ -172,6 +181,14 @@ class FlowSelector:
 
         if is_fin_or_rst:
             self.stats.evictions_fin += 1
+            if obs.enabled():
+                obs.emit(
+                    "blink.eviction",
+                    t_sim=now,
+                    cell=index,
+                    reason="fin",
+                    malicious=cell.malicious_ground_truth,
+                )
             self._record_occupancy(cell, now)
             cell.clear()
             return None
@@ -186,6 +203,7 @@ class FlowSelector:
     def maybe_reset(self, now: float) -> bool:
         """Reset the whole sample if the reset interval elapsed."""
         if now - self._last_reset >= self.reset_interval:
+            occupied = sum(1 for cell in self.cells if cell.occupied)
             for cell in self.cells:
                 cell.clear()
             self._last_reset += self.reset_interval * int(
@@ -194,6 +212,10 @@ class FlowSelector:
             self.stats.resets += 1
             if self.reseed_on_reset:
                 self.hash_seed += 1
+            if obs.enabled():
+                obs.emit(
+                    "blink.sample_reset", t_sim=now, evicted=occupied, seed=self.hash_seed
+                )
             return True
         return False
 

@@ -1,25 +1,42 @@
 """Command-line interface: ``python -m repro``.
 
-Three subcommands:
+Four subcommands:
 
 * ``list`` — enumerate the implemented attacks with their threat-model
   cells (the paper's Fig. 1 matrix, as a table);
 * ``run <attack> [--param value ...]`` — execute one attack and print
-  its result details;
-* ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly.
+  its result details; ``--trace out.jsonl`` records a run ledger
+  (spans, events, metric snapshots, provenance), ``--metrics`` prints
+  the merged metric snapshot, ``--json`` emits the result as one JSON
+  object for scripting;
+* ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly
+  (also supports ``--json``); and
+* ``report <ledger.jsonl>`` — render a previously recorded run ledger
+  back into the benches' table format.
 
 The CLI is a thin veneer over the library; every number it prints is
-available programmatically through :mod:`repro.attacks`.
+available programmatically through :mod:`repro.attacks` and
+:mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time as _wallclock
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import ascii_table, format_value
 from repro.core.attack import Attack
+
+#: Short spellings for the most-used attack names.
+ATTACK_ALIASES: Dict[str, str] = {
+    "blink-capture": "blink-capture-packet-level",
+    "blink-analytical": "blink-capture-analytical",
+    "pcc-oscillation": "pcc-utility-equalisation",
+    "pytheas-poisoning": "pytheas-report-poisoning",
+}
 
 
 def _attack_registry() -> Dict[str, Attack]:
@@ -87,31 +104,115 @@ def cmd_list(_: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     registry = _attack_registry()
-    if args.attack not in registry:
+    name = ATTACK_ALIASES.get(args.attack, args.attack)
+    if name not in registry:
         print(f"unknown attack {args.attack!r}; try `python -m repro list`", file=sys.stderr)
         return 2
-    attack = registry[args.attack]
+    attack = registry[name]
     params = _parse_params(args.param or [])
-    result = attack.run(**params)
-    print(f"attack:  {result.attack_name}")
-    print(f"success: {result.success}")
-    if result.time_to_success is not None:
-        print(f"time-to-success: {format_value(result.time_to_success)} s")
-    print(f"magnitude: {format_value(result.magnitude)}")
-    rows = []
-    for key, value in result.details.items():
-        if isinstance(value, (int, float, str, bool)) or value is None:
-            rows.append({"detail": key, "value": format_value(value) if value is not None else "-"})
-    if rows:
-        print()
-        print(ascii_table(rows, title="details"))
+
+    tracing = bool(args.trace or args.metrics)
+    tracer = None
+    started = _wallclock.perf_counter()
+    if tracing:
+        from repro.obs import Tracer, activate
+
+        tracer = Tracer()
+        with activate(tracer), tracer.span(f"attack.{attack.name}"):
+            result = attack.run(**params)
+    else:
+        result = attack.run(**params)
+    wall_seconds = _wallclock.perf_counter() - started
+
+    if args.json:
+        from repro.obs import jsonable
+
+        payload = {
+            "attack": result.attack_name,
+            "success": result.success,
+            "time_to_success": result.time_to_success,
+            "magnitude": result.magnitude,
+            "wall_seconds": wall_seconds,
+            "details": jsonable(result.details),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"attack:  {result.attack_name}")
+        print(f"success: {result.success}")
+        if result.time_to_success is not None:
+            print(f"time-to-success: {format_value(result.time_to_success)} s")
+        print(f"magnitude: {format_value(result.magnitude)}")
+        rows = []
+        for key, value in result.details.items():
+            if isinstance(value, (int, float, str, bool)) or value is None:
+                rows.append(
+                    {"detail": key, "value": format_value(value) if value is not None else "-"}
+                )
+        if rows:
+            print()
+            print(ascii_table(rows, title="details"))
+
+    if tracer is not None:
+        if args.metrics and not args.json:
+            _print_metrics_snapshot(tracer)
+        if args.trace:
+            from repro.obs import RunLedger
+
+            ledger = RunLedger.from_tracer(
+                tracer,
+                attack=result.attack_name,
+                params=params,
+                seed=params.get("seed", None),
+                success=result.success,
+                magnitude=result.magnitude,
+                wall_seconds=wall_seconds,
+            )
+            try:
+                if args.trace.endswith(".csv"):
+                    ledger.to_csv(args.trace)
+                else:
+                    ledger.to_jsonl(args.trace)
+            except OSError as exc:
+                print(f"cannot write trace ledger to {args.trace}: {exc}", file=sys.stderr)
+                return 2
+            if not args.json:
+                print(f"\ntrace ledger written to {args.trace}", file=sys.stderr)
     return 0 if result.success else 1
+
+
+def _print_metrics_snapshot(tracer) -> None:
+    from repro.obs import jsonable
+
+    snapshot = tracer.metrics_snapshot()
+    for source, values in sorted(snapshot.items()):
+        rows = [
+            {"metric": key, "value": format_value(jsonable(value))}
+            for key, value in sorted(values.items())
+        ]
+        if rows:
+            print()
+            print(ascii_table(rows, title=f"metrics: {source}"))
 
 
 def cmd_fig2(args: argparse.Namespace) -> int:
     from repro.blink import fig2_experiment
 
     result = fig2_experiment(qm=args.qm, tr=args.tr, runs=args.runs, seed=args.seed)
+    if args.json:
+        payload = {
+            "qm": args.qm,
+            "tr": args.tr,
+            "runs": args.runs,
+            "seed": args.seed,
+            "threshold": result.threshold,
+            "mean_crossing_theory_s": result.mean_crossing_theory,
+            "expected_hitting_theory_s": result.expected_hitting_theory,
+            "median_success_time_theory_s": result.median_success_time_theory,
+            "mean_crossing_simulated_s": result.mean_crossing_simulated,
+            "success_fraction": result.success_fraction,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
     rows = [
         {"quantity": "threshold (half the sample)", "value": result.threshold},
         {"quantity": "mean-capture crossing, theory (s)",
@@ -121,6 +222,22 @@ def cmd_fig2(args: argparse.Namespace) -> int:
         {"quantity": "success fraction", "value": f"{result.success_fraction:.0%}"},
     ]
     print(ascii_table(rows, title=f"Fig. 2 (qm={args.qm}, tR={args.tr}s)"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.errors import ReproError
+    from repro.obs import RunLedger
+
+    try:
+        ledger = RunLedger.from_jsonl(args.ledger)
+    except FileNotFoundError:
+        print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"cannot parse {args.ledger}: {exc}", file=sys.stderr)
+        return 2
+    print(ledger.render())
     return 0
 
 
@@ -135,13 +252,29 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.set_defaults(func=cmd_list)
 
     run_parser = sub.add_parser("run", help="run one attack")
-    run_parser.add_argument("attack", help="attack name from `list`")
+    run_parser.add_argument("attack", help="attack name from `list` (aliases: %s)"
+                            % ", ".join(sorted(ATTACK_ALIASES)))
     run_parser.add_argument(
         "--param",
         "-p",
         action="append",
         metavar="key=value",
         help="attack parameter (repeatable)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a run ledger (JSONL; a .csv suffix selects flat CSV)",
+    )
+    run_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print the merged simulator metric snapshot",
+    )
+    run_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the AttackResult as one JSON object on stdout",
     )
     run_parser.set_defaults(func=cmd_run)
 
@@ -150,7 +283,18 @@ def build_parser() -> argparse.ArgumentParser:
     fig2_parser.add_argument("--tr", type=float, default=8.37)
     fig2_parser.add_argument("--runs", type=int, default=50)
     fig2_parser.add_argument("--seed", type=int, default=0)
+    fig2_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the Fig. 2 numbers as one JSON object on stdout",
+    )
     fig2_parser.set_defaults(func=cmd_fig2)
+
+    report_parser = sub.add_parser(
+        "report", help="render a recorded run ledger (JSONL) as tables"
+    )
+    report_parser.add_argument("ledger", help="path to a ledger written by run --trace")
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

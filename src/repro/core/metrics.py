@@ -14,17 +14,20 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 
-def percentile(values: Sequence[float], q: float) -> float:
+def percentile(values: Sequence[float], q: float, presorted: bool = False) -> float:
     """Linear-interpolation percentile of ``values`` at ``q`` in [0, 100].
 
     Matches ``numpy.percentile``'s default behaviour but works on plain
-    Python sequences without the numpy import cost in hot loops.
+    Python sequences without the numpy import cost in hot loops.  Pass
+    ``presorted=True`` when ``values`` is already in ascending order to
+    skip the O(n log n) sort — callers taking several percentiles of
+    the same data should sort once and reuse it.
     """
     if not values:
         raise ValueError("percentile of empty sequence")
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(values)
+    ordered = values if presorted else sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     rank = (len(ordered) - 1) * q / 100.0
@@ -119,14 +122,15 @@ class TimeSeries:
         """Mean / min / max / p5 / p50 / p95 over all recorded values."""
         if not self._values:
             return {"count": 0}
+        ordered = sorted(self._values)
         return {
-            "count": len(self._values),
-            "mean": sum(self._values) / len(self._values),
-            "min": min(self._values),
-            "max": max(self._values),
-            "p5": percentile(self._values, 5),
-            "p50": percentile(self._values, 50),
-            "p95": percentile(self._values, 95),
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p5": percentile(ordered, 5, presorted=True),
+            "p50": percentile(ordered, 50, presorted=True),
+            "p95": percentile(ordered, 95, presorted=True),
         }
 
 

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.entities import Signal
 from repro.core.errors import SupervisorVeto
 from repro.core.system import DataDrivenSystem, Decision, SystemState
+from repro.obs import tracer as obs
 
 
 class PlausibilityModel(abc.ABC):
@@ -140,6 +141,25 @@ class Supervisor:
         self.events: List[SupervisionEvent] = []
         self._allowed_times: List[float] = []
 
+    def _audit(self, kind: str, risk: float, decision: Optional[Decision], note: str) -> None:
+        """Mirror one supervision verdict into the observability trail.
+
+        The in-memory :attr:`events` list is the programmatic record;
+        the emitted trace event is what makes a defended run replayable
+        from its ledger alone.
+        """
+        if not obs.enabled():
+            return
+        obs.emit(
+            f"supervisor.{kind.replace('-', '_')}",
+            t_sim=decision.time if decision is not None else None,
+            risk=risk,
+            action=decision.action if decision is not None else None,
+            subject=str(decision.subject) if decision is not None else None,
+            value=decision.value if decision is not None else None,
+            note=note,
+        )
+
     def check_decision(self, state: SystemState, decision: Decision) -> bool:
         """Return True if the decision may proceed; log otherwise."""
         risk = self.model.risk(state, decision)
@@ -147,6 +167,7 @@ class Supervisor:
             self.events.append(
                 SupervisionEvent(decision.time, "veto", risk, decision, "risk above threshold")
             )
+            self._audit("veto", risk, decision, "risk above threshold")
             return False
         if not self.operating_range.permits(decision, self._allowed_times):
             self.events.append(
@@ -154,9 +175,11 @@ class Supervisor:
                     decision.time, "range-violation", risk, decision, "outside operating range"
                 )
             )
+            self._audit("range-violation", risk, decision, "outside operating range")
             return False
         self._allowed_times.append(decision.time)
         self.events.append(SupervisionEvent(decision.time, "check", risk, decision, "allowed"))
+        self._audit("check", risk, decision, "allowed")
         return True
 
     def check_state(self, state: SystemState) -> float:
@@ -164,6 +187,7 @@ class Supervisor:
         risk = self.model.risk(state)
         if risk >= self.risk_threshold:
             self.events.append(SupervisionEvent(state.time, "risk-alarm", risk, None, ""))
+            obs.emit("supervisor.risk_alarm", t_sim=state.time, risk=risk)
         return risk
 
     @property

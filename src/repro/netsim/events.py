@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time as _wallclock
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
 from repro.core.errors import SchedulingError, SimulationError
+from repro.obs import tracer as obs
 
 EventCallback = Callable[[], None]
 
@@ -136,6 +138,11 @@ class EventLoop:
             raise SimulationError("event loop is not reentrant")
         self._running = True
         processed_here = 0
+        # Capture the tracer once per run: the rollup below must match
+        # the tracer that was active when the run started, and the hot
+        # loop itself stays untouched.
+        tracer = obs.current()
+        wall_started = _wallclock.perf_counter() if tracer is not None else 0.0
         try:
             while self._queue and self._queue[0].time <= end_time:
                 entry = heapq.heappop(self._queue)
@@ -160,6 +167,17 @@ class EventLoop:
             self._now = max(self._now, end_time)
         finally:
             self._running = False
+            if tracer is not None:
+                wall = _wallclock.perf_counter() - wall_started
+                tracer.emit(
+                    "netsim.run",
+                    t_sim=self._now,
+                    end_time=end_time,
+                    processed=processed_here,
+                    wall_s=wall,
+                    events_per_s=processed_here / wall if wall > 0 else None,
+                    queue_depth=self.pending_events,
+                )
         return processed_here
 
     def run_all(self, max_events: int = 10_000_000) -> int:

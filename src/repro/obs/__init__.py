@@ -1,0 +1,57 @@
+"""Observability: span tracing, structured event logs, run ledgers.
+
+The runtime half lives in :mod:`repro.obs.tracer` (stdlib-only, safe to
+import from any hot path); the persistence half in
+:mod:`repro.obs.ledger` (JSONL/CSV export, report rendering).  The
+ledger module is loaded lazily so that instrumented core modules
+importing this package never pull reporting machinery — or an import
+cycle — into simulator import time.
+
+Typical use::
+
+    from repro.obs import Tracer, activate, RunLedger
+
+    tracer = Tracer()
+    with activate(tracer):
+        result = attack.run(seed=1)
+    ledger = RunLedger.from_tracer(tracer, attack=attack.name, seed=1)
+    ledger.to_jsonl("run.jsonl")
+"""
+
+from repro.obs.tracer import (
+    DEFAULT_MAX_EVENTS,
+    TraceEvent,
+    Tracer,
+    activate,
+    attach_metrics,
+    current,
+    emit,
+    enabled,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "RunLedger",
+    "SUPERVISOR_EVENT_KINDS",
+    "TraceEvent",
+    "Tracer",
+    "activate",
+    "attach_metrics",
+    "current",
+    "emit",
+    "enabled",
+    "git_describe",
+    "jsonable",
+    "span",
+]
+
+_LEDGER_EXPORTS = ("RunLedger", "SUPERVISOR_EVENT_KINDS", "git_describe", "jsonable")
+
+
+def __getattr__(name: str):
+    if name in _LEDGER_EXPORTS:
+        from repro.obs import ledger
+
+        return getattr(ledger, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,277 @@
+"""Machine-readable run provenance: the :class:`RunLedger`.
+
+A ledger captures everything needed to replay or diagnose one run —
+what was executed (attack name, parameters, seed, git version), what it
+cost (wall time), what the simulators measured (merged metric
+snapshots) and what happened along the way (the tracer's span/event
+log).  Ledgers round-trip through JSONL (one self-describing record per
+line) and export flat CSV for spreadsheet-side analysis; ``python -m
+repro report <file>`` renders one back into the same tables/sparklines
+the benches print.
+
+JSONL schema (``schema`` field versions it):
+
+* ``{"record": "run", ...}`` — exactly one, first line: provenance.
+* ``{"record": "metrics", "source": s, "values": {...}}`` — one per
+  attached metrics source.
+* ``{"record": "event", "kind": k, "t": seconds, ...fields}`` — the
+  trace, in emission order; spans appear as ``kind == "span"`` and
+  metric snapshots are mirrored as ``kind == "metrics.snapshot"``
+  events so a trace alone is self-contained.
+"""
+
+from __future__ import annotations
+
+import csv
+import enum
+import json
+import math
+import subprocess
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.tracer import Tracer
+
+SCHEMA_VERSION = 1
+
+#: Event kinds that make up the supervisor audit trail.
+SUPERVISOR_EVENT_KINDS = (
+    "supervisor.check",
+    "supervisor.veto",
+    "supervisor.range_violation",
+    "supervisor.risk_alarm",
+)
+
+
+def jsonable(value: object) -> object:
+    """Best-effort conversion of ``value`` into JSON-encodable types.
+
+    Attack ``details`` and event fields carry simulator objects
+    (``TimeSeries``, dataclasses, enums, five-tuples); flattening is
+    lossy by design — a ledger stores what a reader needs, not live
+    objects.  Non-finite floats become strings because strict JSON has
+    no spelling for them.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else repr(value)
+    if isinstance(value, enum.Enum):
+        raw = value.value
+        return raw if isinstance(raw, (bool, int, float, str)) else value.name
+    if isinstance(value, dict):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(item) for item in value]
+    # TimeSeries-like: summarise rather than dumping every point.
+    summary = getattr(value, "summary", None)
+    if callable(summary) and hasattr(value, "times"):
+        return {"series": getattr(value, "name", ""), **summary()}
+    if hasattr(value, "__dataclass_fields__"):
+        return {
+            name: jsonable(getattr(value, name))
+            for name in value.__dataclass_fields__  # type: ignore[attr-defined]
+        }
+    return str(value)
+
+
+def git_describe() -> str:
+    """``git describe --always --dirty`` of the working tree, or 'unknown'."""
+    try:
+        proc = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    described = proc.stdout.strip()
+    return described if proc.returncode == 0 and described else "unknown"
+
+
+@dataclass
+class RunLedger:
+    """Provenance + metrics + trace of one run."""
+
+    run: Dict[str, object] = field(default_factory=dict)
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    events: List[Dict[str, object]] = field(default_factory=list)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer, **run_info: object) -> "RunLedger":
+        """Freeze a tracer into a ledger.
+
+        ``run_info`` supplies provenance (attack, params, seed,
+        wall_seconds, ...); git version and trace roll-ups are added
+        here so every ledger is attributable.
+        """
+        metrics = tracer.metrics_snapshot()
+        events: List[Dict[str, object]] = [
+            {"kind": event.kind, "t": event.time, **event.fields}
+            for event in tracer.events
+        ]
+        for source, values in metrics.items():
+            events.append(
+                {"kind": "metrics.snapshot", "t": None, "source": source, "values": values}
+            )
+        run: Dict[str, object] = {
+            "schema": SCHEMA_VERSION,
+            "git": git_describe(),
+            **run_info,
+            "events_dropped": tracer.dropped,
+            "span_totals": tracer.span_totals(),
+        }
+        return cls(run=run, metrics=metrics, events=events)
+
+    # -- queries -----------------------------------------------------------
+
+    def events_of(self, kind: str) -> List[Dict[str, object]]:
+        return [event for event in self.events if event.get("kind") == kind]
+
+    def supervisor_events(self) -> List[Dict[str, object]]:
+        """The audit trail: every supervisor verdict recorded in the run."""
+        return [
+            event
+            for event in self.events
+            if event.get("kind") in SUPERVISOR_EVENT_KINDS
+        ]
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> None:
+        """Write the ledger as one JSON record per line."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(jsonable({"record": "run", **self.run})) + "\n")
+            for source, values in self.metrics.items():
+                record = {"record": "metrics", "source": source, "values": values}
+                handle.write(json.dumps(jsonable(record)) + "\n")
+            for event in self.events:
+                handle.write(json.dumps(jsonable({"record": "event", **event})) + "\n")
+
+    def to_csv(self, path: str) -> None:
+        """Write the event log as flat CSV (one row per event).
+
+        Columns are the union of field names across events; values that
+        are not scalars are JSON-encoded in place so the file stays
+        loadable by anything that reads CSV.
+        """
+        columns: List[str] = ["kind", "t"]
+        for event in self.events:
+            for key in event:
+                if key not in columns:
+                    columns.append(key)
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=columns, extrasaction="ignore")
+            writer.writeheader()
+            for event in self.events:
+                row = {}
+                for key in columns:
+                    value = jsonable(event.get(key, ""))
+                    if isinstance(value, (dict, list)):
+                        value = json.dumps(value)
+                    row[key] = value
+                writer.writerow(row)
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "RunLedger":
+        """Parse a ledger written by :meth:`to_jsonl`."""
+        from repro.core.errors import ConfigurationError
+
+        ledger = cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"{path}:{line_number}: not valid JSON: {exc}"
+                    ) from exc
+                record_type = record.pop("record", None)
+                if record_type == "run":
+                    ledger.run = record
+                elif record_type == "metrics":
+                    ledger.metrics[str(record.get("source", ""))] = record.get(
+                        "values", {}
+                    )
+                elif record_type == "event":
+                    ledger.events.append(record)
+                else:
+                    raise ConfigurationError(
+                        f"{path}:{line_number}: unknown record type {record_type!r}"
+                    )
+        if not ledger.run:
+            raise ConfigurationError(f"{path}: no 'run' record found")
+        return ledger
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self, width: int = 60) -> str:
+        """Human-readable report: tables + histogram, via analysis.reporting."""
+        from repro.analysis.reporting import ascii_table, format_value
+
+        blocks: List[str] = []
+        run_rows = [
+            {"field": key, "value": format_value(jsonable(value))}
+            for key, value in self.run.items()
+            if key not in ("span_totals", "params")
+        ]
+        params = self.run.get("params")
+        if isinstance(params, dict):
+            for key, value in sorted(params.items()):
+                run_rows.append({"field": f"param.{key}", "value": format_value(value)})
+        blocks.append(ascii_table(run_rows, title="run"))
+
+        span_totals = self.run.get("span_totals")
+        if isinstance(span_totals, dict) and span_totals:
+            span_rows = [
+                {
+                    "span": name,
+                    "count": stats.get("count", 0),
+                    "total_s": stats.get("total_s", 0.0),
+                    "max_s": stats.get("max_s", 0.0),
+                }
+                for name, stats in sorted(span_totals.items())
+            ]
+            blocks.append(ascii_table(span_rows, title="spans"))
+
+        for source, values in sorted(self.metrics.items()):
+            metric_rows = [
+                {"metric": key, "value": format_value(jsonable(value))}
+                for key, value in sorted(values.items())
+            ]
+            if metric_rows:
+                blocks.append(ascii_table(metric_rows, title=f"metrics: {source}"))
+
+        histogram: Dict[str, int] = {}
+        for event in self.events:
+            kind = str(event.get("kind", "?"))
+            histogram[kind] = histogram.get(kind, 0) + 1
+        if histogram:
+            event_rows = [
+                {"event kind": kind, "count": count}
+                for kind, count in sorted(histogram.items())
+            ]
+            blocks.append(ascii_table(event_rows, title="event log"))
+
+        audits = self.supervisor_events()
+        if audits:
+            audit_rows = [
+                {
+                    "kind": event.get("kind"),
+                    "t_sim": format_value(event.get("t_sim", "")),
+                    "risk": format_value(event.get("risk", "")),
+                    "action": event.get("action", ""),
+                    "subject": event.get("subject", ""),
+                }
+                for event in audits[:20]
+            ]
+            title = f"supervisor audit trail ({len(audits)} events, first 20)"
+            blocks.append(ascii_table(audit_rows, title=title))
+        return "\n\n".join(blocks)

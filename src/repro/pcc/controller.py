@@ -31,6 +31,7 @@ from typing import List, Optional, Tuple
 from typing import Callable
 
 from repro.core.errors import ConfigurationError
+from repro.obs import tracer as obs
 from repro.pcc.utility import allegro_utility
 
 #: A per-MI utility function: (rate, loss) -> utility.
@@ -149,6 +150,17 @@ class PccAllegroController:
         )
         self.history.append(result)
         self._mi_index += 1
+        if obs.enabled():
+            obs.emit(
+                "pcc.mi",
+                mi=result.mi_index,
+                rate=rate,
+                loss=loss,
+                utility=utility,
+                state=self.state.value,
+                direction=direction,
+                epsilon=epsilon,
+            )
 
         if self.state == ControlState.STARTING:
             self._starting_step(result)
@@ -187,10 +199,26 @@ class PccAllegroController:
             self.epsilon = min(self.epsilon + self.epsilon_min, self.epsilon_max)
             self._rct = None
             self._rct_step = 0
+            if obs.enabled():
+                obs.emit(
+                    "pcc.epsilon_escalation",
+                    mi=self._mi_index,
+                    epsilon=self.epsilon,
+                    pinned=self.epsilon >= self.epsilon_max,
+                )
 
     def _commit_decision(self, direction: int) -> None:
         assert self._rct is not None
         self.rate = self._clamp(self._rct.base_rate * (1.0 + direction * self._rct.epsilon))
+        if obs.enabled():
+            obs.emit(
+                "pcc.rate_move",
+                mi=self._mi_index,
+                direction=direction,
+                epsilon=self._rct.epsilon,
+                base_rate=self._rct.base_rate,
+                new_rate=self.rate,
+            )
         self._adjust_direction = direction
         self._adjust_steps = 1
         self._adjust_last_utility = None

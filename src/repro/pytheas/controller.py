@@ -14,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.core.entities import Signal, SignalKind
 from repro.core.errors import ConfigurationError
 from repro.core.system import DataDrivenSystem, Decision, SystemState
+from repro.obs import tracer as obs
 from repro.pytheas.e2 import DiscountedUcb
 from repro.pytheas.session import GroupTable, QoEReport, Session
 
@@ -64,6 +65,23 @@ class PytheasController(DataDrivenSystem):
         self._preferred: Dict[str, str] = {}
         self._now = 0.0
         self.decisions_log: List[Decision] = []
+        obs.attach_metrics("pytheas", self._metrics_snapshot)
+
+    def _metrics_snapshot(self) -> Dict[str, object]:
+        """End-of-run roll-up polled by the tracer at ledger-build time."""
+        return {
+            "pytheas.groups": len(self._state),
+            "pytheas.sessions_served": sum(
+                state.sessions_served for state in self._state.values()
+            ),
+            "pytheas.reports_received": sum(
+                state.reports_received for state in self._state.values()
+            ),
+            "pytheas.reports_filtered": sum(
+                state.reports_filtered for state in self._state.values()
+            ),
+            "pytheas.preference_changes": len(self.decisions_log),
+        }
 
     # -- serving sessions ------------------------------------------------------
 
@@ -95,16 +113,26 @@ class PytheasController(DataDrivenSystem):
         by_group: Dict[str, List[QoEReport]] = {}
         for report in reports:
             by_group.setdefault(report.group_id, []).append(report)
+        filtered_total = 0
         for group_id, group_reports in by_group.items():
             state = self._group_state(group_id)
             state.reports_received += len(group_reports)
             if self.report_filter is not None:
                 kept = self.report_filter(group_id, group_reports)
                 state.reports_filtered += len(group_reports) - len(kept)
+                filtered_total += len(group_reports) - len(kept)
                 group_reports = kept
             for report in group_reports:
                 state.bandit.update(report.decision, report.value)
             self._emit_preference_change(group_id, state)
+        if obs.enabled():
+            obs.emit(
+                "pytheas.ingest",
+                t_sim=self._now,
+                reports=len(reports),
+                groups=len(by_group),
+                filtered=filtered_total,
+            )
 
     def _emit_preference_change(self, group_id: str, state: GroupState) -> None:
         best = state.bandit.best_mean_arm()
@@ -119,6 +147,14 @@ class PytheasController(DataDrivenSystem):
                     time=self._now,
                 )
             )
+            if obs.enabled():
+                obs.emit(
+                    "pytheas.preference_change",
+                    t_sim=self._now,
+                    group=group_id,
+                    previous=previous,
+                    best=best,
+                )
 
     # -- DataDrivenSystem interface --------------------------------------------------
 

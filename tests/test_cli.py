@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import _attack_registry, _parse_params, main
+from repro.cli import ATTACK_ALIASES, _attack_registry, _parse_params, main
 
 
 class TestRegistry:
@@ -67,3 +69,97 @@ class TestCommands:
 
     def test_unknown_attack(self, capsys):
         assert main(["run", "no-such-attack"]) == 2
+
+    def test_aliases_resolve_to_registered_attacks(self):
+        registry = _attack_registry()
+        for alias, target in ATTACK_ALIASES.items():
+            assert alias not in registry  # aliases must not shadow real names
+            assert target in registry
+
+    def test_run_alias(self, capsys):
+        code = main(
+            ["run", "blink-analytical", "-p", "runs=5", "-p", "qm=0.3",
+             "-p", "tr=8.37", "-p", "horizon=600.0"]
+        )
+        assert code == 0
+        assert "blink-capture-analytical" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_run_json(self, capsys):
+        code = main(
+            ["run", "blink-analytical", "--json", "-p", "runs=5", "-p", "qm=0.3"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["attack"] == "blink-capture-analytical"
+        assert payload["success"] is True
+        assert payload["wall_seconds"] >= 0.0
+        assert isinstance(payload["details"], dict)
+
+    def test_fig2_json(self, capsys):
+        assert main(["fig2", "--runs", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["threshold"] == 32
+        assert payload["mean_crossing_theory_s"] == pytest.approx(107, abs=5)
+
+
+class TestTraceAndReport:
+    def test_run_trace_then_report(self, capsys, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        code = main(
+            ["run", "blink-capture", "--trace", str(path),
+             "-p", "horizon=40.0", "-p", "legitimate_flows=40",
+             "-p", "malicious_flows=40", "-p", "cells=16", "-p", "seed=1"]
+        )
+        assert code == 0
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        kinds = {r["record"] for r in records}
+        assert {"run", "metrics", "event"} <= kinds
+        run = next(r for r in records if r["record"] == "run")
+        assert run["attack"] == "blink-capture-packet-level"
+        assert run["seed"] == 1
+        assert any(
+            r["record"] == "event" and r["kind"] == "span" for r in records
+        )
+        assert any(
+            r["record"] == "event" and r["kind"] == "metrics.snapshot"
+            for r in records
+        )
+        capsys.readouterr()  # discard the run output
+
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "blink-capture-packet-level" in out
+        assert "event log" in out
+
+    def test_run_trace_csv(self, capsys, tmp_path):
+        path = tmp_path / "ledger.csv"
+        code = main(
+            ["run", "blink-analytical", "--trace", str(path),
+             "-p", "runs=5", "-p", "qm=0.3"]
+        )
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines[0].startswith("kind,t")
+        assert len(lines) >= 2
+
+    def test_run_metrics_prints_snapshot(self, capsys):
+        code = main(
+            ["run", "blink-capture", "--metrics",
+             "-p", "horizon=40.0", "-p", "legitimate_flows=40",
+             "-p", "malicious_flows=40", "-p", "cells=16", "-p", "seed=1"]
+        )
+        assert code == 0
+        assert "metrics: blink" in capsys.readouterr().out
+
+    def test_report_missing_file(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 2
+        assert "no such ledger" in capsys.readouterr().err
+
+    def test_report_bad_ledger(self, capsys, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["report", str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err
