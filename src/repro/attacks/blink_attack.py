@@ -93,6 +93,12 @@ class BlinkCaptureAttack(Attack):
         defended = bool(params.get("defended", False))
         min_plausible_gap = float(params.get("min_plausible_gap", 1.0))
 
+        from repro.faults import coerce_plan
+
+        plan = coerce_plan(
+            params.get("faults"), seed=int(params.get("fault_seed", 0))
+        )
+
         _, trace, summary = blink_attack_workload(
             destination_prefix=prefix,
             horizon=horizon,
@@ -101,6 +107,15 @@ class BlinkCaptureAttack(Attack):
             duration_model=DurationDistribution(median=duration_median),
             seed=seed,
         )
+        telemetry_fault = None
+        if plan is not None:
+            from repro.faults import TelemetryFault
+
+            # Telemetry faults degrade the packet feed the selector
+            # samples from — the mirror drops/misreads packets before
+            # Blink ever sees them.
+            telemetry_fault = TelemetryFault(plan, role="blink.telemetry")
+            trace = telemetry_fault.degrade_trace(trace)
         supervise = None
         if defended:
             from repro.defenses.blink_defense import supervised_blink
@@ -137,6 +152,10 @@ class BlinkCaptureAttack(Attack):
             "occupancy_series": series,
             "workload": summary,
         }
+        if telemetry_fault is not None:
+            details["fault_plan"] = plan.to_spec()
+            details["fault_seed"] = plan.seed
+            details.update(telemetry_fault.counters())
         if defended:
             driver = switch.drivers[prefix]
             suppressed = getattr(driver, "suppressed", [])

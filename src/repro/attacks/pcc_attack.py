@@ -209,6 +209,13 @@ class PccOscillationAttack(Attack):
         sway_amplitude = float(params.get("sway_amplitude", 0.10))
         sway_period = float(params.get("sway_period", 20.0))
 
+        from repro.faults import coerce_plan
+
+        plan = coerce_plan(
+            params.get("faults"), seed=int(params.get("fault_seed", 0))
+        )
+        telemetry_faults: Dict[str, object] = {}
+
         def run(tampered: bool) -> PccSimulation:
             probe = PccSimulation(PathModel(capacity=capacity), flows=flows, seed=seed)
             attack_start = warmup_mis * probe.mi_duration
@@ -229,6 +236,16 @@ class PccOscillationAttack(Attack):
                 seed=seed,
                 controller_kwargs={"epsilon_max": epsilon_max},
             )
+            if plan is not None:
+                from repro.faults import TelemetryFault, degrade_pcc
+
+                # Environmental degradation hits baseline and attacked
+                # runs alike (the comparison must stay fair); each run
+                # gets its own role-derived RNG so both replay exactly.
+                variant = "attacked" if tampered else "baseline"
+                fault = TelemetryFault(plan, role=f"pcc.telemetry.{variant}")
+                degrade_pcc(simulation, fault)
+                telemetry_faults[variant] = fault
             simulation.run(mis)
             return simulation
 
@@ -261,6 +278,13 @@ class PccOscillationAttack(Attack):
 
         tamper = attacked.tamper
         assert isinstance(tamper, UtilityEqualizer)
+        details_extra: Dict[str, object] = {}
+        if plan is not None:
+            details_extra["fault_plan"] = plan.to_spec()
+            details_extra["fault_seed"] = plan.seed
+            attacked_fault = telemetry_faults.get("attacked")
+            if attacked_fault is not None:
+                details_extra.update(attacked_fault.counters())
         return AttackResult(
             attack_name=self.name,
             success=osc_attacked > 2.0 * max(osc_baseline, 1e-6)
@@ -281,6 +305,7 @@ class PccOscillationAttack(Attack):
                 "aggregate_swing_baseline": aggregate_swing(baseline),
                 "attack_budget_fraction": attacked.attack_budget_fraction(),
                 "interventions": tamper.interventions,
+                **details_extra,
             },
         )
 

@@ -51,10 +51,26 @@ class PytheasPoisoningAttack(Attack):
         report_filter: Optional[ReportFilter] = params.get("report_filter")  # type: ignore[assignment]
         tail_rounds = int(params.get("tail_rounds", 20))
 
+        from repro.faults import coerce_plan
+
+        plan = coerce_plan(
+            params.get("faults"), seed=int(params.get("fault_seed", 0))
+        )
+        telemetry_faults: Dict[int, object] = {}
+
         def build(fraction: float, offset: int) -> PytheasSimulation:
             model = QoEModel([CdnSite(**vars_of(s)) for s in sites], seed=seed + 1 + offset)
+            effective_filter = report_filter
+            if plan is not None:
+                from repro.faults import TelemetryFault
+
+                # QoE reports are lost or garbled on the wire before the
+                # controller (and any defense filter) ever sees them.
+                fault = TelemetryFault(plan, role=f"pytheas.reports.{offset}")
+                effective_filter = fault.report_filter(report_filter)
+                telemetry_faults[offset] = fault
             controller = PytheasController(
-                [s.name for s in sites], seed=seed + 2 + offset, report_filter=report_filter
+                [s.name for s in sites], seed=seed + 2 + offset, report_filter=effective_filter
             )
             best = model.best_decision("g:3303,zrh")
             population = GroupPopulation(
@@ -83,6 +99,13 @@ class PytheasPoisoningAttack(Attack):
             attacked.controller.preferred_decision(group_id)
             != baseline.controller.preferred_decision(group_id)
         )
+        details_extra: Dict[str, object] = {}
+        if plan is not None:
+            details_extra["fault_plan"] = plan.to_spec()
+            details_extra["fault_seed"] = plan.seed
+            attacked_fault = telemetry_faults.get(100)
+            if attacked_fault is not None:
+                details_extra.update(attacked_fault.counters())
         return AttackResult(
             attack_name=self.name,
             success=qoe_loss > 1.0,
@@ -100,6 +123,7 @@ class PytheasPoisoningAttack(Attack):
                 "reports_filtered": sum(
                     s.reports_filtered for s in attacked.controller._state.values()
                 ),
+                **details_extra,
             },
         )
 

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Four subcommands:
+Five subcommands:
 
 * ``list`` — enumerate the implemented attacks with their threat-model
   cells (the paper's Fig. 1 matrix, as a table);
@@ -8,15 +8,25 @@ Four subcommands:
   its result details; ``--trace out.jsonl`` records a run ledger
   (spans, events, metric snapshots, provenance), ``--metrics`` prints
   the merged metric snapshot, ``--json`` emits the result as one JSON
-  object for scripting;
+  object for scripting.  Robustness flags: ``--faults SPEC`` injects a
+  seeded fault plan (see ``faults``), ``--timeout``/``--retries`` wrap
+  the run in the resilient harness, and ``--seeds 0,1,2`` turns the run
+  into a multi-seed sweep that ``--resume sweep.jsonl`` checkpoints
+  kill-safely;
+* ``faults`` — list the injectable fault kinds and the ``--faults``
+  spec grammar;
 * ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly
   (also supports ``--json``); and
 * ``report <ledger.jsonl>`` — render a previously recorded run ledger
   back into the benches' table format.
 
+Exit codes: 0 success, 1 attack failed (or gave up after retries),
+2 usage errors, 3 malformed ``--faults`` spec, 4 unreadable or
+mismatched ``--resume`` checkpoint.
+
 The CLI is a thin veneer over the library; every number it prints is
-available programmatically through :mod:`repro.attacks` and
-:mod:`repro.obs`.
+available programmatically through :mod:`repro.attacks`,
+:mod:`repro.faults`, :mod:`repro.runner` and :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -102,6 +112,10 @@ def cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+class _RunFailed(Exception):
+    """A resilient run exhausted its retries (or timed out)."""
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     registry = _attack_registry()
     name = ATTACK_ALIASES.get(args.attack, args.attack)
@@ -111,17 +125,67 @@ def cmd_run(args: argparse.Namespace) -> int:
     attack = registry[name]
     params = _parse_params(args.param or [])
 
+    if args.faults:
+        from repro.core.errors import FaultSpecError
+        from repro.faults import coerce_plan
+
+        # Validate up front so a typo fails in milliseconds with a
+        # pointed message, not mid-sweep inside an attack.
+        try:
+            coerce_plan(args.faults, seed=args.fault_seed)
+        except FaultSpecError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            if exc.clause:
+                print(f"  offending clause: {exc.clause}", file=sys.stderr)
+            print("see `python -m repro faults` for kinds and grammar", file=sys.stderr)
+            return 3
+        params["faults"] = args.faults
+        params["fault_seed"] = args.fault_seed
+
+    if args.resume and not args.seeds:
+        print(
+            "--resume requires --seeds (checkpoints journal multi-seed sweeps)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.seeds:
+        return _cmd_run_sweep(attack, params, args)
+
+    runner = None
+    if args.timeout is not None or args.retries:
+        from repro.runner import ResilientRunner, RetryPolicy
+
+        runner = ResilientRunner(
+            RetryPolicy(max_retries=args.retries), timeout_s=args.timeout
+        )
+
+    def execute():
+        if runner is None:
+            return attack.run(**params)
+        outcome = runner.run(lambda: attack.run(**params), label=attack.name)
+        if not outcome.succeeded:
+            verb = "timed out" if outcome.timed_out else "failed"
+            raise _RunFailed(
+                f"{attack.name} {verb} after {len(outcome.attempts)} attempt(s): "
+                f"{outcome.error}"
+            )
+        return outcome.result
+
     tracing = bool(args.trace or args.metrics)
     tracer = None
     started = _wallclock.perf_counter()
-    if tracing:
-        from repro.obs import Tracer, activate
+    try:
+        if tracing:
+            from repro.obs import Tracer, activate
 
-        tracer = Tracer()
-        with activate(tracer), tracer.span(f"attack.{attack.name}"):
-            result = attack.run(**params)
-    else:
-        result = attack.run(**params)
+            tracer = Tracer()
+            with activate(tracer), tracer.span(f"attack.{attack.name}"):
+                result = execute()
+        else:
+            result = execute()
+    except _RunFailed as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     wall_seconds = _wallclock.perf_counter() - started
 
     if args.json:
@@ -178,6 +242,80 @@ def cmd_run(args: argparse.Namespace) -> int:
             if not args.json:
                 print(f"\ntrace ledger written to {args.trace}", file=sys.stderr)
     return 0 if result.success else 1
+
+
+def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
+    """``run --seeds ...``: a checkpointable multi-seed sweep."""
+    from repro.core.errors import CheckpointError
+    from repro.runner import ResilientRunner, RetryPolicy, run_sweep, seed_cells
+
+    try:
+        seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    except ValueError:
+        print(f"--seeds must be comma-separated integers: {args.seeds!r}", file=sys.stderr)
+        return 2
+    if not seeds:
+        print("--seeds lists no seeds", file=sys.stderr)
+        return 2
+    cells = seed_cells(params, seeds)
+    runner = ResilientRunner(
+        RetryPolicy(max_retries=args.retries), timeout_s=args.timeout
+    )
+    try:
+        report = run_sweep(attack, cells, runner=runner, checkpoint_path=args.resume)
+    except CheckpointError as exc:
+        print(f"cannot resume sweep: {exc}", file=sys.stderr)
+        return 4
+    if args.json:
+        # Stdout carries only the deterministic aggregate, so a resumed
+        # sweep's JSON is byte-identical to an uninterrupted one.
+        print(report.aggregate_json())
+        print(
+            f"(executed {report.executed}, resumed {report.resumed}, "
+            f"failed {report.failed})",
+            file=sys.stderr,
+        )
+    else:
+        rows = [
+            {"quantity": key, "value": format_value(value) if value is not None else "-"}
+            for key, value in report.aggregate().items()
+        ]
+        print(ascii_table(rows, title=f"sweep: {attack.name} over {len(seeds)} seeds"))
+        print(
+            f"executed {report.executed}, resumed {report.resumed}, "
+            f"failed {report.failed}"
+        )
+        if args.resume:
+            print(f"checkpoint journal: {args.resume}")
+    return 0 if report.failed == 0 else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import FAULT_KINDS, FOREVER
+
+    kind_rows = []
+    param_rows = []
+    for name in sorted(FAULT_KINDS):
+        kind = FAULT_KINDS[name]
+        kind_rows.append({"kind": name, "injects": kind.description})
+        for param, (default, doc) in kind.params.items():
+            if default is None:
+                rendered = "(required)"
+            elif default == FOREVER:
+                rendered = "inf"
+            else:
+                rendered = repr(default) if isinstance(default, str) else format_value(default)
+            param_rows.append(
+                {"kind": name, "param": param, "default": rendered, "meaning": doc}
+            )
+    print(ascii_table(kind_rows, title="Injectable fault kinds"))
+    print()
+    print(ascii_table(param_rows, title="Parameters"))
+    print()
+    print("spec grammar:  kind:key=value,key=value;kind:key=value...")
+    print("example:       --faults 'link-flap:t=2.0,dur=0.5;telemetry-drop:p=0.1'")
+    print("determinism:   pair with --fault-seed N; same spec+seed replays exactly")
+    return 0
 
 
 def _print_metrics_snapshot(tracer) -> None:
@@ -276,7 +414,48 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the AttackResult as one JSON object on stdout",
     )
+    run_parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        help="inject a fault plan (grammar: `python -m repro faults`)",
+    )
+    run_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed for the fault plan's RNG streams (default 0)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-attempt wall-clock budget in seconds",
+    )
+    run_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="retry transient simulation failures up to N times",
+    )
+    run_parser.add_argument(
+        "--seeds",
+        metavar="LIST",
+        help="comma-separated seeds: run a sweep (one cell per seed)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="JSONL sweep checkpoint: journal completed cells, skip them on resume",
+    )
     run_parser.set_defaults(func=cmd_run)
+
+    faults_parser = sub.add_parser(
+        "faults", help="list injectable fault kinds and the --faults grammar"
+    )
+    faults_parser.set_defaults(func=cmd_faults)
 
     fig2_parser = sub.add_parser("fig2", help="reproduce Fig. 2 headline numbers")
     fig2_parser.add_argument("--qm", type=float, default=0.0525)

@@ -20,8 +20,11 @@ from repro.core.entities import (
     minimum_privilege_for,
 )
 from repro.core.errors import (
+    CheckpointError,
     ConfigurationError,
     DecodeError,
+    ExperimentTimeout,
+    FaultSpecError,
     PrivilegeError,
     ReproError,
     RoutingError,
@@ -41,6 +44,7 @@ from repro.core.metrics import (
     stddev,
 )
 from repro.core.supervisor import (
+    DEGRADATION_POLICIES,
     OperatingRange,
     PlausibilityModel,
     SupervisedDriver,
@@ -57,11 +61,15 @@ __all__ = [
     "Campaign",
     "CampaignReport",
     "Capability",
+    "CheckpointError",
     "ConfigurationError",
     "Counter",
+    "DEGRADATION_POLICIES",
     "DataDrivenSystem",
     "DecodeError",
     "Decision",
+    "ExperimentTimeout",
+    "FaultSpecError",
     "Gauge",
     "Impact",
     "MetricRegistry",

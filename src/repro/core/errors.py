@@ -18,7 +18,48 @@ class ConfigurationError(ReproError):
 
 
 class SimulationError(ReproError):
-    """The discrete-event simulation reached an inconsistent state."""
+    """The discrete-event simulation reached an inconsistent state.
+
+    Watchdog raises attach the context a post-mortem needs: the
+    simulation time at which the guard tripped and the number of
+    pending (non-cancelled) events still queued.  Both default to None
+    for errors raised outside the run loop.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        sim_time: "float | None" = None,
+        queue_depth: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.sim_time = sim_time
+        self.queue_depth = queue_depth
+
+
+class ExperimentTimeout(SimulationError):
+    """A run exceeded its wall-clock budget (runner or loop watchdog).
+
+    Subclasses :class:`SimulationError` so the resilient runner's
+    default retry predicate treats a hang like any other transient
+    simulation failure.
+    """
+
+
+class FaultSpecError(ConfigurationError):
+    """A ``--faults`` specification could not be parsed or validated.
+
+    Carries the offending clause so CLI error messages can point at
+    exactly the part of the spec that is wrong.
+    """
+
+    def __init__(self, message: str, clause: str = ""):
+        super().__init__(message)
+        self.clause = clause
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file is unreadable, corrupt or mismatched."""
 
 
 class SchedulingError(SimulationError):

@@ -124,22 +124,54 @@ class SupervisionEvent:
     note: str = ""
 
 
+#: Graceful-degradation policies: what the supervisor does with driver
+#: decisions while its own input stream is implausible or silent.
+DEGRADATION_POLICIES = ("fail_open", "fail_closed", "hold_last_safe")
+
+
 class Supervisor:
-    """Combines a plausibility model and an operating range (points III+IV)."""
+    """Combines a plausibility model and an operating range (points III+IV).
+
+    Degradation: a supervisor can only check what it can see.  When the
+    telemetry feeding it goes silent or implausible (detected by the
+    :class:`SupervisedDriver` or flagged by the fault layer via
+    :meth:`enter_degraded`), the ``degradation`` policy governs the
+    driver:
+
+    * ``fail_open`` — decisions pass unchecked (availability over
+      safety); each pass is audited as ``degraded-pass``.
+    * ``fail_closed`` — decisions are suppressed like vetoes (safety
+      over availability).
+    * ``hold_last_safe`` — the fresh decision is suppressed and the
+      last decision the supervisor *approved* is replayed in its place
+      (the driver keeps doing the last known-safe thing).
+
+    Every transition and degraded verdict is appended to the audit log
+    and mirrored as a ``supervisor.*`` obs event, so a run ledger shows
+    exactly when and why the system degraded.
+    """
 
     def __init__(
         self,
         model: PlausibilityModel,
         operating_range: Optional[OperatingRange] = None,
         risk_threshold: float = 0.5,
+        degradation: str = "fail_closed",
     ):
         if not 0.0 <= risk_threshold <= 1.0:
             raise ValueError("risk_threshold must be in [0, 1]")
+        if degradation not in DEGRADATION_POLICIES:
+            raise ValueError(
+                f"degradation must be one of {DEGRADATION_POLICIES}, got {degradation!r}"
+            )
         self.model = model
         self.operating_range = operating_range or OperatingRange()
         self.risk_threshold = risk_threshold
+        self.degradation = degradation
         self.events: List[SupervisionEvent] = []
+        self.degraded_since: Optional[float] = None
         self._allowed_times: List[float] = []
+        self._last_safe: Optional[Decision] = None
 
     def _audit(self, kind: str, risk: float, decision: Optional[Decision], note: str) -> None:
         """Mirror one supervision verdict into the observability trail.
@@ -178,9 +210,88 @@ class Supervisor:
             self._audit("range-violation", risk, decision, "outside operating range")
             return False
         self._allowed_times.append(decision.time)
+        self._last_safe = decision
         self.events.append(SupervisionEvent(decision.time, "check", risk, decision, "allowed"))
         self._audit("check", risk, decision, "allowed")
         return True
+
+    # -- graceful degradation ----------------------------------------------
+
+    @property
+    def is_degraded(self) -> bool:
+        return self.degraded_since is not None
+
+    @property
+    def last_safe_decision(self) -> Optional[Decision]:
+        """The most recent decision this supervisor approved, if any."""
+        return self._last_safe
+
+    def enter_degraded(self, time: float, reason: str = "") -> None:
+        """Flag the input stream as implausible or silent; idempotent."""
+        if self.is_degraded:
+            return
+        self.degraded_since = time
+        self.events.append(
+            SupervisionEvent(time, "degraded-enter", 1.0, None, reason)
+        )
+        if obs.enabled():
+            obs.emit(
+                "supervisor.degraded_enter",
+                t_sim=time,
+                policy=self.degradation,
+                reason=reason,
+            )
+
+    def exit_degraded(self, time: float, reason: str = "") -> None:
+        """Telemetry is trustworthy again; idempotent."""
+        if not self.is_degraded:
+            return
+        since = self.degraded_since
+        self.degraded_since = None
+        self.events.append(SupervisionEvent(time, "degraded-exit", 0.0, None, reason))
+        if obs.enabled():
+            obs.emit(
+                "supervisor.degraded_exit",
+                t_sim=time,
+                policy=self.degradation,
+                degraded_for=time - since if since is not None else None,
+                reason=reason,
+            )
+
+    def degraded_decision(self, decision: Decision) -> Optional[Decision]:
+        """Apply the degradation policy to one decision.
+
+        Returns the decision to release (the original, a replay of the
+        last safe one, or None to suppress), and audits accordingly:
+        suppressions land in :attr:`vetoes` like ordinary vetoes.
+        """
+        if self.degradation == "fail_open":
+            self.events.append(
+                SupervisionEvent(
+                    decision.time, "degraded-pass", 1.0, decision, "fail_open"
+                )
+            )
+            self._audit("degraded-pass", 1.0, decision, "fail_open")
+            return decision
+        # Both remaining policies suppress the fresh (unverifiable)
+        # decision; hold_last_safe additionally substitutes a replay.
+        note = f"degraded: {self.degradation}"
+        self.events.append(SupervisionEvent(decision.time, "veto", 1.0, decision, note))
+        self._audit("veto", 1.0, decision, note)
+        if self.degradation == "fail_closed" or self._last_safe is None:
+            return None
+        replay = Decision(
+            action=self._last_safe.action,
+            subject=self._last_safe.subject,
+            value=self._last_safe.value,
+            time=decision.time,
+            confidence=self._last_safe.confidence,
+        )
+        self.events.append(
+            SupervisionEvent(decision.time, "degraded-hold", 1.0, replay, "hold_last_safe")
+        )
+        self._audit("degraded-hold", 1.0, replay, "hold_last_safe")
+        return replay
 
     def check_state(self, state: SystemState) -> float:
         """Asynchronous health check; returns the risk and logs alarms."""
@@ -213,6 +324,14 @@ class SupervisedDriver(DataDrivenSystem):
       the supervisor only inspects driver *state* every
       ``check_interval`` seconds of signal time and raises alarms.
       This is the fast regime with detection lag.
+
+    Degradation detection (synchronous mode): with ``stale_after`` set,
+    an inter-signal gap beyond it means the input stream went silent —
+    the supervisor enters degraded mode and its policy governs the
+    decisions derived from the stale observation.  With
+    ``degrade_on_risk`` set, a *state* risk at or above it (implausible
+    input, as opposed to one bad decision) does the same.  One healthy
+    signal exits degraded mode.
     """
 
     def __init__(
@@ -223,26 +342,69 @@ class SupervisedDriver(DataDrivenSystem):
         check_latency: float = 0.05,
         check_interval: float = 1.0,
         raise_on_veto: bool = False,
+        stale_after: Optional[float] = None,
+        degrade_on_risk: Optional[float] = None,
     ):
         if check_latency < 0 or check_interval <= 0:
             raise ValueError("latencies must be non-negative, interval positive")
+        if stale_after is not None and stale_after <= 0:
+            raise ValueError("stale_after must be positive")
         self.driver = driver
         self.supervisor = supervisor
         self.synchronous = synchronous
         self.check_latency = check_latency
         self.check_interval = check_interval
         self.raise_on_veto = raise_on_veto
+        self.stale_after = stale_after
+        self.degrade_on_risk = degrade_on_risk
         self.suppressed: List[Decision] = []
         self._last_async_check = -float("inf")
+        self._last_signal_time: Optional[float] = None
         self.name = f"supervised({driver.name})"
+
+    def _update_degradation(self, signal: Signal, state: SystemState) -> None:
+        """Enter/exit degraded mode from signal-stream health."""
+        gap = (
+            signal.time - self._last_signal_time
+            if self._last_signal_time is not None
+            else None
+        )
+        self._last_signal_time = signal.time
+        silent = (
+            self.stale_after is not None and gap is not None and gap > self.stale_after
+        )
+        implausible = (
+            self.degrade_on_risk is not None
+            and self.supervisor.model.risk(state) >= self.degrade_on_risk
+        )
+        if silent or implausible:
+            reason = "telemetry silent" if silent else "input implausible"
+            self.supervisor.enter_degraded(signal.time, reason)
+        elif self.supervisor.is_degraded:
+            self.supervisor.exit_degraded(signal.time, "telemetry recovered")
 
     def observe(self, signal: Signal) -> List[Decision]:
         decisions = self.driver.observe(signal)
         state = self.driver.state()
         if self.synchronous:
+            self._update_degradation(signal, state)
             released: List[Decision] = []
             for decision in decisions:
-                if self.supervisor.check_decision(state, decision):
+                if self.supervisor.is_degraded:
+                    verdict = self.supervisor.degraded_decision(decision)
+                    if verdict is None or verdict is not decision:
+                        self.suppressed.append(decision)
+                    if verdict is not None:
+                        released.append(
+                            Decision(
+                                action=verdict.action,
+                                subject=verdict.subject,
+                                value=verdict.value,
+                                time=verdict.time + self.check_latency,
+                                confidence=verdict.confidence,
+                            )
+                        )
+                elif self.supervisor.check_decision(state, decision):
                     released.append(
                         Decision(
                             action=decision.action,
@@ -273,3 +435,4 @@ class SupervisedDriver(DataDrivenSystem):
         self.driver.reset()
         self.suppressed.clear()
         self._last_async_check = -float("inf")
+        self._last_signal_time = None

@@ -1,0 +1,42 @@
+"""Deterministic, seeded fault injection for the simulated planes.
+
+The paper's supervisor argument (Sections 2 and 5) is about staying
+safe when inputs are unreliable or hostile; this package supplies the
+unreliable part on demand.  A :class:`FaultPlan` declares *what* breaks
+and *when* (parsed from the ``--faults`` CLI grammar or JSON); the
+injectors in :mod:`repro.faults.injectors` wire the plan into links,
+the event loop and the telemetry feeding the data-driven systems.
+
+All randomness derives from the plan seed, so any drill replays
+bit-for-bit — the determinism gate CI enforces.
+"""
+
+from repro.faults.injectors import (
+    ClockFaultInjector,
+    FaultyLinkTap,
+    TelemetryFault,
+    degrade_pcc,
+    schedule_link_faults,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FOREVER,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    coerce_plan,
+)
+
+__all__ = [
+    "ClockFaultInjector",
+    "FAULT_KINDS",
+    "FOREVER",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyLinkTap",
+    "TelemetryFault",
+    "coerce_plan",
+    "degrade_pcc",
+    "schedule_link_faults",
+]

@@ -1,0 +1,352 @@
+"""Declarative fault plans: the schedule of injected degradation.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` clauses plus a
+seed.  Plans are parsed from the compact CLI grammar
+
+    kind:key=value,key=value;kind:key=value...
+
+e.g. ``link-flap:t=2.0,dur=0.5;telemetry-drop:p=0.1`` — or from JSON.
+Every clause names one fault *kind* from :data:`FAULT_KINDS`; unknown
+kinds, unknown parameters and malformed values raise
+:class:`~repro.core.errors.FaultSpecError` with a message pointing at
+the offending clause, which the CLI surfaces verbatim (exit code 3).
+
+Determinism: all randomness used by the injectors derives from the
+plan's seed via :meth:`FaultPlan.rng_for`, so a fault drill with a
+fixed plan seed is reproducible bit-for-bit across invocations — the
+property the CI chaos gate asserts.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.errors import FaultSpecError
+
+#: Far-future sentinel for "until the end of the run".
+FOREVER = float("inf")
+
+
+@dataclass(frozen=True)
+class FaultKind:
+    """Registry entry: one injectable fault type."""
+
+    name: str
+    description: str
+    #: parameter name -> (default, doc); None default means required.
+    params: Dict[str, tuple]
+
+
+#: Every fault kind the subsystem can inject, keyed by spec name.
+#: ``repro faults`` renders this table; the parser validates against it.
+FAULT_KINDS: Dict[str, FaultKind] = {
+    kind.name: kind
+    for kind in (
+        FaultKind(
+            "link-down",
+            "take a link down for a window; queued packets drain, new ones drop",
+            {
+                "t": (0.0, "window start (sim seconds)"),
+                "dur": (FOREVER, "window length (sim seconds)"),
+                "link": ("", "src-dst to target (empty: every faulted link)"),
+            },
+        ),
+        FaultKind(
+            "link-flap",
+            "flap a link down/up with a duty cycle inside a window",
+            {
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+                "period": (0.2, "full down+up cycle length (sim seconds)"),
+                "duty": (0.5, "fraction of each period spent down"),
+                "link": ("", "src-dst to target"),
+            },
+        ),
+        FaultKind(
+            "loss-burst",
+            "extra random loss at probability p inside a window",
+            {
+                "p": (None, "per-packet drop probability"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+                "link": ("", "src-dst to target"),
+            },
+        ),
+        FaultKind(
+            "corrupt-burst",
+            "corrupt packet payloads (flip the retransmission signal) at probability p",
+            {
+                "p": (None, "per-packet corruption probability"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+                "link": ("", "src-dst to target"),
+            },
+        ),
+        FaultKind(
+            "reorder-burst",
+            "delay a random subset of packets so they arrive out of order",
+            {
+                "p": (None, "per-packet reorder probability"),
+                "delay": (0.05, "extra delay for reordered packets (sim seconds)"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+                "link": ("", "src-dst to target"),
+            },
+        ),
+        FaultKind(
+            "telemetry-drop",
+            "drop a fraction of the telemetry samples feeding the driver",
+            {
+                "p": (None, "per-sample drop probability"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+            },
+        ),
+        FaultKind(
+            "telemetry-garble",
+            "perturb telemetry values with relative noise at probability p",
+            {
+                "p": (None, "per-sample garble probability"),
+                "scale": (0.2, "relative noise amplitude (fraction of the value)"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+            },
+        ),
+        FaultKind(
+            "clock-skew",
+            "stretch or shrink timer delays scheduled inside a window",
+            {
+                "skew": (None, "fractional skew; 0.1 = timers fire 10% late"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+            },
+        ),
+        FaultKind(
+            "timer-drop",
+            "silently drop scheduled timer events at probability p",
+            {
+                "p": (None, "per-timer drop probability"),
+                "match": ("", "only drop timers whose name contains this substring"),
+                "t": (0.0, "window start"),
+                "dur": (FOREVER, "window length"),
+            },
+        ),
+    )
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One validated fault clause: a kind plus its parameters."""
+
+    kind: str
+    params: Dict[str, Union[float, str]] = field(default_factory=dict)
+
+    def param(self, name: str) -> Union[float, str]:
+        """The clause's value for ``name``, falling back to the default."""
+        if name in self.params:
+            return self.params[name]
+        default, _ = FAULT_KINDS[self.kind].params[name]
+        if default is None:
+            raise FaultSpecError(
+                f"fault {self.kind!r} is missing required parameter {name!r}",
+                clause=self.to_clause(),
+            )
+        return default
+
+    def window(self) -> tuple:
+        """(start, end) of the clause's active window in sim time."""
+        start = float(self.param("t"))
+        dur = float(self.param("dur"))
+        return (start, start + dur)
+
+    def active(self, now: float) -> bool:
+        start, end = self.window()
+        return start <= now < end
+
+    def to_clause(self) -> str:
+        """Render back into the compact spec grammar."""
+        if not self.params:
+            return self.kind
+        rendered = ",".join(
+            f"{key}={_render_value(value)}" for key, value in sorted(self.params.items())
+        )
+        return f"{self.kind}:{rendered}"
+
+
+def _render_value(value: Union[float, str]) -> str:
+    if isinstance(value, float) and value == FOREVER:
+        return "inf"
+    return str(value)
+
+
+def _coerce_value(kind: str, key: str, raw: str, clause: str) -> Union[float, str]:
+    """Parse one parameter value with kind-aware typing."""
+    if key in ("link", "match"):
+        return raw
+    try:
+        return float(raw)
+    except ValueError:
+        raise FaultSpecError(
+            f"fault {kind!r}: parameter {key}={raw!r} is not a number",
+            clause=clause,
+        ) from None
+
+
+def _validate(kind: str, params: Dict[str, Union[float, str]], clause: str) -> FaultSpec:
+    registry = FAULT_KINDS.get(kind)
+    if registry is None:
+        known = ", ".join(sorted(FAULT_KINDS))
+        raise FaultSpecError(
+            f"unknown fault kind {kind!r} (known kinds: {known})", clause=clause
+        )
+    for key in params:
+        if key not in registry.params:
+            allowed = ", ".join(sorted(registry.params))
+            raise FaultSpecError(
+                f"fault {kind!r} has no parameter {key!r} (allowed: {allowed})",
+                clause=clause,
+            )
+    spec = FaultSpec(kind, params)
+    for key, (default, _) in registry.params.items():
+        if default is None and key not in params:
+            raise FaultSpecError(
+                f"fault {kind!r} requires parameter {key!r}", clause=clause
+            )
+    for key in ("p", "duty"):
+        if key in params:
+            value = float(params[key])
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(
+                    f"fault {kind!r}: {key}={value} must be in [0, 1]", clause=clause
+                )
+    for key in ("dur", "period", "delay"):
+        if key in params and float(params[key]) <= 0:
+            raise FaultSpecError(
+                f"fault {kind!r}: {key} must be positive", clause=clause
+            )
+    return spec
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, ordered schedule of fault clauses."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse the compact grammar; raises :class:`FaultSpecError`."""
+        specs: List[FaultSpec] = []
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            kind, _, rest = clause.partition(":")
+            kind = kind.strip()
+            params: Dict[str, Union[float, str]] = {}
+            if rest.strip():
+                for pair in rest.split(","):
+                    pair = pair.strip()
+                    if not pair:
+                        continue
+                    key, sep, raw = pair.partition("=")
+                    if not sep or not key.strip():
+                        raise FaultSpecError(
+                            f"fault parameter {pair!r} is not key=value",
+                            clause=clause,
+                        )
+                    params[key.strip()] = _coerce_value(
+                        kind, key.strip(), raw.strip(), clause
+                    )
+            specs.append(_validate(kind, params, clause))
+        if not specs:
+            raise FaultSpecError("fault spec is empty", clause=text)
+        return cls(specs=specs, seed=seed)
+
+    @classmethod
+    def from_json(cls, obj: Union[str, dict]) -> "FaultPlan":
+        """Build from a JSON object (or its string form)."""
+        if isinstance(obj, str):
+            try:
+                obj = json.loads(obj)
+            except json.JSONDecodeError as exc:
+                raise FaultSpecError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(obj, dict):
+            raise FaultSpecError("fault plan JSON must be an object")
+        seed = int(obj.get("seed", 0))
+        specs = []
+        for entry in obj.get("faults", []):
+            if not isinstance(entry, dict) or "kind" not in entry:
+                raise FaultSpecError(f"fault entry {entry!r} needs a 'kind'")
+            kind = str(entry["kind"])
+            params = {
+                str(k): (v if isinstance(v, str) else float(v))
+                for k, v in entry.items()
+                if k != "kind"
+            }
+            clause = f"{kind}:{params!r}"
+            specs.append(_validate(kind, params, clause))
+        if not specs:
+            raise FaultSpecError("fault plan JSON lists no faults")
+        return cls(specs=specs, seed=seed)
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "faults": [{"kind": s.kind, **s.params} for s in self.specs],
+        }
+
+    def to_spec(self) -> str:
+        """Round-trip back into the compact grammar."""
+        return ";".join(spec.to_clause() for spec in self.specs)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return FaultPlan(specs=self.specs, seed=seed)
+
+    # -- queries -----------------------------------------------------------
+
+    def specs_of(self, *kinds: str) -> List[FaultSpec]:
+        return [spec for spec in self.specs if spec.kind in kinds]
+
+    def rng_for(self, role: str) -> random.Random:
+        """Deterministic child RNG for one injector role.
+
+        CRC32 of ``seed|role`` keeps streams independent per role and
+        stable across processes (``hash`` is salted per interpreter).
+        """
+        return random.Random(
+            (self.seed << 32) ^ zlib.crc32(f"{self.seed}|{role}".encode("utf-8"))
+        )
+
+
+def coerce_plan(
+    value: object, seed: int = 0
+) -> Optional[FaultPlan]:
+    """Normalise an attack's ``faults`` parameter into a FaultPlan.
+
+    Accepts None/"" (no faults), an existing plan (reseeded only if it
+    still carries the default seed 0), a compact spec string, or a JSON
+    object/string.
+    """
+    if value is None or value == "":
+        return None
+    if isinstance(value, FaultPlan):
+        return value.with_seed(seed) if value.seed == 0 and seed != 0 else value
+    if isinstance(value, dict):
+        plan = FaultPlan.from_json(value)
+        return plan.with_seed(seed) if plan.seed == 0 and seed != 0 else plan
+    if isinstance(value, str):
+        stripped = value.strip()
+        if stripped.startswith("{"):
+            plan = FaultPlan.from_json(stripped)
+            return plan.with_seed(seed) if plan.seed == 0 and seed != 0 else plan
+        return FaultPlan.parse(stripped, seed=seed)
+    raise FaultSpecError(f"cannot interpret fault spec of type {type(value).__name__}")

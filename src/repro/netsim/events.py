@@ -16,10 +16,29 @@ import time as _wallclock
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-from repro.core.errors import SchedulingError, SimulationError
+from repro.core.errors import ExperimentTimeout, SchedulingError, SimulationError
 from repro.obs import tracer as obs
 
 EventCallback = Callable[[], None]
+
+#: How often (in processed events) the wall-clock watchdog is polled.
+_WALL_CHECK_STRIDE = 1024
+
+
+class TimerFault:
+    """Hook deciding the fate of each newly scheduled timer event.
+
+    The fault-injection layer (:mod:`repro.faults`) installs one of
+    these on :attr:`EventLoop.fault` to model clock skew and lost
+    timers: :meth:`adjust` receives the requested firing time, the
+    current simulation time and the event's name, and returns the
+    (possibly skewed) time at which the event should actually fire — or
+    None to drop the event entirely.  The default implementation is a
+    pass-through.
+    """
+
+    def adjust(self, time: float, now: float, name: str) -> Optional[float]:
+        return time
 
 
 @dataclass(order=True)
@@ -70,6 +89,9 @@ class EventLoop:
         self._sequence = itertools.count()
         self._running = False
         self._processed = 0
+        #: Optional :class:`TimerFault` applied to every schedule_at/in
+        #: call; installed by the fault-injection layer, None otherwise.
+        self.fault: Optional[TimerFault] = None
 
     @property
     def now(self) -> float:
@@ -94,6 +116,15 @@ class EventLoop:
                 event_time=time,
                 now=self._now,
             )
+        if self.fault is not None:
+            adjusted = self.fault.adjust(time, self._now, name)
+            if adjusted is None:
+                # Dropped timer: hand back a cancelled event so callers
+                # holding the handle see a normal, already-dead timer.
+                event = Event(time, callback, name=name)
+                event.cancel()
+                return event
+            time = max(self._now, adjusted)
         event = Event(time, callback, name=name)
         heapq.heappush(self._queue, _QueueEntry(time, next(self._sequence), event))
         return event
@@ -127,12 +158,22 @@ class EventLoop:
         )
         return event
 
-    def run_until(self, end_time: float, max_events: Optional[int] = None) -> int:
+    def run_until(
+        self,
+        end_time: float,
+        max_events: Optional[int] = None,
+        wall_limit_s: Optional[float] = None,
+    ) -> int:
         """Process events with ``time <= end_time``; advance the clock.
 
         Returns the number of events processed.  ``max_events`` guards
         against accidental infinite event cascades; exceeding it raises
         :class:`SimulationError` rather than hanging the process.
+        ``wall_limit_s`` is the wall-clock watchdog: if the run takes
+        longer than this many real seconds, :class:`ExperimentTimeout`
+        is raised (checked every few thousand events, so the overshoot
+        is bounded).  Both errors carry the simulation time and pending
+        queue depth at the moment the guard tripped.
         """
         if self._running:
             raise SimulationError("event loop is not reentrant")
@@ -142,7 +183,11 @@ class EventLoop:
         # the tracer that was active when the run started, and the hot
         # loop itself stays untouched.
         tracer = obs.current()
-        wall_started = _wallclock.perf_counter() if tracer is not None else 0.0
+        wall_started = (
+            _wallclock.perf_counter()
+            if tracer is not None or wall_limit_s is not None
+            else 0.0
+        )
         try:
             while self._queue and self._queue[0].time <= end_time:
                 entry = heapq.heappop(self._queue)
@@ -162,7 +207,23 @@ class EventLoop:
                 if max_events is not None and processed_here >= max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} before reaching "
-                        f"t={end_time} (now={self._now}); runaway event cascade?"
+                        f"t={end_time} (now={self._now}, "
+                        f"{self.pending_events} events pending); "
+                        "runaway event cascade?",
+                        sim_time=self._now,
+                        queue_depth=self.pending_events,
+                    )
+                if (
+                    wall_limit_s is not None
+                    and processed_here % _WALL_CHECK_STRIDE == 0
+                    and _wallclock.perf_counter() - wall_started > wall_limit_s
+                ):
+                    raise ExperimentTimeout(
+                        f"run_until exceeded wall budget of {wall_limit_s}s "
+                        f"before reaching t={end_time} (now={self._now}, "
+                        f"{self.pending_events} events pending)",
+                        sim_time=self._now,
+                        queue_depth=self.pending_events,
                     )
             self._now = max(self._now, end_time)
         finally:
@@ -203,7 +264,11 @@ class EventLoop:
                     )
                 if processed_here >= max_events:
                     raise SimulationError(
-                        f"exceeded max_events={max_events}; runaway event cascade?"
+                        f"exceeded max_events={max_events} "
+                        f"(now={self._now}, {self.pending_events} events "
+                        "pending); runaway event cascade?",
+                        sim_time=self._now,
+                        queue_depth=self.pending_events,
                     )
         finally:
             self._running = False

@@ -15,6 +15,7 @@ attacker has intercepted one or multiple links").
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Tuple
@@ -25,6 +26,18 @@ from repro.netsim.events import EventLoop
 from repro.netsim.packet import Packet
 
 DeliveryCallback = Callable[[Packet], None]
+
+
+def derive_link_seed(seed: int, src: str, dst: str) -> int:
+    """Deterministic per-link seed from a parent seed and the endpoints.
+
+    Uses CRC32 (stable across processes, unlike ``hash``) so two links
+    with different endpoints get independent loss sequences while the
+    same (seed, src, dst) always reproduces the same one — the property
+    :class:`~repro.netsim.network.Network` provides for its own links
+    and directly-constructed links previously lacked.
+    """
+    return (seed << 32) ^ zlib.crc32(f"{src}->{dst}".encode("utf-8"))
 
 
 @dataclass
@@ -68,6 +81,7 @@ class Link:
         queue_packets: int = 1000,
         rng: Optional[random.Random] = None,
         metrics: Optional[MetricRegistry] = None,
+        seed: int = 0,
     ):
         if bandwidth_bps <= 0:
             raise ConfigurationError("bandwidth must be positive")
@@ -82,8 +96,12 @@ class Link:
         self.delay_s = delay_s
         self.loss_rate = loss_rate
         self.queue_packets = queue_packets
-        self.rng = rng or random.Random(0)
+        # Without an explicit rng, derive one from (seed, src, dst):
+        # every directly-constructed link used to share random.Random(0)
+        # and therefore replayed the *same* loss sequence on every link.
+        self.rng = rng or random.Random(derive_link_seed(seed, src, dst))
         self.metrics = metrics or MetricRegistry()
+        self.up = True
         self.tap: Optional[LinkTap] = None
         self._queue: Deque[Tuple[Packet, DeliveryCallback]] = deque()
         self._busy_until = 0.0
@@ -100,6 +118,9 @@ class Link:
         counterparts do.
         """
         now = self.loop.now
+        if not self.up:
+            self._count("down_dropped")
+            return False
         if self.tap is not None:
             verdict = self.tap.inspect(packet, now)
             if verdict.action == "drop":
@@ -127,6 +148,23 @@ class Link:
         self._queue.append((packet, deliver))
         self.loop.schedule_at(arrival, self._deliver_front, name=f"{self._metric_prefix}.deliver")
         return True
+
+    def set_down(self) -> None:
+        """Take the link down: every subsequent transmit is dropped.
+
+        Already-queued packets still drain (they are "on the wire");
+        this models a clean interface failure, the primitive the
+        link-down/link-flap fault injectors schedule.
+        """
+        if self.up:
+            self.up = False
+            self._count("went_down")
+
+    def set_up(self) -> None:
+        """Restore a downed link."""
+        if not self.up:
+            self.up = True
+            self._count("came_up")
 
     @property
     def queue_depth(self) -> int:

@@ -32,6 +32,7 @@ from repro.obs.tracer import (
 
 __all__ = [
     "DEFAULT_MAX_EVENTS",
+    "DEGRADATION_EVENT_KINDS",
     "RunLedger",
     "SUPERVISOR_EVENT_KINDS",
     "TraceEvent",
@@ -46,7 +47,13 @@ __all__ = [
     "span",
 ]
 
-_LEDGER_EXPORTS = ("RunLedger", "SUPERVISOR_EVENT_KINDS", "git_describe", "jsonable")
+_LEDGER_EXPORTS = (
+    "RunLedger",
+    "SUPERVISOR_EVENT_KINDS",
+    "DEGRADATION_EVENT_KINDS",
+    "git_describe",
+    "jsonable",
+)
 
 
 def __getattr__(name: str):

@@ -40,6 +40,16 @@ SUPERVISOR_EVENT_KINDS = (
     "supervisor.veto",
     "supervisor.range_violation",
     "supervisor.risk_alarm",
+    "supervisor.degraded_enter",
+    "supervisor.degraded_exit",
+    "supervisor.degraded_pass",
+    "supervisor.degraded_hold",
+)
+
+#: The subset marking graceful-degradation transitions.
+DEGRADATION_EVENT_KINDS = (
+    "supervisor.degraded_enter",
+    "supervisor.degraded_exit",
 )
 
 
@@ -138,6 +148,14 @@ class RunLedger:
             event
             for event in self.events
             if event.get("kind") in SUPERVISOR_EVENT_KINDS
+        ]
+
+    def degradation_transitions(self) -> List[Dict[str, object]]:
+        """Every graceful-degradation enter/exit recorded in the run."""
+        return [
+            event
+            for event in self.events
+            if event.get("kind") in DEGRADATION_EVENT_KINDS
         ]
 
     # -- exporters ---------------------------------------------------------

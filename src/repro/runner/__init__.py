@@ -1,0 +1,40 @@
+"""Resilient experiment harness: timeouts, retries, checkpointed sweeps.
+
+:mod:`repro.runner.resilient` makes a single run survive transient
+failures and hangs; :mod:`repro.runner.checkpoint` makes a multi-seed
+sweep survive being killed outright.  The CLI's ``--timeout``,
+``--retries``, ``--seeds`` and ``--resume`` flags are thin wrappers
+over these.
+"""
+
+from repro.runner.checkpoint import (
+    SweepCell,
+    SweepCheckpoint,
+    SweepReport,
+    result_payload,
+    run_sweep,
+    seed_cells,
+    sweep_fingerprint,
+)
+from repro.runner.resilient import (
+    AttemptRecord,
+    ResilientRunner,
+    RetryPolicy,
+    RunOutcome,
+    call_with_timeout,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "ResilientRunner",
+    "RetryPolicy",
+    "RunOutcome",
+    "SweepCell",
+    "SweepCheckpoint",
+    "SweepReport",
+    "call_with_timeout",
+    "result_payload",
+    "run_sweep",
+    "seed_cells",
+    "sweep_fingerprint",
+]

@@ -1,0 +1,278 @@
+"""Checkpointed multi-seed sweeps: kill-safe, byte-identical resume.
+
+A sweep is a list of *cells* — (attack, params) points, typically one
+per seed.  :class:`SweepCheckpoint` journals each completed cell to a
+JSONL file (flushed and fsynced per line, so a ``SIGTERM`` mid-sweep
+loses at most the in-flight cell); :func:`run_sweep` consults the
+journal first and re-executes only the incomplete cells.  Aggregates
+are computed purely from the journaled result payloads, so a resumed
+sweep produces **byte-identical** aggregate JSON to an uninterrupted
+one with the same seeds — the acceptance property the tests pin down.
+
+File format (one JSON record per line):
+
+* ``{"record": "sweep", "schema": 1, "fingerprint": ..., "attack": ...}``
+  — header, first line; the fingerprint hashes the sweep definition so
+  a checkpoint cannot silently resume a *different* sweep.
+* ``{"record": "cell", "index": i, "params": {...}, "result": {...}}``
+  — one per completed cell, in completion order.
+
+A truncated final line (the kill arrived mid-write) is dropped on
+load; any other corruption raises
+:class:`~repro.core.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.attack import Attack, AttackResult
+from repro.core.errors import CheckpointError
+from repro.obs import tracer as obs
+from repro.runner.resilient import ResilientRunner
+
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value: object) -> object:
+    from repro.obs.ledger import jsonable
+
+    return jsonable(value)
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of a sweep: the parameters for a single run."""
+
+    index: int
+    params: Dict[str, object] = field(default_factory=dict)
+
+
+def seed_cells(base_params: Dict[str, object], seeds: Sequence[int]) -> List[SweepCell]:
+    """The standard multi-seed sweep: one cell per seed."""
+    return [
+        SweepCell(index=i, params={**base_params, "seed": int(seed)})
+        for i, seed in enumerate(seeds)
+    ]
+
+
+def sweep_fingerprint(attack_name: str, cells: Sequence[SweepCell]) -> str:
+    """Stable hash of the sweep definition (order-sensitive)."""
+    payload = json.dumps(
+        {
+            "attack": attack_name,
+            "cells": [[cell.index, _jsonable(cell.params)] for cell in cells],
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class SweepCheckpoint:
+    """Append-only JSONL journal of completed sweep cells."""
+
+    def __init__(self, path: str, fingerprint: str, attack_name: str = ""):
+        self.path = path
+        self.fingerprint = fingerprint
+        self.attack_name = attack_name
+        self.completed: Dict[int, dict] = {}
+        if os.path.exists(path):
+            self._load()
+        else:
+            self._write_header()
+
+    # -- persistence -------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = {
+            "record": "sweep",
+            "schema": SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "attack": self.attack_name,
+        }
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        if not lines:
+            raise CheckpointError(f"checkpoint {self.path} is empty")
+        records: List[dict] = []
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                if number == len(lines):
+                    # The kill arrived mid-write: drop the torn tail.
+                    break
+                raise CheckpointError(
+                    f"{self.path}:{number}: corrupt checkpoint record: {exc}"
+                ) from exc
+        if not records or records[0].get("record") != "sweep":
+            raise CheckpointError(
+                f"{self.path}: not a sweep checkpoint (missing header record)"
+            )
+        header = records[0]
+        if header.get("schema") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"{self.path}: unsupported checkpoint schema {header.get('schema')!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise CheckpointError(
+                f"{self.path}: checkpoint belongs to a different sweep "
+                f"(fingerprint {header.get('fingerprint')!r}, expected "
+                f"{self.fingerprint!r}); delete it or point --resume elsewhere"
+            )
+        for record in records[1:]:
+            if record.get("record") != "cell":
+                raise CheckpointError(
+                    f"{self.path}: unexpected record type {record.get('record')!r}"
+                )
+            self.completed[int(record["index"])] = record
+
+    def record_cell(self, cell: SweepCell, result: dict) -> None:
+        """Journal one completed cell; durable before returning."""
+        record = {
+            "record": "cell",
+            "index": cell.index,
+            "params": _jsonable(cell.params),
+            "result": result,
+        }
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.completed[cell.index] = record
+
+
+@dataclass
+class SweepReport:
+    """Outcome of a (possibly resumed) sweep."""
+
+    attack: str
+    cells: List[dict] = field(default_factory=list)
+    executed: int = 0
+    resumed: int = 0
+    failed: int = 0
+
+    def aggregate(self) -> Dict[str, object]:
+        """Deterministic roll-up; identical for resumed and clean runs.
+
+        Derived only from the per-cell result payloads (never wall
+        time), and serialised with sorted keys — json.dumps of this is
+        the byte-identity the acceptance criterion compares.
+        """
+        results = [cell["result"] for cell in self.cells if cell.get("result")]
+        successes = [r for r in results if r.get("success")]
+        magnitudes = [
+            float(r["magnitude"])
+            for r in results
+            if isinstance(r.get("magnitude"), (int, float))
+        ]
+        times = [
+            float(r["time_to_success"])
+            for r in results
+            if isinstance(r.get("time_to_success"), (int, float))
+        ]
+        return {
+            "attack": self.attack,
+            "cells": len(self.cells),
+            "completed": len(results),
+            "failed": self.failed,
+            "success_rate": (len(successes) / len(results)) if results else 0.0,
+            "mean_magnitude": (sum(magnitudes) / len(magnitudes)) if magnitudes else None,
+            "mean_time_to_success": (sum(times) / len(times)) if times else None,
+        }
+
+    def aggregate_json(self) -> str:
+        return json.dumps(self.aggregate(), sort_keys=True)
+
+
+def result_payload(result: AttackResult) -> dict:
+    """The journaled form of one AttackResult (JSON-safe, no wall time)."""
+    return {
+        "attack": result.attack_name,
+        "success": bool(result.success),
+        "time_to_success": _jsonable(result.time_to_success),
+        "magnitude": _jsonable(result.magnitude),
+        "details": _jsonable(result.details),
+    }
+
+
+def run_sweep(
+    attack: Attack,
+    cells: Sequence[SweepCell],
+    runner: Optional[ResilientRunner] = None,
+    checkpoint_path: Optional[str] = None,
+    progress: Optional[Callable[[SweepCell, dict], None]] = None,
+) -> SweepReport:
+    """Run every cell, skipping the ones a checkpoint already journals.
+
+    ``progress`` (if given) is invoked after each *freshly executed*
+    cell with (cell, result-payload) — the hook tests use to kill a
+    sweep mid-run.  Failed cells (retries exhausted) are journaled with
+    a null result so a resume retries them.
+    """
+    runner = runner or ResilientRunner()
+    checkpoint: Optional[SweepCheckpoint] = None
+    if checkpoint_path:
+        checkpoint = SweepCheckpoint(
+            checkpoint_path,
+            sweep_fingerprint(attack.name, cells),
+            attack_name=attack.name,
+        )
+    report = SweepReport(attack=attack.name)
+    for cell in cells:
+        journaled = checkpoint.completed.get(cell.index) if checkpoint else None
+        if journaled is not None and journaled.get("result"):
+            report.cells.append(
+                {"index": cell.index, "params": journaled.get("params"), "result": journaled["result"]}
+            )
+            report.resumed += 1
+            obs.emit("runner.cell_resumed", index=cell.index)
+            continue
+        outcome = runner.run(
+            lambda cell=cell: attack.run(**cell.params),
+            label=f"{attack.name}[{cell.index}]",
+        )
+        report.executed += 1
+        if not outcome.succeeded:
+            report.failed += 1
+            report.cells.append(
+                {
+                    "index": cell.index,
+                    "params": _jsonable(cell.params),
+                    "result": None,
+                    "error": outcome.error,
+                    "timed_out": outcome.timed_out,
+                }
+            )
+            continue
+        payload = result_payload(outcome.result)  # type: ignore[arg-type]
+        if checkpoint is not None:
+            checkpoint.record_cell(cell, payload)
+        report.cells.append(
+            {"index": cell.index, "params": _jsonable(cell.params), "result": payload}
+        )
+        obs.emit(
+            "runner.cell_done",
+            index=cell.index,
+            attempts=len(outcome.attempts),
+            success=payload["success"],
+        )
+        if progress is not None:
+            progress(cell, payload)
+    return report

@@ -163,3 +163,95 @@ class TestTraceAndReport:
         path.write_text("not json\n")
         assert main(["report", str(path)]) == 2
         assert "cannot parse" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_faults_lists_kinds_and_grammar(self, capsys):
+        assert main(["faults"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("link-flap", "telemetry-drop", "clock-skew", "timer-drop"):
+            assert kind in out
+        assert "kind:key=value" in out
+
+    def test_bad_faults_spec_exits_3(self, capsys):
+        code = main(
+            ["run", "blink-analytical", "--faults", "telemetry-drip:p=0.1"]
+        )
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "unknown fault kind" in err
+        assert "python -m repro faults" in err
+
+    def test_bad_fault_param_exits_3(self, capsys):
+        code = main(["run", "blink-analytical", "--faults", "telemetry-drop:p=2.0"])
+        assert code == 3
+        assert "[0, 1]" in capsys.readouterr().err
+
+    def test_faults_forwarded_to_attack(self, capsys):
+        code = main(
+            ["run", "blink-capture", "--json", "--faults", "telemetry-drop:p=0.2",
+             "--fault-seed", "5", "-p", "horizon=40.0", "-p", "legitimate_flows=40",
+             "-p", "malicious_flows=40", "-p", "cells=16"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["details"]["fault_plan"] == "telemetry-drop:p=0.2"
+        assert payload["details"]["fault_seed"] == 5
+        assert payload["details"]["telemetry_dropped"] > 0
+
+    def test_fault_drill_deterministic_across_invocations(self, capsys):
+        args = [
+            "run", "blink-capture", "--json", "--faults", "telemetry-drop:p=0.2",
+            "--fault-seed", "3", "-p", "horizon=40.0", "-p", "legitimate_flows=40",
+            "-p", "malicious_flows=40", "-p", "cells=16",
+        ]
+        outputs = []
+        for _ in range(2):
+            main(args)
+            payload = json.loads(capsys.readouterr().out)
+            payload.pop("wall_seconds")
+            outputs.append(json.dumps(payload, sort_keys=True))
+        assert outputs[0] == outputs[1]
+
+
+class TestSweepCommands:
+    BASE = ["run", "blink-analytical", "-p", "runs=5", "-p", "qm=0.3"]
+
+    def test_sweep_over_seeds(self, capsys):
+        assert main(self.BASE + ["--seeds", "0,1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: blink-capture-analytical" in out
+        assert "executed 3, resumed 0, failed 0" in out
+
+    def test_sweep_json_resume_byte_identical(self, capsys, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        args = self.BASE + ["--seeds", "0,1", "--json", "--resume", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first
+        assert "resumed 2" in captured.err
+
+    def test_resume_requires_seeds(self, capsys, tmp_path):
+        code = main(self.BASE + ["--resume", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        assert "--resume requires --seeds" in capsys.readouterr().err
+
+    def test_mismatched_checkpoint_exits_4(self, capsys, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        assert main(self.BASE + ["--seeds", "0,1", "--resume", str(path)]) == 0
+        capsys.readouterr()
+        code = main(self.BASE + ["--seeds", "0,1,2", "--resume", str(path)])
+        assert code == 4
+        assert "different sweep" in capsys.readouterr().err
+
+    def test_bad_seed_list_exits_2(self, capsys):
+        assert main(self.BASE + ["--seeds", "0,banana"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_timeout_gives_up_with_exit_1(self, capsys):
+        code = main(
+            ["run", "pcc-oscillation", "--timeout", "0.05", "-p", "mis=5000"]
+        )
+        assert code == 1
+        assert "timed out" in capsys.readouterr().err

@@ -97,6 +97,41 @@ class TestSafetyLimits:
         with pytest.raises(SimulationError):
             loop.run_until(1e9, max_events=100)
 
+    def test_watchdog_error_carries_context(self, loop):
+        """Regression: the guard must attach sim time and queue depth."""
+
+        def reschedule():
+            loop.schedule_in(0.001, reschedule)
+
+        loop.schedule_in(0.0, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            loop.run_until(1e9, max_events=100)
+        assert excinfo.value.sim_time == pytest.approx(loop.now)
+        assert excinfo.value.queue_depth == 1
+        assert "pending" in str(excinfo.value)
+
+    def test_run_all_guard_carries_context(self, loop):
+        def reschedule():
+            loop.schedule_in(0.001, reschedule)
+
+        loop.schedule_in(0.0, reschedule)
+        with pytest.raises(SimulationError) as excinfo:
+            loop.run_all(max_events=50)
+        assert excinfo.value.sim_time is not None
+        assert excinfo.value.queue_depth == 1
+
+    def test_wall_limit_raises_experiment_timeout(self, loop):
+        from repro.core.errors import ExperimentTimeout
+
+        def reschedule():
+            loop.schedule_in(1e-9, reschedule)
+
+        loop.schedule_in(0.0, reschedule)
+        with pytest.raises(ExperimentTimeout) as excinfo:
+            loop.run_until(1e9, wall_limit_s=0.05)
+        assert excinfo.value.sim_time is not None
+        assert excinfo.value.queue_depth is not None
+
     def test_event_cascade_counts(self, loop):
         loop.schedule_at(1.0, lambda: loop.schedule_in(1.0, lambda: None))
         processed = loop.run_until(5.0)

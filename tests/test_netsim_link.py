@@ -49,6 +49,53 @@ class TestTransmission:
         loss = outcomes.count(False) / len(outcomes)
         assert 0.35 < loss < 0.65
 
+    def test_per_link_rng_derivation(self, loop):
+        """Regression: links no longer share random.Random(0)."""
+        from repro.netsim.link import derive_link_seed
+
+        ab = _make_link(loop, loss_rate=0.5, seed=1)
+        cd = Link(loop, "c", "d", bandwidth_bps=8e6, delay_s=0.01, loss_rate=0.5, seed=1)
+        draws_ab = [ab.rng.random() for _ in range(20)]
+        draws_cd = [cd.rng.random() for _ in range(20)]
+        assert draws_ab != draws_cd  # endpoints decorrelate the streams
+        # Same (seed, src, dst) reproduces the same stream.
+        again = Link(loop, "a", "b", bandwidth_bps=8e6, delay_s=0.01, seed=1)
+        assert [again.rng.random() for _ in range(20)] == draws_ab
+        assert derive_link_seed(1, "a", "b") != derive_link_seed(2, "a", "b")
+
+    def test_explicit_rng_still_honoured(self, loop):
+        import random
+
+        shared = random.Random(42)
+        link = _make_link(loop, rng=shared)
+        assert link.rng is shared
+
+    def test_down_link_drops_transmissions(self, loop):
+        link = _make_link(loop)
+        link.set_down()
+        assert not link.transmit(_packet(), lambda p: None)
+        assert link.stats()["link.a->b.down_dropped"] == 1
+        link.set_up()
+        assert link.transmit(_packet(), lambda p: None)
+
+    def test_state_transitions_counted_once(self, loop):
+        link = _make_link(loop)
+        link.set_down()
+        link.set_down()  # idempotent
+        link.set_up()
+        link.set_up()
+        stats = link.stats()
+        assert stats["link.a->b.went_down"] == 1
+        assert stats["link.a->b.came_up"] == 1
+
+    def test_queued_packets_drain_after_down(self, loop):
+        link = _make_link(loop)
+        delivered = []
+        link.transmit(_packet(960), lambda p: delivered.append(loop.now))
+        link.set_down()  # packet already on the wire keeps going
+        loop.run_until(1.0)
+        assert len(delivered) == 1
+
     def test_invalid_configuration(self, loop):
         with pytest.raises(ConfigurationError):
             Link(loop, "a", "b", bandwidth_bps=0)

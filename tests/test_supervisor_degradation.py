@@ -1,0 +1,178 @@
+"""Tests for supervisor graceful degradation (fail_open/closed/hold)."""
+
+import pytest
+
+from repro.core.entities import Signal, SignalKind
+from repro.core.supervisor import (
+    DEGRADATION_POLICIES,
+    SupervisedDriver,
+    Supervisor,
+    ThresholdModel,
+)
+from repro.core.system import DataDrivenSystem, Decision, SystemState
+
+
+class _ToyDriver(DataDrivenSystem):
+    name = "toy-driver"
+
+    def __init__(self):
+        self.last_value = 0.0
+
+    def observe(self, signal):
+        self.last_value = float(signal.value)
+        return [Decision("steer", "net", signal.value, time=signal.time)]
+
+    def state(self):
+        return SystemState(time=0.0, variables={"speed": self.last_value})
+
+
+def _signal(value, time=0.0):
+    return Signal(SignalKind.TIMING, "speed", value, time=time)
+
+
+def _supervisor(policy, **kwargs):
+    return Supervisor(ThresholdModel({"speed": (0.0, 10.0)}), degradation=policy, **kwargs)
+
+
+class TestPolicies:
+    def test_known_policies(self):
+        assert DEGRADATION_POLICIES == ("fail_open", "fail_closed", "hold_last_safe")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="degradation"):
+            _supervisor("fail_sideways")
+
+    def test_fail_open_passes_and_audits(self):
+        supervisor = _supervisor("fail_open")
+        supervisor.enter_degraded(1.0, "test")
+        decision = Decision("steer", "net", 5.0, time=1.5)
+        assert supervisor.degraded_decision(decision) is decision
+        kinds = [e.kind for e in supervisor.events]
+        assert "degraded-pass" in kinds
+        assert supervisor.vetoes == []
+
+    def test_fail_closed_suppresses_as_veto(self):
+        supervisor = _supervisor("fail_closed")
+        supervisor.enter_degraded(1.0)
+        decision = Decision("steer", "net", 5.0, time=1.5)
+        assert supervisor.degraded_decision(decision) is None
+        assert len(supervisor.vetoes) == 1
+        assert supervisor.vetoes[0].note == "degraded: fail_closed"
+
+    def test_hold_last_safe_replays_approved_decision(self):
+        supervisor = _supervisor("hold_last_safe")
+        safe = Decision("steer", "net", 3.0, time=0.5)
+        assert supervisor.check_decision(
+            SystemState(0.5, {"speed": 3.0}), safe
+        )
+        supervisor.enter_degraded(1.0)
+        fresh = Decision("steer", "net", 99.0, time=1.5)
+        replay = supervisor.degraded_decision(fresh)
+        assert replay is not None
+        assert replay.value == 3.0  # the last safe value, not the fresh one
+        assert replay.time == 1.5  # retimed to the suppressed decision
+        # The fresh decision is still audited as vetoed.
+        assert any(e.note == "degraded: hold_last_safe" for e in supervisor.vetoes)
+
+    def test_hold_without_history_fails_closed(self):
+        supervisor = _supervisor("hold_last_safe")
+        supervisor.enter_degraded(1.0)
+        assert supervisor.degraded_decision(Decision("steer", "net", 1.0, time=1.5)) is None
+
+
+class TestTransitions:
+    def test_enter_exit_idempotent(self):
+        supervisor = _supervisor("fail_closed")
+        supervisor.enter_degraded(1.0, "a")
+        supervisor.enter_degraded(2.0, "b")  # no-op
+        assert supervisor.degraded_since == 1.0
+        supervisor.exit_degraded(3.0)
+        supervisor.exit_degraded(4.0)  # no-op
+        kinds = [e.kind for e in supervisor.events]
+        assert kinds.count("degraded-enter") == 1
+        assert kinds.count("degraded-exit") == 1
+        assert not supervisor.is_degraded
+
+    def test_transitions_recorded_in_ledger(self):
+        from repro.obs import RunLedger, Tracer, activate
+
+        tracer = Tracer()
+        with activate(tracer):
+            supervisor = _supervisor("fail_closed")
+            supervisor.enter_degraded(1.0, "telemetry silent")
+            supervisor.degraded_decision(Decision("steer", "net", 5.0, time=1.5))
+            supervisor.exit_degraded(2.0, "recovered")
+        ledger = RunLedger.from_tracer(tracer, attack="test")
+        transitions = ledger.degradation_transitions()
+        assert [t["kind"] for t in transitions] == [
+            "supervisor.degraded_enter",
+            "supervisor.degraded_exit",
+        ]
+        assert transitions[0]["reason"] == "telemetry silent"
+        assert transitions[1]["degraded_for"] == pytest.approx(1.0)
+        # The degraded veto is part of the supervisor audit trail too.
+        assert any(
+            e["kind"] == "supervisor.veto" for e in ledger.supervisor_events()
+        )
+
+
+class TestSupervisedDriverDegradation:
+    def _driver(self, policy, **kwargs):
+        return SupervisedDriver(
+            _ToyDriver(),
+            _supervisor(policy),
+            synchronous=True,
+            check_latency=0.0,
+            **kwargs,
+        )
+
+    def test_stale_signal_enters_degraded(self):
+        wrapped = self._driver("fail_closed", stale_after=5.0)
+        assert wrapped.observe(_signal(1.0, time=0.0))  # healthy
+        released = wrapped.observe(_signal(1.0, time=100.0))  # 100 s gap
+        assert released == []
+        assert wrapped.supervisor.is_degraded
+        assert len(wrapped.suppressed) == 1
+        assert len(wrapped.supervisor.vetoes) == 1
+
+    def test_prompt_signal_exits_degraded(self):
+        wrapped = self._driver("fail_closed", stale_after=5.0)
+        wrapped.observe(_signal(1.0, time=0.0))
+        wrapped.observe(_signal(1.0, time=100.0))
+        released = wrapped.observe(_signal(1.0, time=101.0))  # 1 s gap: healthy
+        assert not wrapped.supervisor.is_degraded
+        assert len(released) == 1
+
+    def test_implausible_input_enters_degraded(self):
+        wrapped = self._driver("fail_closed", degrade_on_risk=0.9)
+        released = wrapped.observe(_signal(500.0, time=0.0))  # way out of bounds
+        assert wrapped.supervisor.is_degraded
+        assert released == []
+
+    def test_hold_last_safe_keeps_driving(self):
+        wrapped = self._driver("hold_last_safe", stale_after=5.0)
+        wrapped.observe(_signal(2.0, time=0.0))  # approved: last safe = 2.0
+        released = wrapped.observe(_signal(9.0, time=100.0))
+        assert len(released) == 1
+        assert released[0].value == 2.0
+        # The unverifiable fresh decision was suppressed...
+        assert wrapped.suppressed[-1].value == 9.0
+        # ...and audited via the supervisor's veto list.
+        assert any("degraded" in e.note for e in wrapped.supervisor.vetoes)
+
+    def test_fail_open_releases_fresh_decision(self):
+        wrapped = self._driver("fail_open", stale_after=5.0)
+        wrapped.observe(_signal(2.0, time=0.0))
+        released = wrapped.observe(_signal(9.0, time=100.0))
+        assert len(released) == 1
+        assert released[0].value == 9.0
+        assert wrapped.supervisor.vetoes == []
+
+    def test_reset_clears_signal_history(self):
+        wrapped = self._driver("fail_closed", stale_after=5.0)
+        wrapped.observe(_signal(1.0, time=0.0))
+        wrapped.reset()
+        # After reset the first signal has no predecessor: no gap check.
+        released = wrapped.observe(_signal(1.0, time=100.0))
+        assert len(released) == 1
+        assert not wrapped.supervisor.is_degraded
