@@ -16,39 +16,64 @@ drills:
 Every drill is seeded through the fault plan, so the numbers printed
 here reproduce exactly across invocations (the CI chaos job asserts
 this for the first two drills).
+
+The heavy Blink/PCC drill runs flow through the content-addressed
+result cache (``$REPRO_CACHE_DIR``, default ``.repro-cache``): a warm
+rerun of this bench serves every drill from disk and spends its wall
+time only on the resilience exercise.  The kill-and-resume drill rides
+the parallel sweep executor (worker count from ``$REPRO_JOBS``), so it
+also exercises the process-pool path end to end.
 """
 
 from conftest import banner, run_once
 
 from repro.analysis import ascii_table
-from repro.attacks import BlinkCaptureAttack, PccOscillationAttack
-from repro.runner import ResilientRunner, RetryPolicy, run_sweep, seed_cells
+from repro.attacks import (
+    BlinkAnalyticalAttack,
+    BlinkCaptureAttack,
+    PccOscillationAttack,
+)
+from repro.runner import (
+    ParallelSweepExecutor,
+    ResultCache,
+    RetryPolicy,
+    cached_attack_run,
+    default_cache_dir,
+    seed_cells,
+)
 
 
-def _experiment(tmp_dir):
+def _experiment(tmp_dir, cache):
     blink = BlinkCaptureAttack()
     blink_params = dict(
         horizon=200.0, legitimate_flows=400, malicious_flows=60, cells=64, seed=0
     )
-    blink_clean = blink.run(**blink_params)
-    blink_drills = {
-        p: blink.run(**blink_params, faults=f"telemetry-drop:p={p}", fault_seed=1)
-        for p in (0.05, 0.10, 0.20)
-    }
+    blink_clean, _ = cached_attack_run(blink, cache, **blink_params)
+    blink_drills = {}
+    for p in (0.05, 0.10, 0.20):
+        payload, _ = cached_attack_run(
+            blink, cache, **blink_params,
+            faults=f"telemetry-drop:p={p}", fault_seed=1,
+        )
+        blink_drills[p] = payload
 
     pcc = PccOscillationAttack()
     pcc_params = dict(mis=600, warmup_mis=200, seed=0)
-    pcc_clean = pcc.run(**pcc_params)
-    pcc_drill = pcc.run(
-        **pcc_params, faults="telemetry-drop:p=0.1", fault_seed=1
+    pcc_clean, _ = cached_attack_run(pcc, cache, **pcc_params)
+    pcc_drill, _ = cached_attack_run(
+        pcc, cache, **pcc_params, faults="telemetry-drop:p=0.1", fault_seed=1
     )
 
-    # Kill-and-resume drill: run two cells, "die", resume the rest.
-    from repro.attacks import BlinkAnalyticalAttack
-
+    # Kill-and-resume drill through the parallel executor: run two
+    # cells, "die", resume the rest (uncached — the drill *is* the
+    # re-execution).
     path = str(tmp_dir / "sweep.jsonl")
     cells = seed_cells({"runs": 10}, [0, 1, 2, 3])
-    runner = ResilientRunner(RetryPolicy(max_retries=1, backoff_base_s=0.001))
+
+    def executor():
+        return ParallelSweepExecutor(
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.001)
+        )
 
     class _Killed(Exception):
         pass
@@ -58,25 +83,29 @@ def _experiment(tmp_dir):
             raise _Killed()
 
     try:
-        run_sweep(BlinkAnalyticalAttack(), cells, runner, path, progress=kill_after_two)
+        executor().run(
+            BlinkAnalyticalAttack(), cells, checkpoint_path=path,
+            progress=kill_after_two,
+        )
     except _Killed:
         pass
-    resumed = run_sweep(BlinkAnalyticalAttack(), cells, runner, path)
-    clean = run_sweep(BlinkAnalyticalAttack(), cells, runner)
+    resumed = executor().run(BlinkAnalyticalAttack(), cells, checkpoint_path=path)
+    clean = executor().run(BlinkAnalyticalAttack(), cells)
     return blink_clean, blink_drills, pcc_clean, pcc_drill, resumed, clean
 
 
 def test_fault_drills(benchmark, tmp_path):
+    cache = ResultCache(default_cache_dir())
     blink_clean, blink_drills, pcc_clean, pcc_drill, resumed, clean = run_once(
-        benchmark, _experiment, tmp_path
+        benchmark, _experiment, tmp_path, cache
     )
 
     banner("Fault drill — Blink capture vs. telemetry dropout")
     rows = [
         {
             "dropout": "none",
-            "captured": blink_clean.success,
-            "peak occupancy": f"{blink_clean.magnitude:.0%}",
+            "captured": blink_clean["success"],
+            "peak occupancy": f"{blink_clean['magnitude']:.0%}",
             "samples dropped": 0,
         }
     ]
@@ -84,9 +113,9 @@ def test_fault_drills(benchmark, tmp_path):
         rows.append(
             {
                 "dropout": f"{p:.0%}",
-                "captured": res.success,
-                "peak occupancy": f"{res.magnitude:.0%}",
-                "samples dropped": res.details["telemetry_dropped"],
+                "captured": res["success"],
+                "peak occupancy": f"{res['magnitude']:.0%}",
+                "samples dropped": res["details"]["telemetry_dropped"],
             }
         )
     print(ascii_table(rows, title="Lossy mirror erodes the attacker's signal"))
@@ -96,13 +125,13 @@ def test_fault_drills(benchmark, tmp_path):
     rows = [
         {
             "condition": "clean",
-            "oscillation CV": round(pcc_clean.details["oscillation_cv_attacked"], 4),
-            "stuck in decision": f"{pcc_clean.details['fraction_mis_in_decision_attacked']:.0%}",
+            "oscillation CV": round(pcc_clean["details"]["oscillation_cv_attacked"], 4),
+            "stuck in decision": f"{pcc_clean['details']['fraction_mis_in_decision_attacked']:.0%}",
         },
         {
             "condition": "10% loss-reading dropout",
-            "oscillation CV": round(pcc_drill.details["oscillation_cv_attacked"], 4),
-            "stuck in decision": f"{pcc_drill.details['fraction_mis_in_decision_attacked']:.0%}",
+            "oscillation CV": round(pcc_drill["details"]["oscillation_cv_attacked"], 4),
+            "stuck in decision": f"{pcc_drill['details']['fraction_mis_in_decision_attacked']:.0%}",
         },
     ]
     print(ascii_table(rows, title="Stale readings blunt the per-MI utility pinning"))
@@ -112,22 +141,31 @@ def test_fault_drills(benchmark, tmp_path):
     print(f"resumed cells: {resumed.resumed}, re-executed: {resumed.executed}")
     print(f"aggregate (resumed) == aggregate (clean): "
           f"{resumed.aggregate_json() == clean.aggregate_json()}")
+    stats = cache.stats
+    print(
+        f"result cache {cache.root}: {stats.hits} hit(s), "
+        f"{stats.misses} miss(es), {stats.stores} store(s)"
+    )
 
     # Shape assertions: faults are injected deterministically and the
     # resilience property holds.
-    assert blink_clean.success
-    assert all(r.details["telemetry_dropped"] > 0 for r in blink_drills.values())
-    drops = [r.details["telemetry_dropped"] for _, r in sorted(blink_drills.items())]
+    assert blink_clean["success"]
+    assert all(r["details"]["telemetry_dropped"] > 0 for r in blink_drills.values())
+    drops = [r["details"]["telemetry_dropped"] for _, r in sorted(blink_drills.items())]
     assert drops == sorted(drops)  # more dropout, more dropped samples
-    assert pcc_drill.details["telemetry_dropped"] > 0
+    assert pcc_drill["details"]["telemetry_dropped"] > 0
     assert resumed.resumed == 2 and resumed.executed == 2
     assert resumed.aggregate_json() == clean.aggregate_json()
+    # A warm run answers every drill from the cache; a cold run stores
+    # every drill it computed.
+    assert stats.hits + stats.stores == 6
 
     benchmark.extra_info.update(
         {
-            "blink_captured_at_10pct_dropout": blink_drills[0.10].success,
-            "pcc_cv_clean": pcc_clean.details["oscillation_cv_attacked"],
-            "pcc_cv_drilled": pcc_drill.details["oscillation_cv_attacked"],
+            "blink_captured_at_10pct_dropout": blink_drills[0.10]["success"],
+            "pcc_cv_clean": pcc_clean["details"]["oscillation_cv_attacked"],
+            "pcc_cv_drilled": pcc_drill["details"]["oscillation_cv_attacked"],
             "sweep_resume_identical": resumed.aggregate_json() == clean.aggregate_json(),
+            "cache": stats.as_dict(),
         }
     )

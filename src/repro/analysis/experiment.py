@@ -3,11 +3,15 @@
 The benches need the same scaffolding the paper's evaluation used:
 run a parameterised experiment over multiple seeds, aggregate with
 mean/percentiles, and emit rows comparable to the paper's figures.
+:meth:`Sweep.run` optionally fans the (point × seed) grid over a
+process pool; results merge in grid order regardless of completion
+order, so aggregates are independent of the worker count.
 """
 
 from __future__ import annotations
 
 import time as _wallclock
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
@@ -105,16 +109,39 @@ class Sweep:
         self._grid = crossed
         return self
 
-    def run(self) -> SweepResult:
+    def run(self, jobs: Optional[int] = None) -> SweepResult:
+        """Execute the grid; ``jobs`` > 1 fans tasks over processes.
+
+        The experiment function must be picklable (a module-level
+        callable) for the parallel path.  Results are merged in
+        (point, seed) submission order, so the aggregate is identical
+        for every worker count — the determinism tests compare
+        ``jobs=1`` and ``jobs>1`` outputs byte-for-byte.
+        """
+        from repro.runner.parallel import resolve_jobs
+
         if not self._grid:
             self._grid = [{}]
+        effective_jobs = resolve_jobs(jobs) if jobs is not None else 1
         started = _wallclock.perf_counter()
-        points: List[SweepPoint] = []
-        for params in self._grid:
-            point = SweepPoint(params=params)
-            for seed in self.seeds:
-                point.results.append(self.experiment(seed, dict(params)))
-            points.append(point)
+        tasks = [
+            (point_index, seed, dict(params))
+            for point_index, params in enumerate(self._grid)
+            for seed in self.seeds
+        ]
+        points = [SweepPoint(params=params) for params in self._grid]
+        if effective_jobs > 1 and len(tasks) > 1:
+            workers = min(effective_jobs, len(tasks))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(self.experiment, seed, params)
+                    for _, seed, params in tasks
+                ]
+                results = [future.result() for future in futures]
+        else:
+            results = [self.experiment(seed, params) for _, seed, params in tasks]
+        for (point_index, _, _), result in zip(tasks, results):
+            points[point_index].results.append(result)
         return SweepResult(
             name=self.name,
             points=points,

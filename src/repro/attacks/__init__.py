@@ -45,7 +45,51 @@ from repro.attacks.traceroute_attack import (
     NetHideDefensiveUse,
 )
 
+#: Every runnable attack class, in a stable order (the CLI table and the
+#: parallel sweep workers both instantiate from this list).
+ATTACK_CLASSES = (
+    BlinkAnalyticalAttack,
+    BlinkCaptureAttack,
+    PytheasPoisoningAttack,
+    PytheasImbalanceAttack,
+    PccOscillationAttack,
+    IcmpRewriteAttack,
+    MaliciousTopologyAttack,
+    NetHideDefensiveUse,
+    SpPifoAdversarialAttack,
+    BloomSaturationAttack,
+    FlowRadarOverloadAttack,
+    LossRadarPollutionAttack,
+    DapperMisdiagnosisAttack,
+    RonDivertAttack,
+    EgressDivertAttack,
+    StateExhaustionAttack,
+    InNetworkEvasionAttack,
+)
+
+
+def attack_registry():
+    """Fresh instances of every attack, keyed by machine name."""
+    instances = [cls() for cls in ATTACK_CLASSES]
+    return {attack.name: attack for attack in instances}
+
+
+def resolve_attack(name: str):
+    """Instantiate one attack by its machine name.
+
+    Raises :class:`KeyError` for unknown names; sweep workers use this
+    to rebuild their attack instead of unpickling live objects.
+    """
+    registry = attack_registry()
+    if name not in registry:
+        raise KeyError(f"unknown attack {name!r}")
+    return registry[name]
+
+
 __all__ = [
+    "ATTACK_CLASSES",
+    "attack_registry",
+    "resolve_attack",
     "Attacker",
     "BlinkAnalyticalAttack",
     "BlinkCaptureAttack",

@@ -12,13 +12,17 @@ Five subcommands:
   seeded fault plan (see ``faults``), ``--timeout``/``--retries`` wrap
   the run in the resilient harness, and ``--seeds 0,1,2`` turns the run
   into a multi-seed sweep that ``--resume sweep.jsonl`` checkpoints
-  kill-safely;
+  kill-safely; sweeps fan out over ``--jobs`` worker processes (default
+  ``$REPRO_JOBS``, then the CPU count) with deterministic seed-order
+  merging, and ``--cache-dir DIR`` serves already-computed cells from a
+  content-addressed result cache (``--no-cache`` bypasses it);
 * ``faults`` — list the injectable fault kinds and the ``--faults``
   spec grammar;
 * ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly
   (also supports ``--json``); and
-* ``report <ledger.jsonl>`` — render a previously recorded run ledger
-  back into the benches' table format.
+* ``report [<ledger.jsonl>] [--cache-dir DIR]`` — render a previously
+  recorded run ledger back into the benches' table format, and/or print
+  result-cache statistics.
 
 Exit codes: 0 success, 1 attack failed (or gave up after retries),
 2 usage errors, 3 malformed ``--faults`` spec, 4 unreadable or
@@ -33,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time as _wallclock
 from typing import Dict, List, Optional, Sequence
@@ -50,28 +55,9 @@ ATTACK_ALIASES: Dict[str, str] = {
 
 
 def _attack_registry() -> Dict[str, Attack]:
-    from repro import attacks as A
+    from repro.attacks import attack_registry
 
-    instances = [
-        A.BlinkAnalyticalAttack(),
-        A.BlinkCaptureAttack(),
-        A.PytheasPoisoningAttack(),
-        A.PytheasImbalanceAttack(),
-        A.PccOscillationAttack(),
-        A.IcmpRewriteAttack(),
-        A.MaliciousTopologyAttack(),
-        A.NetHideDefensiveUse(),
-        A.SpPifoAdversarialAttack(),
-        A.BloomSaturationAttack(),
-        A.FlowRadarOverloadAttack(),
-        A.LossRadarPollutionAttack(),
-        A.DapperMisdiagnosisAttack(),
-        A.RonDivertAttack(),
-        A.EgressDivertAttack(),
-        A.StateExhaustionAttack(),
-        A.InNetworkEvasionAttack(),
-    ]
-    return {attack.name: attack for attack in instances}
+    return attack_registry()
 
 
 def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
@@ -79,7 +65,8 @@ def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
     params: Dict[str, object] = {}
     for pair in pairs:
         if "=" not in pair:
-            raise SystemExit(f"parameter {pair!r} is not key=value")
+            print(f"parameter {pair!r} is not key=value", file=sys.stderr)
+            raise SystemExit(2)
         key, raw = pair.split("=", 1)
         value: object = raw
         lowered = raw.lower()
@@ -245,9 +232,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
-    """``run --seeds ...``: a checkpointable multi-seed sweep."""
-    from repro.core.errors import CheckpointError
-    from repro.runner import ResilientRunner, RetryPolicy, run_sweep, seed_cells
+    """``run --seeds ...``: a parallel, cached, checkpointable sweep."""
+    from repro.core.errors import CheckpointError, ConfigurationError
+    from repro.runner import (
+        ParallelSweepExecutor,
+        RegistryAttackFactory,
+        ResultCache,
+        RetryPolicy,
+        seed_cells,
+    )
 
     try:
         seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
@@ -258,35 +251,86 @@ def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
         print("--seeds lists no seeds", file=sys.stderr)
         return 2
     cells = seed_cells(params, seeds)
-    runner = ResilientRunner(
-        RetryPolicy(max_retries=args.retries), timeout_s=args.timeout
-    )
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
     try:
-        report = run_sweep(attack, cells, runner=runner, checkpoint_path=args.resume)
+        executor = ParallelSweepExecutor(
+            jobs=args.jobs,
+            retry=RetryPolicy(max_retries=args.retries),
+            timeout_s=args.timeout,
+            cache=cache,
+        )
+    except ConfigurationError as exc:
+        print(f"invalid --jobs: {exc}", file=sys.stderr)
+        return 2
+
+    tracer = None
+    try:
+        if args.trace:
+            from repro.obs import Tracer, activate
+
+            tracer = Tracer()
+            with activate(tracer), tracer.span(f"sweep.{attack.name}"):
+                report = executor.run(
+                    RegistryAttackFactory(attack.name),
+                    cells,
+                    checkpoint_path=args.resume,
+                )
+        else:
+            report = executor.run(
+                RegistryAttackFactory(attack.name), cells, checkpoint_path=args.resume
+            )
     except CheckpointError as exc:
         print(f"cannot resume sweep: {exc}", file=sys.stderr)
         return 4
+
+    counts = (
+        f"executed {report.executed}, resumed {report.resumed}, "
+        f"cached {report.cached}, failed {report.failed}"
+    )
     if args.json:
-        # Stdout carries only the deterministic aggregate, so a resumed
-        # sweep's JSON is byte-identical to an uninterrupted one.
+        # Stdout carries only the deterministic aggregate, so resumed,
+        # cached and parallel sweeps' JSON is byte-identical to a clean
+        # serial run.
         print(report.aggregate_json())
-        print(
-            f"(executed {report.executed}, resumed {report.resumed}, "
-            f"failed {report.failed})",
-            file=sys.stderr,
-        )
+        print(f"({counts})", file=sys.stderr)
     else:
         rows = [
             {"quantity": key, "value": format_value(value) if value is not None else "-"}
             for key, value in report.aggregate().items()
         ]
         print(ascii_table(rows, title=f"sweep: {attack.name} over {len(seeds)} seeds"))
-        print(
-            f"executed {report.executed}, resumed {report.resumed}, "
-            f"failed {report.failed}"
-        )
+        print(counts)
         if args.resume:
             print(f"checkpoint journal: {args.resume}")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache {args.cache_dir}: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.stores} store(s)",
+            file=sys.stderr,
+        )
+    if tracer is not None:
+        from repro.obs import RunLedger
+
+        ledger = RunLedger.from_tracer(
+            tracer,
+            attack=attack.name,
+            params=params,
+            seeds=seeds,
+            jobs=executor.jobs,
+            success=report.failed == 0,
+        )
+        try:
+            if args.trace.endswith(".csv"):
+                ledger.to_csv(args.trace)
+            else:
+                ledger.to_jsonl(args.trace)
+        except OSError as exc:
+            print(f"cannot write trace ledger to {args.trace}: {exc}", file=sys.stderr)
+            return 2
+        print(f"trace ledger written to {args.trace}", file=sys.stderr)
     return 0 if report.failed == 0 else 1
 
 
@@ -367,15 +411,35 @@ def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.errors import ReproError
     from repro.obs import RunLedger
 
-    try:
-        ledger = RunLedger.from_jsonl(args.ledger)
-    except FileNotFoundError:
-        print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+    if not args.ledger and not args.cache_dir:
+        print("report needs a ledger file and/or --cache-dir", file=sys.stderr)
         return 2
-    except ReproError as exc:
-        print(f"cannot parse {args.ledger}: {exc}", file=sys.stderr)
-        return 2
-    print(ledger.render())
+    if args.ledger:
+        try:
+            ledger = RunLedger.from_jsonl(args.ledger)
+        except FileNotFoundError:
+            print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+            return 2
+        except ReproError as exc:
+            print(f"cannot parse {args.ledger}: {exc}", file=sys.stderr)
+            return 2
+        print(ledger.render())
+    if args.cache_dir:
+        from repro.runner import ResultCache
+
+        if not os.path.isdir(args.cache_dir):
+            print(f"no such cache directory: {args.cache_dir}", file=sys.stderr)
+            return 2
+        scan = ResultCache(args.cache_dir).scan()
+        if args.ledger:
+            print()
+        rows = [
+            {"quantity": "entries", "value": scan["entries"]},
+            {"quantity": "bytes", "value": scan["bytes"]},
+        ]
+        for name, count in sorted(scan["by_attack"].items()):  # type: ignore[union-attr]
+            rows.append({"quantity": f"entries[{name}]", "value": count})
+        print(ascii_table(rows, title=f"result cache: {args.cache_dir}"))
     return 0
 
 
@@ -450,6 +514,25 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="JSONL sweep checkpoint: journal completed cells, skip them on resume",
     )
+    run_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep worker processes (default: $REPRO_JOBS, then CPU count); "
+        "merge order is deterministic regardless of N",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="content-addressed result cache: sweep cells already computed "
+        "with identical params and code version are served from disk",
+    )
+    run_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (force every cell to execute)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     faults_parser = sub.add_parser(
@@ -470,9 +553,16 @@ def build_parser() -> argparse.ArgumentParser:
     fig2_parser.set_defaults(func=cmd_fig2)
 
     report_parser = sub.add_parser(
-        "report", help="render a recorded run ledger (JSONL) as tables"
+        "report", help="render a recorded run ledger (JSONL) and/or cache stats"
     )
-    report_parser.add_argument("ledger", help="path to a ledger written by run --trace")
+    report_parser.add_argument(
+        "ledger", nargs="?", help="path to a ledger written by run --trace"
+    )
+    report_parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="also print statistics for a result cache directory",
+    )
     report_parser.set_defaults(func=cmd_report)
     return parser
 

@@ -61,7 +61,7 @@ class FaultyLinkTap(LinkTap):
             for spec in plan.specs_of(*LINK_TAP_KINDS)
             if _matches_link(spec, link)
         ]
-        self.rng = plan.rng_for(f"link-tap.{link.src}-{link.dst}")
+        self.rng = plan.rng_for_link("link-tap", link.src, link.dst)
         self.dropped = 0
         self.corrupted = 0
         self.reordered = 0

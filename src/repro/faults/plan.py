@@ -19,9 +19,9 @@ property the CI chaos gate asserts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import random
-import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
@@ -319,12 +319,21 @@ class FaultPlan:
     def rng_for(self, role: str) -> random.Random:
         """Deterministic child RNG for one injector role.
 
-        CRC32 of ``seed|role`` keeps streams independent per role and
-        stable across processes (``hash`` is salted per interpreter).
+        SHA-256 of ``seed|role`` keeps streams independent per role and
+        stable across processes (``hash`` is salted per interpreter,
+        and the 32-bit CRC this replaces could collide between roles).
         """
-        return random.Random(
-            (self.seed << 32) ^ zlib.crc32(f"{self.seed}|{role}".encode("utf-8"))
-        )
+        digest = hashlib.sha256(f"{self.seed}|{role}".encode("utf-8")).digest()
+        return random.Random(int.from_bytes(digest[:8], "big"))
+
+    def rng_for_link(self, role: str, src: str, dst: str) -> random.Random:
+        """Per-link child RNG with an injective endpoint encoding.
+
+        Length-prefixing src and dst guarantees the reversed pair
+        ``(dst, src)`` — or any re-split of the concatenated names —
+        derives a different stream.
+        """
+        return self.rng_for(f"{role}.{len(src)}:{src}->{len(dst)}:{dst}")
 
 
 def coerce_plan(

@@ -14,8 +14,8 @@ attacker has intercepted one or multiple links").
 
 from __future__ import annotations
 
+import hashlib
 import random
-import zlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional, Tuple
@@ -31,13 +31,17 @@ DeliveryCallback = Callable[[Packet], None]
 def derive_link_seed(seed: int, src: str, dst: str) -> int:
     """Deterministic per-link seed from a parent seed and the endpoints.
 
-    Uses CRC32 (stable across processes, unlike ``hash``) so two links
-    with different endpoints get independent loss sequences while the
-    same (seed, src, dst) always reproduces the same one — the property
-    :class:`~repro.netsim.network.Network` provides for its own links
-    and directly-constructed links previously lacked.
+    Uses SHA-256 (stable across processes, unlike ``hash``) over a
+    length-prefixed encoding, so two links with different endpoints get
+    independent loss sequences while the same (seed, src, dst) always
+    reproduces the same one.  The length prefixes make the encoding
+    injective: the reversed pair ``(b, a)``, and splits like
+    ``("a", "b->c")`` vs ``("a->b", "c")``, can never map to the same
+    digest input — the 32-bit CRC this replaces offered no such
+    guarantee (and collided with probability 2^-32 per pair).
     """
-    return (seed << 32) ^ zlib.crc32(f"{src}->{dst}".encode("utf-8"))
+    payload = f"{seed}|{len(src)}:{src}|{len(dst)}:{dst}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
 
 
 @dataclass

@@ -94,6 +94,27 @@ class Tracer:
             self.dropped += 1
         self.events.append(TraceEvent(kind, self._clock() - self._start, fields))
 
+    def ingest(self, records: List[Dict[str, object]], **extra: object) -> None:
+        """Merge a worker shard: re-emit serialised events locally.
+
+        Parallel sweep workers trace into their own tracer and ship
+        ``[{"kind", "t", "fields"}, ...]`` back to the parent; ingestion
+        re-stamps each event on this tracer's clock, preserving the
+        worker-relative time as ``worker_t`` and attaching ``extra``
+        (e.g. the worker pid) so one ledger covers the whole sweep.
+        """
+        for record in records:
+            fields = dict(record.get("fields") or {})
+            fields.pop("worker_t", None)
+            for key in extra:
+                fields.pop(key, None)
+            self.emit(
+                str(record.get("kind", "?")),
+                worker_t=record.get("t"),
+                **extra,
+                **fields,
+            )
+
     def events_of(self, kind: str) -> List[TraceEvent]:
         return [event for event in self.events if event.kind == kind]
 

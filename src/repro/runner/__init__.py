@@ -1,12 +1,25 @@
-"""Resilient experiment harness: timeouts, retries, checkpointed sweeps.
+"""Resilient experiment harness: timeouts, retries, checkpointed
+parallel sweeps with result caching.
 
 :mod:`repro.runner.resilient` makes a single run survive transient
 failures and hangs; :mod:`repro.runner.checkpoint` makes a multi-seed
-sweep survive being killed outright.  The CLI's ``--timeout``,
-``--retries``, ``--seeds`` and ``--resume`` flags are thin wrappers
-over these.
+sweep survive being killed outright; :mod:`repro.runner.parallel` fans
+sweep cells over a process pool with deterministic merge order; and
+:mod:`repro.runner.cache` skips cells whose results are already
+content-addressed on disk.  The CLI's ``--timeout``, ``--retries``,
+``--seeds``, ``--resume``, ``--jobs`` and ``--cache-dir`` flags are
+thin wrappers over these.
 """
 
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    cached_attack_run,
+    code_version,
+    default_cache_dir,
+)
 from repro.runner.checkpoint import (
     SweepCell,
     SweepCheckpoint,
@@ -15,6 +28,13 @@ from repro.runner.checkpoint import (
     run_sweep,
     seed_cells,
     sweep_fingerprint,
+)
+from repro.runner.parallel import (
+    JOBS_ENV,
+    ParallelSweepExecutor,
+    RegistryAttackFactory,
+    resolve_jobs,
+    run_sweep_parallel,
 )
 from repro.runner.resilient import (
     AttemptRecord,
@@ -26,15 +46,27 @@ from repro.runner.resilient import (
 
 __all__ = [
     "AttemptRecord",
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "JOBS_ENV",
+    "ParallelSweepExecutor",
+    "RegistryAttackFactory",
     "ResilientRunner",
+    "ResultCache",
     "RetryPolicy",
     "RunOutcome",
     "SweepCell",
     "SweepCheckpoint",
     "SweepReport",
+    "cache_key",
+    "cached_attack_run",
     "call_with_timeout",
+    "code_version",
+    "default_cache_dir",
+    "resolve_jobs",
     "result_payload",
     "run_sweep",
+    "run_sweep_parallel",
     "seed_cells",
     "sweep_fingerprint",
 ]

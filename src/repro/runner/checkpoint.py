@@ -166,6 +166,7 @@ class SweepReport:
     cells: List[dict] = field(default_factory=list)
     executed: int = 0
     resumed: int = 0
+    cached: int = 0
     failed: int = 0
 
     def aggregate(self) -> Dict[str, object]:

@@ -220,7 +220,7 @@ class TestSweepCommands:
         assert main(self.BASE + ["--seeds", "0,1,2"]) == 0
         out = capsys.readouterr().out
         assert "sweep: blink-capture-analytical" in out
-        assert "executed 3, resumed 0, failed 0" in out
+        assert "executed 3, resumed 0, cached 0, failed 0" in out
 
     def test_sweep_json_resume_byte_identical(self, capsys, tmp_path):
         path = tmp_path / "sweep.jsonl"

@@ -126,6 +126,25 @@ class TestDeterminism:
             second.random() for _ in range(10)
         ]
 
+    def test_rng_for_link_decorrelates_directions(self):
+        """Regression: per-link fault streams must not alias.
+
+        The link-tap role string used to embed ``f"{src}->{dst}"``
+        directly, so endpoint names containing ``->`` could collide
+        across different (src, dst) splits.  The length-prefixed
+        encoding keeps every direction and split distinct.
+        """
+        plan = FaultPlan.parse("telemetry-drop:p=0.5", seed=1)
+        forward = [plan.rng_for_link("tap", "a", "b").random() for _ in range(3)]
+        reverse = [plan.rng_for_link("tap", "b", "a").random() for _ in range(3)]
+        assert forward != reverse
+        ambiguous_a = plan.rng_for_link("tap", "a", "b->c").random()
+        ambiguous_b = plan.rng_for_link("tap", "a->b", "c").random()
+        assert ambiguous_a != ambiguous_b
+        # Reproducible for the same tuple.
+        again = [plan.rng_for_link("tap", "a", "b").random() for _ in range(3)]
+        assert again == forward
+
     def test_telemetry_fault_replays_exactly(self):
         plan = FaultPlan.parse("telemetry-drop:p=0.3", seed=4)
         runs = []

@@ -1,0 +1,183 @@
+"""Property-based tests for the ``--faults`` spec grammar.
+
+Two contracts, fuzzed with Hypothesis:
+
+* **Round-trip** — any valid :class:`FaultPlan` renders back into the
+  compact grammar (:meth:`FaultPlan.to_spec`) and re-parses into an
+  equivalent plan, for arbitrary kind/parameter combinations.
+* **Fail-closed** — arbitrary garbage (and mutations of valid specs)
+  either parses cleanly or raises :class:`FaultSpecError`; it never
+  escapes as another exception type, and the CLI surfaces it as exit
+  code 3, never a traceback.
+"""
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.core.errors import FaultSpecError
+from repro.faults import FAULT_KINDS, FaultPlan, coerce_plan
+
+#: Characters safe inside link/match string values: anything that the
+#: clause grammar does not treat as structure and strip() keeps intact.
+_SAFE_TEXT = st.text(
+    alphabet=st.characters(
+        codec="utf-8",
+        exclude_characters=";:,= \t\r\n\x0b\x0c",
+        exclude_categories=("Cs", "Zs", "Zl", "Zp", "Cc"),
+    ),
+    max_size=12,
+)
+
+_PROBABILITY = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_POSITIVE = st.floats(
+    min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_START = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+_SKEW = st.floats(min_value=-0.9, max_value=5.0, allow_nan=False)
+
+
+def _value_strategy(kind: str, param: str):
+    if param in ("link", "match"):
+        return _SAFE_TEXT
+    if param in ("p", "duty"):
+        return _PROBABILITY
+    if param in ("dur", "period", "delay"):
+        return _POSITIVE
+    if param == "skew":
+        return _SKEW
+    return _START  # t
+
+
+@st.composite
+def fault_plans(draw):
+    """A random valid plan: 1-4 clauses with random optional params."""
+    kinds = draw(
+        st.lists(st.sampled_from(sorted(FAULT_KINDS)), min_size=1, max_size=4)
+    )
+    clauses = []
+    for kind in kinds:
+        registry = FAULT_KINDS[kind]
+        params = {}
+        for name, (default, _) in registry.params.items():
+            required = default is None
+            if required or draw(st.booleans()):
+                params[name] = draw(_value_strategy(kind, name))
+        rendered = ",".join(f"{k}={v}" for k, v in params.items())
+        clauses.append(f"{kind}:{rendered}" if rendered else kind)
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    return FaultPlan.parse(";".join(clauses), seed=seed)
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_roundtrip_parse_format_parse(plan):
+    """parse(to_spec(plan)) reproduces every clause exactly."""
+    reparsed = FaultPlan.parse(plan.to_spec(), seed=plan.seed)
+    assert reparsed.seed == plan.seed
+    assert [s.kind for s in reparsed.specs] == [s.kind for s in plan.specs]
+    for original, rebuilt in zip(plan.specs, reparsed.specs):
+        assert rebuilt.params == original.params
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_json_roundtrip(plan):
+    rebuilt = FaultPlan.from_json(plan.to_json())
+    assert rebuilt.seed == plan.seed
+    assert [s.kind for s in rebuilt.specs] == [s.kind for s in plan.specs]
+
+
+@settings(max_examples=200, deadline=None)
+@given(plan=fault_plans())
+def test_rng_streams_reproducible(plan):
+    a = plan.rng_for("role").random()
+    b = plan.rng_for("role").random()
+    other = plan.rng_for("other-role").random()
+    assert a == b
+    assert a != other or math.isclose(a, other)  # distinct streams in practice
+
+
+@settings(max_examples=300, deadline=None)
+@given(text=st.text(max_size=40))
+def test_arbitrary_text_parses_or_raises_faultspecerror(text):
+    """The parser fails closed: FaultSpecError or success, nothing else."""
+    try:
+        plan = FaultPlan.parse(text)
+    except FaultSpecError:
+        return
+    assert plan.specs  # a successful parse always yields clauses
+
+
+@settings(max_examples=150, deadline=None)
+@given(plan=fault_plans(), data=st.data())
+def test_mutated_specs_never_traceback(plan, data):
+    """Corrupting one character of a valid spec stays fail-closed."""
+    spec = plan.to_spec()
+    position = data.draw(st.integers(min_value=0, max_value=max(0, len(spec) - 1)))
+    junk = data.draw(st.sampled_from(list(";:,=@ #!") + ["", "??"]))
+    mutated = spec[:position] + junk + spec[position + 1 :]
+    try:
+        FaultPlan.parse(mutated)
+    except FaultSpecError:
+        pass
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(text=st.text(max_size=30))
+def test_cli_rejects_malformed_specs_with_exit_code_3(text):
+    """Invalid --faults specs exit 3 through the CLI, never a traceback."""
+    try:
+        coerce_plan(text)
+    except FaultSpecError:
+        pass
+    else:
+        assume(False)  # accidentally valid (or empty): not this test's target
+    code = main(
+        ["run", "blink-analytical", "--faults", text, "-p", "runs=1"]
+    )
+    assert code == 3
+
+
+def test_cli_exit_3_points_at_offending_clause(capsys):
+    code = main(
+        [
+            "run",
+            "blink-analytical",
+            "--faults",
+            "loss-burst:p=0.1;bogus-kind:x=1",
+            "-p",
+            "runs=1",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 3
+    assert "bogus-kind" in captured.err
+    assert "Traceback" not in captured.err
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "loss-burst",  # missing required p
+        "loss-burst:p=2.0",  # out of range
+        "loss-burst:p=0.1,dur=-1",  # non-positive duration
+        "link-flap:duty=1.5",  # duty out of range
+        "loss-burst:p=oops",  # not a number
+        "loss-burst:p",  # not key=value
+        "nonsense-kind:p=0.1",  # unknown kind
+        "telemetry-drop:p=0.1,zap=1",  # unknown parameter
+        "",  # empty spec
+        ";;;",  # only separators
+    ],
+)
+def test_known_malformed_specs_raise(bad):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(bad)
