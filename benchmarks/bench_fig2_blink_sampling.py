@@ -11,7 +11,9 @@ adds the hash-coverage and eviction effects that push the measured
 crossing toward the paper's 172 s.  See DESIGN.md, "Modeling notes".
 """
 
-from conftest import banner, run_once
+import time
+
+from conftest import banner, bench_record, run_once
 
 from repro.analysis import ascii_table, series_block
 from repro.blink import (
@@ -22,18 +24,36 @@ from repro.blink import (
     probability_at_least,
 )
 
+#: Best-of-N reps inside the timed region keeps the perf gate's
+#: trials/sec out of single-core scheduler noise.
+REPS = 3
 
-def test_fig2_theory_and_simulation(benchmark):
-    result = run_once(
-        benchmark,
-        fig2_experiment,
-        qm=FIG2_QM,
-        tr=FIG2_TR,
-        runs=FIG2_SIMULATIONS,
-        seed=0,
+
+def test_fig2_theory_and_simulation(benchmark, kernel_backend):
+    timing = {}
+
+    def experiment():
+        best = None
+        for _ in range(REPS):
+            started = time.perf_counter()
+            result = fig2_experiment(
+                qm=FIG2_QM,
+                tr=FIG2_TR,
+                runs=FIG2_SIMULATIONS,
+                seed=0,
+                backend=kernel_backend,
+            )
+            elapsed = time.perf_counter() - started
+            best = elapsed if best is None else min(best, elapsed)
+        timing["best_seconds"] = best
+        return result
+
+    result = run_once(benchmark, experiment)
+
+    banner(
+        "E1 / Fig. 2 — malicious flows sampled by Blink over time "
+        f"[backend={kernel_backend}]"
     )
-
-    banner("E1 / Fig. 2 — malicious flows sampled by Blink over time")
     print(series_block("theory mean", result.theory.times, result.theory.mean))
     print(series_block("theory p5", result.theory.times, result.theory.p5))
     print(series_block("theory p95", result.theory.times, result.theory.p95))
@@ -61,8 +81,16 @@ def test_fig2_theory_and_simulation(benchmark):
     assert result.mean_crossing_simulated < 200.0
     assert p_at_200 > 0.95
 
+    bench_record(
+        benchmark,
+        name="fig2_blink_sampling",
+        backend=kernel_backend,
+        trials=FIG2_SIMULATIONS,
+        wall_seconds=timing["best_seconds"],
+    )
     benchmark.extra_info.update(
         {
+            "backend": kernel_backend,
             "mean_crossing_theory_s": result.mean_crossing_theory,
             "mean_crossing_simulated_s": result.mean_crossing_simulated,
             "p_success_at_200s": p_at_200,

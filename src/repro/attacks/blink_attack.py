@@ -43,8 +43,11 @@ class BlinkAnalyticalAttack(Attack):
         horizon = float(params.get("horizon", 510.0))
         runs = int(params.get("runs", 50))
         seed = int(params.get("seed", 0))
+        backend = params.get("backend")
+        backend = str(backend) if backend is not None else None
         result = fig2_experiment(
-            qm=qm, tr=tr, cells=cells, horizon=horizon, runs=runs, seed=seed
+            qm=qm, tr=tr, cells=cells, horizon=horizon, runs=runs, seed=seed,
+            backend=backend,
         )
         success = result.success_fraction >= 0.5
         return AttackResult(

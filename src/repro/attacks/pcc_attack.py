@@ -208,6 +208,8 @@ class PccOscillationAttack(Attack):
         coherent = bool(params.get("coherent", False))
         sway_amplitude = float(params.get("sway_amplitude", 0.10))
         sway_period = float(params.get("sway_period", 20.0))
+        backend = params.get("backend")
+        backend = str(backend) if backend is not None else None
 
         from repro.faults import coerce_plan
 
@@ -252,9 +254,13 @@ class PccOscillationAttack(Attack):
         baseline = run(False)
         attacked = run(True)
 
-        osc_baseline = sum(baseline.rate_oscillation(f, tail) for f in range(flows)) / flows
-        osc_attacked = sum(attacked.rate_oscillation(f, tail) for f in range(flows)) / flows
-        amp_attacked = sum(attacked.rate_amplitude(f, tail) for f in range(flows)) / flows
+        # Tail statistics go through the kernel backend; the python
+        # default replays rate_oscillation/rate_amplitude bit-for-bit.
+        stats_baseline = baseline.tail_rate_stats(tail, backend=backend)
+        stats_attacked = attacked.tail_rate_stats(tail, backend=backend)
+        osc_baseline = sum(s["cv"] for s in stats_baseline) / flows
+        osc_attacked = sum(s["cv"] for s in stats_attacked) / flows
+        amp_attacked = sum(s["amplitude"] for s in stats_attacked) / flows
         decision_frac = sum(
             attacked.time_in_state(f, ControlState.DECISION, tail) for f in range(flows)
         ) / flows
@@ -269,12 +275,8 @@ class PccOscillationAttack(Attack):
         mean_rate_baseline = _tail_mean_rate(baseline, flows, tail)
         mean_rate_attacked = _tail_mean_rate(attacked, flows, tail)
 
-        def aggregate_swing(simulation: PccSimulation) -> float:
-            values = list(simulation.aggregate_rate_series.values)[-tail:]
-            if not values:
-                return 0.0
-            mean = sum(values) / len(values)
-            return (max(values) - min(values)) / mean if mean else 0.0
+        agg_attacked = attacked.aggregate_rate_stats(tail, backend=backend)
+        agg_baseline = baseline.aggregate_rate_stats(tail, backend=backend)
 
         tamper = attacked.tamper
         assert isinstance(tamper, UtilityEqualizer)
@@ -299,10 +301,10 @@ class PccOscillationAttack(Attack):
                 "epsilon_pinned_fraction": pinned,
                 "mean_rate_baseline": mean_rate_baseline,
                 "mean_rate_attacked": mean_rate_attacked,
-                "aggregate_oscillation_attacked": attacked.aggregate_oscillation(tail),
-                "aggregate_oscillation_baseline": baseline.aggregate_oscillation(tail),
-                "aggregate_swing_attacked": aggregate_swing(attacked),
-                "aggregate_swing_baseline": aggregate_swing(baseline),
+                "aggregate_oscillation_attacked": agg_attacked["cv"],
+                "aggregate_oscillation_baseline": agg_baseline["cv"],
+                "aggregate_swing_attacked": agg_attacked["amplitude"],
+                "aggregate_swing_baseline": agg_baseline["amplitude"],
                 "attack_budget_fraction": attacked.attack_budget_fraction(),
                 "interventions": tamper.interventions,
                 **details_extra,

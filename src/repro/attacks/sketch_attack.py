@@ -52,17 +52,21 @@ class BloomSaturationAttack(Attack):
         design_capacity = int(params.get("design_capacity", 10_000))
         attack_multiplier = float(params.get("attack_multiplier", 4.0))
         target_fpr = float(params.get("target_fpr", 0.01))
+        backend = params.get("backend")
+        backend = str(backend) if backend is not None else None
 
         bloom = BloomFilter.for_capacity(design_capacity, target_fpr)
         legitimate = synthetic_flows(design_capacity, subnet=1)
-        bloom.add_all(flow.packed() for flow in legitimate)
+        bloom.add_bulk((flow.packed() for flow in legitimate), backend=backend)
         fpr_before = bloom.measured_false_positive_rate(
-            flow.packed() for flow in synthetic_flows(2000, subnet=9)
+            (flow.packed() for flow in synthetic_flows(2000, subnet=9)),
+            backend=backend,
         )
         attack = synthetic_flows(int(design_capacity * attack_multiplier), subnet=2)
-        bloom.add_all(flow.packed() for flow in attack)
+        bloom.add_bulk((flow.packed() for flow in attack), backend=backend)
         fpr_after = bloom.measured_false_positive_rate(
-            flow.packed() for flow in synthetic_flows(2000, subnet=8)
+            (flow.packed() for flow in synthetic_flows(2000, subnet=8)),
+            backend=backend,
         )
         return AttackResult(
             attack_name=self.name,
@@ -91,18 +95,21 @@ class FlowRadarOverloadAttack(Attack):
         design_capacity = int(params.get("design_capacity", 5_000))
         attack_multiplier = float(params.get("attack_multiplier", 1.5))
         legitimate_flows = int(params.get("legitimate_flows", design_capacity))
+        backend = params.get("backend")
+        backend = str(backend) if backend is not None else None
 
         baseline = FlowRadar.for_capacity(design_capacity)
         legit = synthetic_flows(legitimate_flows, subnet=1)
-        for flow in legit:
-            baseline.observe(flow, packets=3)
+        baseline.observe_bulk(legit, packets=3, backend=backend)
         success_before = baseline.decode_success_rate()
 
         attacked = FlowRadar.for_capacity(design_capacity)
-        for flow in legit:
-            attacked.observe(flow, packets=3)
-        for flow in synthetic_flows(int(design_capacity * attack_multiplier), subnet=2):
-            attacked.observe(flow, packets=1)
+        attacked.observe_bulk(legit, packets=3, backend=backend)
+        attacked.observe_bulk(
+            synthetic_flows(int(design_capacity * attack_multiplier), subnet=2),
+            packets=1,
+            backend=backend,
+        )
         success_after = attacked.decode_success_rate()
         return AttackResult(
             attack_name=self.name,
@@ -133,18 +140,25 @@ class LossRadarPollutionAttack(Attack):
         legit_packets = int(params.get("legit_packets", 20_000))
         true_losses = int(params.get("true_losses", 200))
         attack_packets = int(params.get("attack_packets", 3000))
+        backend = params.get("backend")
+        backend = str(backend) if backend is not None else None
         flow = FiveTuple("10.0.0.1", "198.51.100.1", 40000, 443)
         attack_flow = FiveTuple("203.0.113.7", "198.51.100.1", 40001, 443)
 
         def run(attacked: bool) -> dict:
             segment = LossRadarSegment(cells=cells)
-            for seq in range(legit_packets):
-                segment.transit(PacketId(flow, seq), lost=seq < true_losses)
+            segment.transit_bulk(
+                [PacketId(flow, seq) for seq in range(legit_packets)],
+                [seq < true_losses for seq in range(legit_packets)],
+                backend=backend,
+            )
             if attacked:
-                for seq in range(attack_packets):
-                    # Packets addressed to expire inside the segment:
-                    # they enter the upstream meter but never exit.
-                    segment.inject_upstream_only(PacketId(attack_flow, seq))
+                # Packets addressed to expire inside the segment: they
+                # enter the upstream meter but never exit.
+                segment.inject_upstream_only_bulk(
+                    [PacketId(attack_flow, seq) for seq in range(attack_packets)],
+                    backend=backend,
+                )
             return segment.report()
 
         before = run(False)

@@ -202,6 +202,29 @@ class MonteCarloRun:
     crossing_time: Optional[float]
 
 
+def sample_flip_times(
+    qm: float, tr: float, cells: int, horizon: float, rng: random.Random
+) -> List[float]:
+    """Per-cell first-capture times (``math.inf`` = never), cell order.
+
+    The single-run sampling loop of :func:`simulate_capture`, split out
+    so the python kernel backend replays the exact same draw sequence.
+    """
+    flip_times: List[float] = []
+    for _ in range(cells):
+        t = 0.0
+        flipped = math.inf
+        while t < horizon:
+            t += rng.expovariate(1.0 / tr)
+            if t >= horizon:
+                break
+            if rng.random() < qm:
+                flipped = t
+                break
+        flip_times.append(flipped)
+    return flip_times
+
+
 def simulate_capture(
     qm: float,
     tr: float,
@@ -222,18 +245,7 @@ def simulate_capture(
     rng = random.Random(seed)
     if threshold is None:
         threshold = cells // 2
-    flip_times: List[float] = []
-    for _ in range(cells):
-        t = 0.0
-        flipped = math.inf
-        while t < horizon:
-            t += rng.expovariate(1.0 / tr)
-            if t >= horizon:
-                break
-            if rng.random() < qm:
-                flipped = t
-                break
-        flip_times.append(flipped)
+    flip_times = sample_flip_times(qm, tr, cells, horizon, rng)
     flip_times.sort()
     times = [i * step for i in range(int(horizon / step) + 1)]
     captured: List[int] = []
@@ -272,6 +284,34 @@ class Fig2Result:
         return len(self.crossing_times_simulated) / len(self.runs)
 
 
+def _theory_curves_vectorized(
+    qm: float, tr: float, cells: int, horizon: float, step: float
+) -> CaptureCurve:
+    """Array-valued Fig. 2 theory curves (numpy-backend fast path).
+
+    The scalar :func:`theory_curves` spends most of its time in ~1000
+    independent ``binom.ppf`` calls; one array-valued call replaces
+    them.  Values may differ from the scalar path in the last ulp,
+    which is why the default backend keeps the scalar code.
+    """
+    _validate(qm, tr)
+    if step <= 0 or horizon <= 0:
+        raise ConfigurationError("step and horizon must be positive")
+    import numpy as np
+
+    times = np.arange(int(horizon / step) + 1, dtype=float) * step
+    p = 1.0 - (1.0 - qm) ** (times / tr)
+    return CaptureCurve(
+        times=times.tolist(),
+        mean=(cells * p).tolist(),
+        p5=np.asarray(stats.binom.ppf(0.05, cells, p), dtype=float).tolist(),
+        p95=np.asarray(stats.binom.ppf(0.95, cells, p), dtype=float).tolist(),
+        qm=qm,
+        tr=tr,
+        cells=cells,
+    )
+
+
 def fig2_experiment(
     qm: float = 0.0525,
     tr: float = 8.37,
@@ -280,13 +320,30 @@ def fig2_experiment(
     runs: int = 50,
     step: float = 1.0,
     seed: int = 0,
+    backend: Optional[str] = None,
 ) -> Fig2Result:
-    """Reproduce Fig. 2: theory curves + ``runs`` Monte-Carlo paths."""
+    """Reproduce Fig. 2: theory curves + ``runs`` Monte-Carlo paths.
+
+    ``backend`` selects the trial kernels (see :mod:`repro.kernels`):
+    the default python backend replays the historical draw sequence
+    bit-for-bit; ``"numpy"`` samples the same flip-time distribution
+    from seed-derived generator streams, batched across runs.
+    """
+    from repro.kernels import get_backend
+
+    kernel = get_backend(backend)
     threshold = cells // 2
-    theory = theory_curves(qm, tr, cells, horizon, step)
+    if kernel.vectorized:
+        theory = _theory_curves_vectorized(qm, tr, cells, horizon, step)
+    else:
+        theory = theory_curves(qm, tr, cells, horizon, step)
+    times = [i * step for i in range(int(horizon / step) + 1)]
+    flip_rows = kernel.blink_flip_times(qm, tr, cells, horizon, runs, seed)
+    counts = kernel.blink_occupancy_counts(flip_rows, times)
+    crossing_times = kernel.blink_crossing_times(flip_rows, threshold)
     simulated = [
-        simulate_capture(qm, tr, cells, horizon, step, seed=seed + i, threshold=threshold)
-        for i in range(runs)
+        MonteCarloRun(times=list(times), captured=captured, crossing_time=crossing)
+        for captured, crossing in zip(counts, crossing_times)
     ]
     crossings = [run.crossing_time for run in simulated if run.crossing_time is not None]
     return Fig2Result(

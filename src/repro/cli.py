@@ -112,6 +112,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     attack = registry[name]
     params = _parse_params(args.param or [])
 
+    if args.backend or os.environ.get("REPRO_BACKEND"):
+        from repro.core.errors import ConfigurationError
+        from repro.kernels import DEFAULT_BACKEND, resolve_backend_name
+
+        try:
+            resolved_backend = resolve_backend_name(args.backend)
+        except ConfigurationError as exc:
+            print(f"invalid kernel backend: {exc}", file=sys.stderr)
+            return 2
+        # Only a non-default backend joins the params (and thereby the
+        # result-cache key); default runs keep their historical keys.
+        if resolved_backend != DEFAULT_BACKEND:
+            params["backend"] = resolved_backend
+
     if args.faults:
         from repro.core.errors import FaultSpecError
         from repro.faults import coerce_plan
@@ -378,10 +392,15 @@ def _print_metrics_snapshot(tracer) -> None:
 
 def cmd_fig2(args: argparse.Namespace) -> int:
     from repro.blink import fig2_experiment
+    from repro.kernels import resolve_backend_name
 
-    result = fig2_experiment(qm=args.qm, tr=args.tr, runs=args.runs, seed=args.seed)
+    backend = resolve_backend_name(args.backend)
+    result = fig2_experiment(
+        qm=args.qm, tr=args.tr, runs=args.runs, seed=args.seed, backend=backend
+    )
     if args.json:
         payload = {
+            "backend": backend,
             "qm": args.qm,
             "tr": args.tr,
             "runs": args.runs,
@@ -533,6 +552,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --cache-dir (force every cell to execute)",
     )
+    run_parser.add_argument(
+        "--backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="kernel backend for the Monte-Carlo hot paths "
+        "(default: $REPRO_BACKEND, then python)",
+    )
     run_parser.set_defaults(func=cmd_run)
 
     faults_parser = sub.add_parser(
@@ -549,6 +575,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit the Fig. 2 numbers as one JSON object on stdout",
+    )
+    fig2_parser.add_argument(
+        "--backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="kernel backend for the Monte-Carlo sampling "
+        "(default: $REPRO_BACKEND, then python)",
     )
     fig2_parser.set_defaults(func=cmd_fig2)
 

@@ -1,0 +1,107 @@
+"""Batched trial kernels behind a tiny backend dispatch.
+
+Every quantitative claim in the paper rests on repeated stochastic
+trials — Blink's flow-selector capture Monte-Carlo (Fig. 2), PCC's ±ε
+rate experiments, Pytheas' group QoE mixing, bloom-filter pollution.
+The reference implementations are pure Python and stay the default;
+this package adds an opt-in numpy fast path behind one dispatch point:
+
+    from repro.kernels import get_backend
+    kern = get_backend("numpy")          # or "python", or None
+    rows = kern.blink_flip_times(qm=0.0525, tr=8.37, cells=64,
+                                 horizon=510.0, runs=50, seed=0)
+
+Resolution order for ``get_backend(None)`` is the ``REPRO_BACKEND``
+environment variable, then ``"python"``.  The numpy backend imports
+numpy lazily (first ``get_backend("numpy")`` call), so CLI startup and
+the default path never pay the import.
+
+Contract: the ``python`` backend is byte-identical to the scalar code
+it was extracted from; the ``numpy`` backend is deterministic per seed
+(seed-derived ``numpy.random.Generator`` streams) and statistically
+equivalent, with the bloom kernels *exactly* equivalent (same FNV-1a
+double-hash family, same bit layout).  See EXPERIMENTS.md, "Backends".
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.kernels.base import KernelBackend
+
+#: Environment variable naming the default backend.
+BACKEND_ENV = "REPRO_BACKEND"
+
+DEFAULT_BACKEND = "python"
+
+_BACKEND_NAMES: Tuple[str, ...] = ("python", "numpy")
+
+_INSTANCES: Dict[str, KernelBackend] = {}
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names ``get_backend`` accepts (installed or not)."""
+    return _BACKEND_NAMES
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Explicit ``name``, else ``$REPRO_BACKEND``, else ``"python"``."""
+    import os
+
+    resolved = name or os.environ.get(BACKEND_ENV) or DEFAULT_BACKEND
+    if resolved not in _BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown kernel backend {resolved!r}; choose from {_BACKEND_NAMES}"
+        )
+    return resolved
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """The (memoised) backend instance for ``name``.
+
+    Backends are stateless — every stochastic kernel takes an explicit
+    seed — so one shared instance per name is safe across threads and
+    sweep workers.
+    """
+    resolved = resolve_backend_name(name)
+    instance = _INSTANCES.get(resolved)
+    if instance is None:
+        if resolved == "numpy":
+            try:
+                from repro.kernels.numpy_backend import NumpyBackend
+            except ImportError as exc:  # pragma: no cover - numpy is a dependency
+                raise ConfigurationError(
+                    "the numpy kernel backend needs numpy installed"
+                ) from exc
+            instance = NumpyBackend()
+        else:
+            from repro.kernels.python_backend import PythonBackend
+
+            instance = PythonBackend()
+        _INSTANCES[resolved] = instance
+    return instance
+
+
+def derive_seed(*parts: object) -> int:
+    """A stable 64-bit seed derived from ``parts`` via SHA-256.
+
+    Used to split one experiment seed into independent per-role /
+    per-round generator streams without collisions between offset
+    seeds (the same scheme the fault injectors use for per-link RNGs).
+    """
+    text = ":".join(str(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "DEFAULT_BACKEND",
+    "KernelBackend",
+    "available_backends",
+    "derive_seed",
+    "get_backend",
+    "resolve_backend_name",
+]

@@ -1,0 +1,165 @@
+"""The kernel backend interface.
+
+One method per batched hot path.  Shapes are plain Python containers
+(lists of floats/bools, lists of rows) so callers never see numpy
+types; a backend is free to vectorise internally.
+
+Semantics every backend must honour:
+
+* **Blink** — ``blink_flip_times`` samples, per run, the times at
+  which each of the selector's cells first holds a malicious flow
+  (Section 3.1's capture process: Poisson refreshes of rate 1/tR, each
+  installing a malicious flow with probability qm — equivalently an
+  Exp(qm/tR) flip time per cell, truncated at the horizon).  Rows are
+  ascending, contain only finite flips (< horizon), and are keyed by
+  ``seed`` (run ``i`` derives its stream from ``seed + i`` in the
+  python backend and from the run axis of one ``seed``-keyed generator
+  in the numpy backend).  ``blink_occupancy_counts`` and
+  ``blink_crossing_times`` are *deterministic* pure functions of the
+  sampled rows, so they must agree exactly across backends.
+* **PCC** — ``pcc_utilities`` is the Allegro utility applied
+  elementwise; ``pcc_loss_for_targets`` is the attacker's planning
+  primitive (smallest loss pushing utility to a target) batched over
+  (rate, target) pairs; ``pcc_oscillation_stats`` reduces rate rows to
+  the mean / coefficient-of-variation / peak-to-trough amplitude used
+  by the oscillation analysis (population stddev, CV = σ/|µ|).
+* **Pytheas** — ``pytheas_sample_qoe`` draws one clipped Gaussian QoE
+  per session then applies the group bias (clip, add bias, clip — the
+  same order as ``QoEModel.true_qoe``); ``pytheas_mix_reports``
+  implements the TargetedLiar poisoning mix; ``pytheas_benign_means``
+  averages benign sessions per group, preserving first-seen group
+  order.
+* **Bloom** — bulk insert/query over the *same* FNV-1a
+  Kirsch–Mitzenmacher double-hash family and bit layout as
+  ``BloomFilter.add``/``__contains__``, so the filter state and every
+  membership answer are exactly identical across backends.
+* **Sketch hashing** — the batched forms of the hash primitives the
+  invertible structures (FlowRadar's flowset, LossRadar's digests)
+  are built on: ``fnv1a_bulk`` is ``fnv1a_64`` per item (the 64-bit
+  fingerprint XORed into cells), ``sketch_indices`` is
+  ``partitioned_indices`` per key, and ``bloom_index_rows`` exposes a
+  filter's per-item bit indices so callers needing *incremental*
+  membership semantics (FlowRadar's new-flow test, where each flow
+  must be checked against a filter already containing every earlier
+  flow in the batch) can hash in bulk but test/set bits in order.
+  All three are pure integer functions: exact across backends.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+
+class KernelBackend(abc.ABC):
+    """Batched kernels for the Monte-Carlo hot paths."""
+
+    #: Backend name as accepted by :func:`repro.kernels.get_backend`.
+    name: str = ""
+    #: True when the backend is a vectorised fast path; wired call
+    #: sites use this to keep the default path literally untouched.
+    vectorized: bool = False
+
+    # -- Blink flow-selector capture (Section 3.1, Fig. 2) -----------------
+
+    @abc.abstractmethod
+    def blink_flip_times(
+        self, qm: float, tr: float, cells: int, horizon: float, runs: int, seed: int
+    ) -> List[List[float]]:
+        """Per run: ascending finite cell-capture times (< horizon)."""
+
+    @abc.abstractmethod
+    def blink_occupancy_counts(
+        self, flip_rows: Sequence[Sequence[float]], times: Sequence[float]
+    ) -> List[List[int]]:
+        """Per run: number of captured cells at each sample time."""
+
+    @abc.abstractmethod
+    def blink_crossing_times(
+        self, flip_rows: Sequence[Sequence[float]], threshold: int
+    ) -> List[Optional[float]]:
+        """Per run: time the ``threshold``-th cell flipped, or None."""
+
+    # -- PCC ±ε experiments (Section 4.2) ----------------------------------
+
+    @abc.abstractmethod
+    def pcc_utilities(
+        self, rates: Sequence[float], losses: Sequence[float], alpha: float
+    ) -> List[float]:
+        """Allegro utility, elementwise over (rate, loss) pairs."""
+
+    @abc.abstractmethod
+    def pcc_loss_for_targets(
+        self,
+        rates: Sequence[float],
+        targets: Sequence[float],
+        alpha: float,
+        tolerance: float = 1e-9,
+    ) -> List[float]:
+        """Smallest loss with utility ≤ target, per (rate, target)."""
+
+    @abc.abstractmethod
+    def pcc_oscillation_stats(
+        self, rate_rows: Sequence[Sequence[float]]
+    ) -> List[Dict[str, float]]:
+        """Per row: ``{"mean", "cv", "amplitude"}`` of the rates."""
+
+    # -- Pytheas group QoE (Section 4.1) -----------------------------------
+
+    @abc.abstractmethod
+    def pytheas_sample_qoe(
+        self,
+        means: Sequence[float],
+        stds: Sequence[float],
+        biases: Sequence[float],
+        seed: int,
+        low: float,
+        high: float,
+    ) -> List[float]:
+        """clip(N(mean, std)) + bias, clipped again — one per session."""
+
+    @abc.abstractmethod
+    def pytheas_mix_reports(
+        self,
+        true_qoe: Sequence[float],
+        malicious: Sequence[bool],
+        targeted: Sequence[bool],
+        low: float,
+        high: float,
+    ) -> List[float]:
+        """TargetedLiar mix: malicious report low/high, benign truth."""
+
+    @abc.abstractmethod
+    def pytheas_benign_means(
+        self,
+        values: Sequence[float],
+        group_ids: Sequence[str],
+        benign: Sequence[bool],
+    ) -> Dict[str, float]:
+        """Mean of benign values per group, first-seen group order."""
+
+    # -- Bloom-filter pollution (Section 3.2) ------------------------------
+
+    @abc.abstractmethod
+    def bloom_add_bulk(self, bloom, items: Sequence[bytes]) -> None:
+        """Insert every item; mutates ``bloom`` exactly like ``add``."""
+
+    @abc.abstractmethod
+    def bloom_query_bulk(self, bloom, items: Sequence[bytes]) -> List[bool]:
+        """Membership answer per item, identical to ``item in bloom``."""
+
+    # -- Invertible-sketch hashing (FlowRadar / LossRadar) -----------------
+
+    @abc.abstractmethod
+    def fnv1a_bulk(self, items: Sequence[bytes]) -> List[int]:
+        """``fnv1a_64`` per item — the 64-bit cell fingerprints."""
+
+    @abc.abstractmethod
+    def sketch_indices(
+        self, keys: Sequence[bytes], hashes: int, cells: int
+    ) -> List[List[int]]:
+        """``partitioned_indices(key, hashes, cells)`` per key."""
+
+    @abc.abstractmethod
+    def bloom_index_rows(self, bloom, items: Sequence[bytes]) -> List[List[int]]:
+        """Per item: the k bit indices ``add``/``__contains__`` touch."""

@@ -1,0 +1,196 @@
+"""Reference kernel backend: the scalar implementations, verbatim.
+
+This backend exists so the dispatch layer has a byte-identical default:
+every method either calls the original scalar code or replicates its
+draw order exactly.  It is also the parity oracle the numpy backend is
+tested against.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.metrics import coefficient_of_variation
+from repro.kernels.base import KernelBackend
+from repro.pcc.utility import allegro_utility, loss_for_target_utility
+
+
+class PythonBackend(KernelBackend):
+    """Pure-Python kernels, byte-identical to the pre-dispatch code."""
+
+    name = "python"
+    vectorized = False
+
+    # -- Blink -------------------------------------------------------------
+
+    def blink_flip_times(
+        self, qm: float, tr: float, cells: int, horizon: float, runs: int, seed: int
+    ) -> List[List[float]]:
+        from repro.blink.analysis import sample_flip_times
+
+        rows: List[List[float]] = []
+        for i in range(runs):
+            rng = random.Random(seed + i)
+            flips = sample_flip_times(qm, tr, cells, horizon, rng)
+            rows.append(sorted(t for t in flips if not math.isinf(t)))
+        return rows
+
+    def blink_occupancy_counts(
+        self, flip_rows: Sequence[Sequence[float]], times: Sequence[float]
+    ) -> List[List[int]]:
+        counts: List[List[int]] = []
+        for flips in flip_rows:
+            captured: List[int] = []
+            idx = 0
+            for t in times:
+                while idx < len(flips) and flips[idx] <= t:
+                    idx += 1
+                captured.append(idx)
+            counts.append(captured)
+        return counts
+
+    def blink_crossing_times(
+        self, flip_rows: Sequence[Sequence[float]], threshold: int
+    ) -> List[Optional[float]]:
+        return [
+            flips[threshold - 1] if threshold <= len(flips) else None
+            for flips in flip_rows
+        ]
+
+    # -- PCC ---------------------------------------------------------------
+
+    def pcc_utilities(
+        self, rates: Sequence[float], losses: Sequence[float], alpha: float
+    ) -> List[float]:
+        if len(rates) != len(losses):
+            raise ConfigurationError("rates and losses must have equal length")
+        return [allegro_utility(r, l, alpha) for r, l in zip(rates, losses)]
+
+    def pcc_loss_for_targets(
+        self,
+        rates: Sequence[float],
+        targets: Sequence[float],
+        alpha: float,
+        tolerance: float = 1e-9,
+    ) -> List[float]:
+        if len(rates) != len(targets):
+            raise ConfigurationError("rates and targets must have equal length")
+        return [
+            loss_for_target_utility(r, u, alpha, tolerance)
+            for r, u in zip(rates, targets)
+        ]
+
+    def pcc_oscillation_stats(
+        self, rate_rows: Sequence[Sequence[float]]
+    ) -> List[Dict[str, float]]:
+        stats: List[Dict[str, float]] = []
+        for row in rate_rows:
+            values = list(row)
+            if not values:
+                stats.append({"mean": 0.0, "cv": 0.0, "amplitude": 0.0})
+                continue
+            mean = sum(values) / len(values)
+            cv = coefficient_of_variation(values) if len(values) >= 2 else 0.0
+            amplitude = (max(values) - min(values)) / mean if mean else 0.0
+            stats.append({"mean": mean, "cv": cv, "amplitude": amplitude})
+        return stats
+
+    # -- Pytheas -----------------------------------------------------------
+
+    def pytheas_sample_qoe(
+        self,
+        means: Sequence[float],
+        stds: Sequence[float],
+        biases: Sequence[float],
+        seed: int,
+        low: float,
+        high: float,
+    ) -> List[float]:
+        rng = random.Random(seed)
+        out: List[float] = []
+        for mean, std, bias in zip(means, stds, biases):
+            qoe = min(high, max(low, rng.gauss(mean, std)))
+            out.append(min(high, max(low, qoe + bias)))
+        return out
+
+    def pytheas_mix_reports(
+        self,
+        true_qoe: Sequence[float],
+        malicious: Sequence[bool],
+        targeted: Sequence[bool],
+        low: float,
+        high: float,
+    ) -> List[float]:
+        return [
+            (low if hit else high) if bad else truth
+            for truth, bad, hit in zip(true_qoe, malicious, targeted)
+        ]
+
+    def pytheas_benign_means(
+        self,
+        values: Sequence[float],
+        group_ids: Sequence[str],
+        benign: Sequence[bool],
+    ) -> Dict[str, float]:
+        by_group: Dict[str, List[float]] = {}
+        for value, group_id, keep in zip(values, group_ids, benign):
+            if keep:
+                by_group.setdefault(group_id, []).append(value)
+        return {g: sum(vals) / len(vals) for g, vals in by_group.items()}
+
+    # -- Bloom -------------------------------------------------------------
+
+    def bloom_add_bulk(self, bloom, items: Sequence[bytes]) -> None:
+        from repro.sketches.bloom import _BITMASKS, _hash_pair
+
+        array = bloom._array
+        hashes = bloom.hashes
+        bits = bloom.bits
+        count = 0
+        for item in items:
+            h1, h2 = _hash_pair(item)
+            for i in range(hashes):
+                index = (h1 + i * h2) % bits
+                array[index >> 3] |= _BITMASKS[index & 7]
+            count += 1
+        bloom.inserted += count
+
+    def bloom_query_bulk(self, bloom, items: Sequence[bytes]) -> List[bool]:
+        from repro.sketches.bloom import _BITMASKS, _hash_pair
+
+        array = bloom._array
+        hashes = bloom.hashes
+        bits = bloom.bits
+        answers: List[bool] = []
+        for item in items:
+            h1, h2 = _hash_pair(item)
+            member = True
+            for i in range(hashes):
+                index = (h1 + i * h2) % bits
+                if not array[index >> 3] & _BITMASKS[index & 7]:
+                    member = False
+                    break
+            answers.append(member)
+        return answers
+
+    # -- Invertible-sketch hashing -----------------------------------------
+
+    def fnv1a_bulk(self, items: Sequence[bytes]) -> List[int]:
+        from repro.flows.flow import fnv1a_64
+
+        return [fnv1a_64(item) for item in items]
+
+    def sketch_indices(
+        self, keys: Sequence[bytes], hashes: int, cells: int
+    ) -> List[List[int]]:
+        from repro.sketches.hashing import partitioned_indices
+
+        return [partitioned_indices(key, hashes, cells) for key in keys]
+
+    def bloom_index_rows(self, bloom, items: Sequence[bytes]) -> List[List[int]]:
+        from repro.sketches.bloom import _hash_indices
+
+        return [_hash_indices(item, bloom.hashes, bloom.bits) for item in items]

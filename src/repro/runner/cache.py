@@ -43,27 +43,40 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV) or os.path.join(os.getcwd(), ".repro-cache")
 
 
-def code_version() -> str:
+def _digest_tree(package_root: str) -> str:
+    """SHA-256 over every ``.py`` under ``package_root`` (path + bytes)."""
+    digest = hashlib.sha256()
+    for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            digest.update(os.path.relpath(path, package_root).encode("utf-8"))
+            with open(path, "rb") as handle:
+                digest.update(handle.read())
+    return digest.hexdigest()[:16]
+
+
+def code_version(package_root: Optional[str] = None) -> str:
     """Digest of every ``repro`` source file (memoised per process).
 
     Hashing content rather than asking git means an uncommitted edit
     still invalidates the cache, and the digest is stable across
-    machines that check out the same tree.
+    machines that check out the same tree.  The walk starts at the
+    package root (the directory containing ``repro/__init__.py``'s
+    package), so *every* subpackage — including ones added after a
+    cache was populated, like ``repro.kernels`` — participates; a new
+    or edited kernel file can never be silently missed by a stale
+    digest.  ``package_root`` overrides the walk root for tests; only
+    the default root is memoised.
     """
     global _CODE_VERSION
+    if package_root is not None:
+        return _digest_tree(package_root)
     if _CODE_VERSION is None:
-        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        digest = hashlib.sha256()
-        for dirpath, dirnames, filenames in sorted(os.walk(package_root)):
-            dirnames.sort()
-            for filename in sorted(filenames):
-                if not filename.endswith(".py"):
-                    continue
-                path = os.path.join(dirpath, filename)
-                digest.update(os.path.relpath(path, package_root).encode("utf-8"))
-                with open(path, "rb") as handle:
-                    digest.update(handle.read())
-        _CODE_VERSION = digest.hexdigest()[:16]
+        default_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        _CODE_VERSION = _digest_tree(default_root)
     return _CODE_VERSION
 
 

@@ -14,16 +14,34 @@ rate, which are the quantities the pollution bench tracks.
 from __future__ import annotations
 
 import math
-from typing import Iterable, List
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
-from repro.flows.flow import fnv1a_64
+from repro.flows.flow import FNV_PRIME_64, fnv1a_64
+
+_MASK64 = (1 << 64) - 1
+
+#: Preallocated per-bit masks so the hot loops never build ``1 << i``.
+_BITMASKS = tuple(1 << i for i in range(8))
+
+
+def _hash_pair(item: bytes) -> Tuple[int, int]:
+    """(h1, h2) for Kirsch–Mitzenmacher double hashing, one FNV pass.
+
+    h2 was historically ``fnv1a_64(item + b"\\x01") | 1`` — but FNV-1a
+    is byte-serial, so hashing the suffixed copy equals folding one
+    more byte into h1: ``((h1 ^ 0x01) * PRIME) mod 2^64``.  Computing
+    it that way halves the hashing work and skips the per-item bytes
+    concatenation, with identical values.
+    """
+    h1 = fnv1a_64(item)
+    h2 = (((h1 ^ 0x01) * FNV_PRIME_64) & _MASK64) | 1  # odd => full period
+    return h1, h2
 
 
 def _hash_indices(item: bytes, k: int, m: int) -> List[int]:
     """k indices via double hashing (Kirsch–Mitzenmacher)."""
-    h1 = fnv1a_64(item)
-    h2 = fnv1a_64(item + b"\x01") | 1  # odd => full period
+    h1, h2 = _hash_pair(item)
     return [(h1 + i * h2) % m for i in range(k)]
 
 
@@ -55,19 +73,67 @@ class BloomFilter:
         return cls(m, k)
 
     def add(self, item: bytes) -> None:
-        for index in _hash_indices(item, self.hashes, self.bits):
-            self._array[index // 8] |= 1 << (index % 8)
+        h1, h2 = _hash_pair(item)
+        array = self._array
+        for i in range(self.hashes):
+            index = (h1 + i * h2) % self.bits
+            array[index >> 3] |= _BITMASKS[index & 7]
         self.inserted += 1
 
     def add_all(self, items: Iterable[bytes]) -> None:
         for item in items:
             self.add(item)
 
+    def add_bulk(self, items: Iterable[bytes], backend: Optional[str] = None) -> None:
+        """Insert many items through the selected kernel backend.
+
+        Identical filter state to ``add_all`` on every backend — the
+        numpy path uses the same hash family and bit layout.
+        """
+        from repro.kernels import get_backend
+
+        get_backend(backend).bloom_add_bulk(self, list(items))
+
+    def add_unique_bulk(
+        self, items: Iterable[bytes], backend: Optional[str] = None
+    ) -> List[bool]:
+        """Insert items not yet present; returns per-item "was new".
+
+        Exactly equivalent to testing ``item not in self`` and calling
+        ``add`` for each item in order: each membership test sees the
+        bits set by every *earlier* item in the batch, so within-batch
+        duplicates (and cross-item false positives) resolve the same
+        way as the scalar loop.  The hashing is bulk; only the cheap
+        bit test-and-set runs per item.
+        """
+        from repro.kernels import get_backend
+
+        rows = get_backend(backend).bloom_index_rows(self, list(items))
+        array = self._array
+        fresh: List[bool] = []
+        for row in rows:
+            member = all(array[b >> 3] & _BITMASKS[b & 7] for b in row)
+            if not member:
+                for b in row:
+                    array[b >> 3] |= _BITMASKS[b & 7]
+                self.inserted += 1
+            fresh.append(not member)
+        return fresh
+
     def __contains__(self, item: bytes) -> bool:
-        return all(
-            self._array[index // 8] & (1 << (index % 8))
-            for index in _hash_indices(item, self.hashes, self.bits)
-        )
+        h1, h2 = _hash_pair(item)
+        array = self._array
+        for i in range(self.hashes):
+            index = (h1 + i * h2) % self.bits
+            if not array[index >> 3] & _BITMASKS[index & 7]:
+                return False
+        return True
+
+    def query_bulk(self, items: Iterable[bytes], backend: Optional[str] = None) -> List[bool]:
+        """Membership answer per item, exactly ``item in self``."""
+        from repro.kernels import get_backend
+
+        return get_backend(backend).bloom_query_bulk(self, list(items))
 
     @property
     def fill_factor(self) -> float:
@@ -81,10 +147,12 @@ class BloomFilter:
         """Current (not design-time) FPR estimate: fill^k."""
         return self.fill_factor ** self.hashes
 
-    def measured_false_positive_rate(self, probes: Iterable[bytes]) -> float:
+    def measured_false_positive_rate(
+        self, probes: Iterable[bytes], backend: Optional[str] = None
+    ) -> float:
         """Empirical FPR over ``probes`` assumed not to be members."""
         probe_list = list(probes)
         if not probe_list:
             raise ConfigurationError("need at least one probe")
-        hits = sum(1 for probe in probe_list if probe in self)
+        hits = sum(self.query_bulk(probe_list, backend=backend))
         return hits / len(probe_list)

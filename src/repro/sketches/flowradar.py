@@ -19,7 +19,7 @@ per-flow counters for *everyone* (Section 3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError, DecodeError
 from repro.flows.flow import FiveTuple
@@ -115,6 +115,52 @@ class FlowRadar:
         self.packets_seen += packets
         self._truth[fingerprint] = self._truth.get(fingerprint, 0) + packets
         self._keys[fingerprint] = key
+
+    def observe_bulk(
+        self,
+        flows: Sequence[FiveTuple],
+        packets: int = 1,
+        backend: Optional[str] = None,
+    ) -> None:
+        """Observe every flow at ``packets`` each, through the kernel
+        backend.
+
+        The final state — cells, bloom bits, counters, ground truth —
+        is identical to calling :meth:`observe` per flow in order, on
+        every backend: the hashes are bulk but exact, and the new-flow
+        test stays incremental (each flow is checked against a filter
+        already containing every earlier flow in the batch).
+        """
+        if packets <= 0:
+            raise ConfigurationError("packets must be positive")
+        flows = list(flows)
+        if not flows:
+            return
+        from repro.kernels import get_backend
+
+        kernel = get_backend(backend)
+        keys = [_flow_bytes(flow) for flow in flows]
+        fingerprints = kernel.fnv1a_bulk(keys)
+        index_rows = kernel.sketch_indices(keys, self.hashes, self.cell_count)
+        newness = self.bloom.add_unique_bulk(keys, backend=backend)
+        cells = self.cells
+        truth = self._truth
+        for key, fingerprint, indices, is_new in zip(
+            keys, fingerprints, index_rows, newness
+        ):
+            if is_new:
+                self.flows_seen += 1
+                for index in indices:
+                    cell = cells[index]
+                    cell.flow_xor ^= fingerprint
+                    cell.flow_count += 1
+                    cell.packet_count += packets
+            else:
+                for index in indices:
+                    cells[index].packet_count += packets
+            truth[fingerprint] = truth.get(fingerprint, 0) + packets
+            self._keys[fingerprint] = key
+        self.packets_seen += packets * len(flows)
 
     def observe_trace(self, flows: Iterable[Tuple[FiveTuple, int]]) -> None:
         for flow, packets in flows:

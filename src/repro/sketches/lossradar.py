@@ -17,7 +17,7 @@ capacity, so the operator can no longer locate *real* losses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.flows.flow import FiveTuple, fnv1a_64
@@ -65,6 +65,35 @@ class PacketDigest:
             cell.count += 1
         self.packets += 1
         self._keys[fingerprint] = key
+
+    def observe_bulk(
+        self, packet_ids: Sequence[PacketId], backend: Optional[str] = None
+    ) -> List[int]:
+        """Observe every packet through the kernel backend.
+
+        Identical final digest state to calling :meth:`observe` per
+        packet, on every backend (the bulk hashes are exact).  Returns
+        each packet's fingerprint so callers can update ground-truth
+        sets without rehashing.
+        """
+        packet_ids = list(packet_ids)
+        if not packet_ids:
+            return []
+        from repro.kernels import get_backend
+
+        kernel = get_backend(backend)
+        keys = [packet.packed() for packet in packet_ids]
+        fingerprints = kernel.fnv1a_bulk(keys)
+        index_rows = kernel.sketch_indices(keys, self.hashes, self.cell_count)
+        cells = self.cells
+        for fingerprint, indices in zip(fingerprints, index_rows):
+            for index in indices:
+                cell = cells[index]
+                cell.xor_sum ^= fingerprint
+                cell.count += 1
+        self.packets += len(packet_ids)
+        self._keys.update(zip(fingerprints, keys))
+        return fingerprints
 
     def subtract(self, other: "PacketDigest") -> "PacketDigest":
         """Upstream − downstream: the digest of the missing packets."""
@@ -135,6 +164,42 @@ class LossRadarSegment:
         """Attacker packet addressed to die inside the segment."""
         self.upstream.observe(packet)
         self._injected_truth.add(packet.fingerprint())
+
+    # -- bulk variants (kernel-backend accelerated, exact) -------------------
+
+    def transit_bulk(
+        self,
+        packets: Sequence[PacketId],
+        lost: Sequence[bool],
+        backend: Optional[str] = None,
+    ) -> None:
+        """Bulk :meth:`transit`: packet ``i`` is dropped iff ``lost[i]``."""
+        packets = list(packets)
+        lost = list(lost)
+        if len(packets) != len(lost):
+            raise ConfigurationError("packets and lost flags must have equal length")
+        fingerprints = self.upstream.observe_bulk(packets, backend=backend)
+        survivors = [p for p, dropped in zip(packets, lost) if not dropped]
+        self.downstream.observe_bulk(survivors, backend=backend)
+        self._lost_truth.update(
+            fp for fp, dropped in zip(fingerprints, lost) if dropped
+        )
+
+    def inject_downstream_bulk(
+        self, packets: Sequence[PacketId], backend: Optional[str] = None
+    ) -> None:
+        """Bulk :meth:`inject_downstream`."""
+        self._injected_truth.update(
+            self.downstream.observe_bulk(packets, backend=backend)
+        )
+
+    def inject_upstream_only_bulk(
+        self, packets: Sequence[PacketId], backend: Optional[str] = None
+    ) -> None:
+        """Bulk :meth:`inject_upstream_only`."""
+        self._injected_truth.update(
+            self.upstream.observe_bulk(packets, backend=backend)
+        )
 
     def locate_losses(self) -> Tuple[Set[int], bool]:
         """Run the periodic loss localisation."""

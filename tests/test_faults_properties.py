@@ -140,8 +140,10 @@ def test_cli_rejects_malformed_specs_with_exit_code_3(text):
         pass
     else:
         assume(False)  # accidentally valid (or empty): not this test's target
+    # --faults=<text> keeps argparse from mistaking specs that start
+    # with "-" for option flags; the faults grammar must see them.
     code = main(
-        ["run", "blink-analytical", "--faults", text, "-p", "runs=1"]
+        ["run", "blink-analytical", f"--faults={text}", "-p", "runs=1"]
     )
     assert code == 3
 

@@ -1,0 +1,224 @@
+"""Kernel backend dispatch, numpy goldens, statistical equivalence.
+
+Three layers of guarantee:
+
+* the dispatch API (:mod:`repro.kernels`) resolves names, environment
+  and defaults exactly as documented;
+* the numpy backend's seeded streams are pinned by
+  ``tests/fixtures/golden_numpy.json`` — a silent change to its draw
+  order is a test failure, same as the python goldens;
+* both backends reproduce the same *experiment-level* conclusions
+  (statistical equivalence where the streams differ, exact equality
+  on the deterministic kernels).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.kernels import (
+    BACKEND_ENV,
+    DEFAULT_BACKEND,
+    available_backends,
+    derive_seed,
+    get_backend,
+    resolve_backend_name,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "fixtures", "golden_numpy.json")
+RELTOL = 1e-12
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with open(FIXTURE, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+class TestDispatch:
+    def test_available_backends(self):
+        assert available_backends() == ("python", "numpy")
+
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend_name() == DEFAULT_BACKEND == "python"
+        assert get_backend().name == "python"
+        assert get_backend().vectorized is False
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend_name() == "numpy"
+        assert get_backend(None).name == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend_name("python") == "python"
+
+    def test_unknown_name_rejected(self, monkeypatch):
+        with pytest.raises(ConfigurationError):
+            resolve_backend_name("fortran")
+        with pytest.raises(ConfigurationError):
+            get_backend("fortran")
+        monkeypatch.setenv(BACKEND_ENV, "fortran")
+        with pytest.raises(ConfigurationError):
+            resolve_backend_name()
+
+    def test_instances_memoized(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("python") is get_backend("python")
+
+    def test_numpy_backend_is_vectorized(self):
+        backend = get_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.vectorized is True
+
+    def test_derive_seed_stable_and_distinct(self):
+        a = derive_seed("pytheas.qoe", 3, 0)
+        assert a == derive_seed("pytheas.qoe", 3, 0)
+        assert a != derive_seed("pytheas.qoe", 3, 1)
+        assert a != derive_seed("pytheas.qoe", 4, 0)
+        assert 0 <= a < 2**64
+
+
+class TestNumpyGolden:
+    """Seeded numpy streams are pinned; drift is a failure."""
+
+    def test_derive_seed_pinned(self, golden):
+        assert derive_seed("pytheas.qoe", 3, 0) == golden["derive_seed_pytheas_qoe_3_0"]
+
+    def test_blink_flip_times_pinned(self, golden):
+        pinned = golden["blink_flip_times_qm005_tr8_seed0"]
+        flips = get_backend("numpy").blink_flip_times(
+            qm=0.05, tr=8.0, cells=64, horizon=300.0, runs=3, seed=0
+        )
+        assert [len(row) for row in flips] == pinned["run_lengths"]
+        assert flips[0][:5] == pytest.approx(pinned["run0_first5"], rel=RELTOL)
+
+    def test_fig2_pinned(self, golden):
+        from repro.blink.analysis import fig2_experiment
+
+        pinned = golden["fig2_numpy_runs10_seed0"]
+        result = fig2_experiment(runs=10, seed=0, backend="numpy")
+        assert result.mean_crossing_simulated == pytest.approx(
+            pinned["mean_crossing_simulated"], rel=RELTOL
+        )
+        assert result.success_fraction == pinned["success_fraction"]
+        assert result.runs[0].crossing_time == pytest.approx(
+            pinned["crossing_time_run0"], rel=RELTOL
+        )
+
+    def test_pytheas_qoe_pinned(self, golden):
+        values = get_backend("numpy").pytheas_sample_qoe(
+            means=[70.0, 75.0, 80.0],
+            stds=[2.0, 3.0, 4.0],
+            biases=[0.0, -50.0, 0.0],
+            seed=derive_seed("pytheas.qoe", 3, 0),
+            low=0.0,
+            high=100.0,
+        )
+        assert values == pytest.approx(golden["pytheas_sample_qoe"], rel=RELTOL)
+
+    def test_pcc_values_pinned(self, golden):
+        backend = get_backend("numpy")
+        utilities = backend.pcc_utilities([1.0, 10.0, 100.0], [0.0, 0.04, 0.2], alpha=50.0)
+        assert utilities == pytest.approx(golden["pcc_utilities_alpha50"], rel=RELTOL)
+        targets = backend.pcc_loss_for_targets([10.0, 100.0], [5.0, 20.0], alpha=50.0)
+        assert targets == pytest.approx(
+            golden["pcc_loss_for_targets_alpha50"], rel=RELTOL
+        )
+
+    def test_bloom_state_pinned(self, golden):
+        from repro.sketches.bloom import BloomFilter
+
+        bloom = BloomFilter.for_capacity(100, 0.01)
+        bloom.add_bulk([b"key-%d" % i for i in range(50)], backend="numpy")
+        digest = hashlib.sha256(bytes(bloom._array)).hexdigest()
+        assert digest == golden["bloom_sha256_cap100_fpr01_50keys"]
+
+
+class TestStatisticalEquivalence:
+    """The backends' different streams reach the same conclusions."""
+
+    def test_fig2_crossing_agrees(self):
+        from repro.blink.analysis import fig2_experiment
+
+        python = fig2_experiment(runs=50, seed=0, backend="python")
+        numpy_ = fig2_experiment(runs=50, seed=0, backend="numpy")
+        assert python.success_fraction >= 0.95
+        assert numpy_.success_fraction >= 0.95
+        # Mean crossing of 50 runs: well inside each other's spread.
+        assert numpy_.mean_crossing_simulated == pytest.approx(
+            python.mean_crossing_simulated, rel=0.15
+        )
+        # The theory curves are backend-independent mathematics.
+        assert numpy_.mean_crossing_theory == pytest.approx(
+            python.mean_crossing_theory, rel=1e-9
+        )
+
+    def test_pcc_oscillation_stats_agree(self):
+        # Rate series come from the scalar simulator either way; only
+        # the statistics kernel differs, and its arithmetic is exact
+        # up to float reassociation.
+        from repro.attacks.pcc_attack import PccOscillationAttack
+
+        python = PccOscillationAttack().run(mis=150, seed=0, backend="python")
+        numpy_ = PccOscillationAttack().run(mis=150, seed=0, backend="numpy")
+        for key in (
+            "oscillation_cv_attacked",
+            "rate_amplitude_attacked",
+            "aggregate_oscillation_attacked",
+            "aggregate_swing_attacked",
+        ):
+            assert numpy_.details[key] == pytest.approx(python.details[key], rel=1e-9)
+
+    def test_pytheas_poisoning_agrees(self):
+        from repro.attacks.pytheas_attack import PytheasPoisoningAttack
+
+        python = PytheasPoisoningAttack().run(rounds=60, seed=0, backend="python")
+        numpy_ = PytheasPoisoningAttack().run(rounds=60, seed=0, backend="numpy")
+        assert python.success and numpy_.success
+        # Both backends must see a clearly degraded benign QoE, of
+        # similar size (different QoE noise streams, same model).
+        assert numpy_.details["qoe_loss"] == pytest.approx(
+            python.details["qoe_loss"], abs=1.5
+        )
+
+    def test_bloom_fpr_is_exact_across_backends(self):
+        from repro.attacks.sketch_attack import BloomSaturationAttack
+
+        python = BloomSaturationAttack().run(design_capacity=2000, backend="python")
+        numpy_ = BloomSaturationAttack().run(design_capacity=2000, backend="numpy")
+        # Same hash family, same bit layout: not statistics, identity.
+        assert numpy_.details["fpr_before"] == python.details["fpr_before"]
+        assert numpy_.details["fpr_after"] == python.details["fpr_after"]
+        assert numpy_.details["fill_factor_after"] == python.details["fill_factor_after"]
+
+
+class TestSweepBackend:
+    def test_sweep_injects_backend_into_params(self):
+        from repro.analysis.experiment import Sweep
+
+        seen = []
+
+        def experiment(seed, params):
+            seen.append(dict(params))
+            return {"value": float(seed)}
+
+        sweep = Sweep("s", experiment, seeds=(0, 1)).add_point(x=1)
+        sweep.run(backend="numpy")
+        assert all(p["backend"] == "numpy" for p in seen)
+        seen.clear()
+        sweep.run()
+        assert all("backend" not in p for p in seen)
+
+    def test_sweep_rejects_unknown_backend(self):
+        from repro.analysis.experiment import Sweep
+
+        sweep = Sweep("s", lambda seed, params: {}, seeds=(0,))
+        with pytest.raises(ConfigurationError):
+            sweep.run(backend="cuda")

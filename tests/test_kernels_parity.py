@@ -1,0 +1,260 @@
+"""Property-based cross-backend parity for the kernel layer.
+
+The deterministic kernels (occupancy counting, crossing extraction,
+everything bloom) must agree *exactly* between backends; the pure-math
+kernels (PCC utility, loss-for-target) must agree to floating-point
+reassociation tolerance.  Hypothesis drives the input space so shape
+corner cases — empty rows, duplicate flip times, zero-length keys,
+saturating batches — are covered without hand-enumeration.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels import get_backend
+
+PYTHON = get_backend("python")
+NUMPY = get_backend("numpy")
+
+finite_times = st.floats(
+    min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False
+)
+flip_rows = st.lists(
+    st.lists(finite_times, max_size=40).map(sorted), min_size=1, max_size=6
+)
+keys = st.lists(st.binary(max_size=24), min_size=0, max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=flip_rows, times=st.lists(finite_times, min_size=1, max_size=30).map(sorted))
+def test_occupancy_counts_exact(rows, times):
+    assert PYTHON.blink_occupancy_counts(rows, times) == NUMPY.blink_occupancy_counts(
+        rows, times
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=flip_rows, threshold=st.integers(min_value=1, max_value=48))
+def test_crossing_times_exact(rows, threshold):
+    assert PYTHON.blink_crossing_times(rows, threshold) == NUMPY.blink_crossing_times(
+        rows, threshold
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=keys, probes=keys, capacity=st.integers(min_value=1, max_value=500))
+def test_bloom_membership_exact(items, probes, capacity):
+    from repro.sketches.bloom import BloomFilter
+
+    scalar = BloomFilter.for_capacity(capacity, 0.01)
+    vector = BloomFilter.for_capacity(capacity, 0.01)
+    scalar.add_bulk(items, backend="python")
+    vector.add_bulk(items, backend="numpy")
+    # Same hash family, same bit layout: the filters are identical
+    # objects bit for bit, so every query answer matches too.
+    assert bytes(scalar._array) == bytes(vector._array)
+    assert scalar.inserted == vector.inserted
+    universe = items + probes
+    assert scalar.query_bulk(universe, backend="python") == vector.query_bulk(
+        universe, backend="numpy"
+    )
+    # Bulk insertion matches the scalar one-at-a-time path as well.
+    single = BloomFilter.for_capacity(capacity, 0.01)
+    for item in items:
+        single.add(item)
+    assert bytes(single._array) == bytes(vector._array)
+    assert all((key in single) == hit for key, hit in zip(universe, vector.query_bulk(universe, backend="numpy")))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        ),
+        max_size=30,
+    ),
+    alpha=st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+)
+def test_pcc_utilities_close(pairs, alpha):
+    rates = [rate for rate, _ in pairs]
+    losses = [loss for _, loss in pairs]
+    scalar = PYTHON.pcc_utilities(rates, losses, alpha)
+    vector = NUMPY.pcc_utilities(rates, losses, alpha)
+    assert len(scalar) == len(vector)
+    for a, b in zip(scalar, vector):
+        assert b == a or abs(a - b) <= 1e-9 * max(1.0, abs(a))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+            st.floats(min_value=-50.0, max_value=1e3, allow_nan=False),
+        ),
+        max_size=12,
+    ),
+    alpha=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+)
+def test_pcc_loss_for_targets_close(pairs, alpha):
+    rates = [rate for rate, _ in pairs]
+    targets = [target for _, target in pairs]
+    scalar = PYTHON.pcc_loss_for_targets(rates, targets, alpha)
+    vector = NUMPY.pcc_loss_for_targets(rates, targets, alpha)
+    assert len(scalar) == len(vector)
+    # Both bisect [0, 1] to 1e-9; the lockstep solver may halve a
+    # lane's interval a few extra times, so agreement is to the
+    # bisection tolerance, not bit-exact.
+    for a, b in zip(scalar, vector):
+        assert abs(a - b) <= 5e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(items=keys)
+def test_fnv1a_bulk_exact(items):
+    from repro.flows.flow import fnv1a_64
+
+    expected = [fnv1a_64(item) for item in items]
+    assert PYTHON.fnv1a_bulk(items) == expected
+    assert NUMPY.fnv1a_bulk(items) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    items=keys,
+    hashes=st.integers(min_value=1, max_value=5),
+    extra_cells=st.integers(min_value=0, max_value=400),
+)
+def test_sketch_indices_exact(items, hashes, extra_cells):
+    from repro.sketches.hashing import partitioned_indices
+
+    cells = hashes + extra_cells
+    expected = [partitioned_indices(key, hashes, cells) for key in items]
+    assert PYTHON.sketch_indices(items, hashes, cells) == expected
+    assert NUMPY.sketch_indices(items, hashes, cells) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(items=keys, capacity=st.integers(min_value=1, max_value=300))
+def test_bloom_add_unique_bulk_matches_scalar(items, capacity):
+    from repro.sketches.bloom import BloomFilter
+
+    scalar = BloomFilter.for_capacity(capacity, 0.01)
+    fresh = []
+    for item in items:
+        is_new = item not in scalar
+        if is_new:
+            scalar.add(item)
+        fresh.append(is_new)
+    for backend in ("python", "numpy"):
+        bulk = BloomFilter.for_capacity(capacity, 0.01)
+        assert bulk.add_unique_bulk(items, backend=backend) == fresh
+        assert bytes(bulk._array) == bytes(scalar._array)
+        assert bulk.inserted == scalar.inserted
+
+
+# Small address/port alphabets so within-batch duplicate flows arise
+# naturally — the bulk paths must resolve them exactly like the scalar
+# observe loop (first occurrence is new, repeats are not).
+flow_specs = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=4), st.integers(min_value=0, max_value=4)),
+    min_size=1,
+    max_size=40,
+)
+
+
+def _make_flows(specs):
+    from repro.flows.flow import FiveTuple
+
+    return [
+        FiveTuple(f"10.0.{a}.{b + 1}", "198.51.100.1", 1024 + a, 443)
+        for a, b in specs
+    ]
+
+
+@settings(max_examples=25, deadline=None)
+@given(specs=flow_specs, packets=st.integers(min_value=1, max_value=5))
+def test_flowradar_observe_bulk_matches_sequential(specs, packets):
+    from repro.sketches.flowradar import FlowRadar
+
+    def state(fr):
+        return (
+            [(c.flow_xor, c.flow_count, c.packet_count) for c in fr.cells],
+            bytes(fr.bloom._array),
+            fr.bloom.inserted,
+            fr.flows_seen,
+            fr.packets_seen,
+            fr._truth,
+            fr._keys,
+        )
+
+    flows = _make_flows(specs)
+    scalar = FlowRadar(cells=60, hashes=3)
+    for flow in flows:
+        scalar.observe(flow, packets=packets)
+    for backend in ("python", "numpy"):
+        bulk = FlowRadar(cells=60, hashes=3)
+        bulk.observe_bulk(flows, packets=packets, backend=backend)
+        assert state(bulk) == state(scalar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    transits=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30), st.booleans()),
+        min_size=1,
+        max_size=40,
+    ),
+    injected=st.lists(st.integers(min_value=0, max_value=30), max_size=20),
+)
+def test_lossradar_bulk_matches_sequential(transits, injected):
+    from repro.flows.flow import FiveTuple
+    from repro.sketches.lossradar import LossRadarSegment, PacketId
+
+    def state(segment):
+        return (
+            [(c.xor_sum, c.count) for c in segment.upstream.cells],
+            [(c.xor_sum, c.count) for c in segment.downstream.cells],
+            segment.upstream.packets,
+            segment.downstream.packets,
+            segment.upstream._keys,
+            segment.downstream._keys,
+            segment._lost_truth,
+            segment._injected_truth,
+        )
+
+    flow = FiveTuple("10.0.0.1", "198.51.100.1", 40000, 443)
+    attack_flow = FiveTuple("203.0.113.7", "198.51.100.1", 40001, 443)
+    packets = [PacketId(flow, seq) for seq, _ in transits]
+    lost = [dropped for _, dropped in transits]
+    spoofed = [PacketId(attack_flow, seq) for seq in injected]
+
+    scalar = LossRadarSegment(cells=64)
+    for packet, dropped in zip(packets, lost):
+        scalar.transit(packet, lost=dropped)
+    for packet in spoofed:
+        scalar.inject_upstream_only(packet)
+    for backend in ("python", "numpy"):
+        bulk = LossRadarSegment(cells=64)
+        bulk.transit_bulk(packets, lost, backend=backend)
+        bulk.inject_upstream_only_bulk(spoofed, backend=backend)
+        assert state(bulk) == state(scalar)
+        assert bulk.report() == scalar.report()
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(st.lists(finite_times, max_size=25), min_size=1, max_size=5))
+def test_oscillation_stats_close(rows):
+    scalar = PYTHON.pcc_oscillation_stats(rows)
+    vector = NUMPY.pcc_oscillation_stats(rows)
+    assert len(scalar) == len(vector)
+    for a, b in zip(scalar, vector):
+        assert set(a) == set(b) == {"mean", "cv", "amplitude"}
+        for key in a:
+            if a[key] == b[key]:  # covers inf == inf and exact zeros
+                continue
+            assert abs(a[key] - b[key]) <= 1e-9 * max(1.0, abs(a[key]))

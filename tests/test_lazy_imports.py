@@ -1,0 +1,66 @@
+"""The default path must never pay for the optional fast path.
+
+numpy is an *opt-in* dependency of the kernel layer: CLI startup,
+``--help``, attack listing and the python backend itself must not
+import it.  These tests run in a subprocess so the assertion sees a
+pristine ``sys.modules`` (the in-process suite imports numpy all over).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+
+
+def run_probe(code: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("REPRO_BACKEND", None)
+    return subprocess.run(
+        [sys.executable, "-c", code],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_cli_help_does_not_import_numpy():
+    probe = run_probe(
+        "import sys\n"
+        "from repro.cli import main\n"
+        "try:\n"
+        "    main(['--help'])\n"
+        "except SystemExit:\n"
+        "    pass\n"
+        "assert 'numpy' not in sys.modules, 'numpy leaked into CLI startup'\n"
+    )
+    assert probe.returncode == 0, probe.stderr
+
+
+def test_cli_list_keeps_kernel_fast_path_unloaded():
+    # `list` pulls the attack registry, whose netsim corner imports
+    # networkx (and transitively numpy) — long-standing behaviour.
+    # The kernel layer's own fast path must still stay unloaded.
+    probe = run_probe(
+        "import sys\n"
+        "from repro.cli import main\n"
+        "assert main(['list']) == 0\n"
+        "assert 'repro.kernels.numpy_backend' not in sys.modules\n"
+    )
+    assert probe.returncode == 0, probe.stderr
+
+
+def test_python_backend_does_not_import_numpy():
+    probe = run_probe(
+        "import sys\n"
+        "from repro.kernels import get_backend\n"
+        "backend = get_backend('python')\n"
+        "backend.pcc_utilities([1.0], [0.0], alpha=50.0)\n"
+        "assert 'numpy' not in sys.modules, 'numpy leaked into the python backend'\n"
+        "assert 'repro.kernels.numpy_backend' not in sys.modules\n"
+    )
+    assert probe.returncode == 0, probe.stderr

@@ -212,6 +212,34 @@ class TestResultCache:
         assert len({a, b, c, d}) == 4
         assert a == cache_key("x", {"seed": 0}, version=code_version())
 
+    def test_kernel_edit_invalidates_code_version(self, tmp_path):
+        # A byte-identical clone of the installed tree digests the same
+        # as the memoised default — proving the walk covers everything,
+        # kernels included — and editing one kernel file shifts the
+        # digest, so cached results can never outlive kernel changes.
+        import shutil
+
+        import repro
+
+        clone = tmp_path / "repro"
+        shutil.copytree(
+            os.path.dirname(repro.__file__),
+            clone,
+            ignore=shutil.ignore_patterns("__pycache__"),
+        )
+        assert code_version(package_root=str(clone)) == code_version()
+        kernel = clone / "kernels" / "numpy_backend.py"
+        kernel.write_text(kernel.read_text() + "\n# perturbed\n")
+        edited = code_version(package_root=str(clone))
+        assert edited != code_version()
+        # ... and the cache key (hence any stored entry) moves with it.
+        assert cache_key("bloom-saturation", {"seed": 0}, version=edited) != cache_key(
+            "bloom-saturation", {"seed": 0}, version=code_version()
+        )
+        # Non-source files never participate in the digest.
+        (clone / "kernels" / "notes.txt").write_text("ignored")
+        assert code_version(package_root=str(clone)) == edited
+
     def test_put_get_roundtrip(self, tmp_path):
         cache = ResultCache(str(tmp_path / "cache"))
         key = cache_key("toy", {"seed": 1})

@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Diff bench-record JSON files and gate on regressions.
+
+Two modes, combinable in one invocation:
+
+* Regression gate (``--baseline``): every bench present in both files
+  (matched on ``name:backend``) must not be slower than the baseline
+  by more than ``--budget`` (fractional; default 0.25 = 25 %).
+
+* Cross-backend speedup gate (``--against`` + ``--min-speedup``):
+  benches are matched on ``name`` alone across the two files (e.g. a
+  numpy run against a python run) and the current file's trials/sec
+  must be at least ``min-speedup`` times the other file's.
+
+Input files are the ``BENCH_<NAME>.json`` exports of
+``benchmarks/conftest.py`` (``pytest benchmarks/... --bench-json``).
+Exit status: 0 all gates pass, 1 a gate failed, 2 usage/input error.
+Stdlib only — runnable before any project dependency is installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def load_records(path: str) -> Dict[str, dict]:
+    """``name:backend`` -> record, validated just enough to compare."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    benches = payload.get("benches") if isinstance(payload, dict) else None
+    if not isinstance(benches, dict) or not benches:
+        raise SystemExit(f"error: {path} has no bench records")
+    records = {}
+    for key, record in benches.items():
+        if not isinstance(record, dict):
+            raise SystemExit(f"error: {path}: record {key!r} is not an object")
+        for field in ("name", "backend", "wall_seconds", "trials_per_second"):
+            if field not in record:
+                raise SystemExit(f"error: {path}: record {key!r} lacks {field!r}")
+        records[key] = record
+    return records
+
+
+def check_regressions(
+    current: Dict[str, dict], baseline: Dict[str, dict], budget: float
+) -> List[dict]:
+    rows = []
+    for key in sorted(set(current) & set(baseline)):
+        now = float(current[key]["wall_seconds"])
+        then = float(baseline[key]["wall_seconds"])
+        slowdown = now / then - 1.0 if then > 0 else float("inf")
+        rows.append(
+            {
+                "gate": "regression",
+                "bench": key,
+                "detail": f"{then * 1e3:.1f}ms -> {now * 1e3:.1f}ms "
+                f"({slowdown:+.1%}, budget {budget:.0%})",
+                "ok": slowdown <= budget,
+            }
+        )
+    return rows
+
+
+def parse_speedup_floors(specs: List[str]) -> Dict[str, float]:
+    """``["5", "bloom_pollution=10"]`` -> {"": 5.0, "bloom_pollution": 10.0}.
+
+    The empty key is the default floor for benches not named explicitly.
+    """
+    floors = {"": 1.0}
+    for spec in specs:
+        name, _, value = spec.rpartition("=")
+        try:
+            floors[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: bad --min-speedup value {spec!r}")
+        if floors[name] <= 0:
+            raise SystemExit(f"error: --min-speedup must be positive, got {spec!r}")
+    return floors
+
+
+def check_speedups(
+    current: Dict[str, dict], against: Dict[str, dict], floors: Dict[str, float]
+) -> List[dict]:
+    by_name = {}
+    for record in against.values():
+        by_name.setdefault(record["name"], record)
+    rows = []
+    for key in sorted(current):
+        record = current[key]
+        other = by_name.get(record["name"])
+        if other is None:
+            continue
+        floor = floors.get(record["name"], floors[""])
+        ours = float(record["trials_per_second"])
+        theirs = float(other["trials_per_second"])
+        speedup = ours / theirs if theirs > 0 else float("inf")
+        rows.append(
+            {
+                "gate": "speedup",
+                "bench": f"{key} vs {other['backend']}",
+                "detail": f"{speedup:.1f}x trials/sec (floor {floor:g}x)",
+                "ok": speedup >= floor,
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="bench JSON for the run under test")
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed bench JSON to gate wall-time regressions against",
+    )
+    parser.add_argument(
+        "--budget",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="allowed fractional slowdown vs --baseline (default 0.25)",
+    )
+    parser.add_argument(
+        "--against",
+        metavar="PATH",
+        help="bench JSON from another backend, matched on bench name",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        action="append",
+        default=[],
+        metavar="X | NAME=X",
+        help="required trials/sec ratio vs --against; a bare number sets "
+        "the default floor, NAME=X overrides it per bench (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if not args.baseline and not args.against:
+        parser.error("nothing to compare: pass --baseline and/or --against")
+    if args.budget < 0:
+        parser.error("--budget must be non-negative")
+
+    current = load_records(args.current)
+    rows: List[dict] = []
+    if args.baseline:
+        matched = check_regressions(current, load_records(args.baseline), args.budget)
+        if not matched:
+            print(
+                f"error: no benches of {args.current} appear in {args.baseline}",
+                file=sys.stderr,
+            )
+            return 2
+        rows.extend(matched)
+    if args.against:
+        floors = parse_speedup_floors(args.min_speedup)
+        matched = check_speedups(current, load_records(args.against), floors)
+        if not matched:
+            print(
+                f"error: no benches of {args.current} appear in {args.against}",
+                file=sys.stderr,
+            )
+            return 2
+        rows.extend(matched)
+
+    width = max(len(row["bench"]) for row in rows)
+    failed = 0
+    for row in rows:
+        status = "ok  " if row["ok"] else "FAIL"
+        print(f"{status} [{row['gate']:>10}] {row['bench']:<{width}}  {row['detail']}")
+        failed += 0 if row["ok"] else 1
+    if failed:
+        print(f"\n{failed} of {len(rows)} gates failed", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
