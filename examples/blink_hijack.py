@@ -1,78 +1,84 @@
 #!/usr/bin/env python3
 """Blink hijack, end to end (Section 3.1 / E2+E4).
 
-Builds a packet-level workload — a steady pool of legitimate flows plus
-persistent attack flows faking retransmissions — replays it through the
-reconstructed Blink pipeline, and shows (i) the malicious share of the
-monitored sample growing over time (the Fig. 2 dynamics including hash
-coverage and eviction effects the closed form ignores), and (ii) the
-resulting bogus reroute.
+Runs the event-driven packet-level experiment: a steady pool of
+legitimate flows plus persistent attack flows faking retransmissions,
+streamed through the reconstructed Blink pipeline, showing (i) the
+malicious share of the monitored sample growing over time (the Fig. 2
+dynamics including hash coverage and eviction effects the closed form
+ignores), and (ii) the resulting bogus reroute.
 
-Run:  python examples/blink_hijack.py        (~30 s)
+The scheduler backend honours ``REPRO_SCHEDULER`` (``heap`` or
+``calendar``); the throughput line at the end makes the difference
+user-visible.
+
+Run:  python examples/blink_hijack.py        (~10 s)
 """
 
 from repro.analysis import ascii_table, series_block
-from repro.blink import BlinkSwitch
-from repro.core import first_crossing_time
-from repro.flows import DurationDistribution, blink_attack_workload
+from repro.blink import packet_level_experiment
+from repro.flows import DurationDistribution
 
 PREFIX = "198.51.100.0/24"
 
 
 def main() -> None:
-    print("Generating workload: 500 concurrent legitimate flows + 40")
-    print("persistent attack flows (paper's experiment, scaled 4x down"
-          " with the flow selector scaled to 16 cells to match)...")
-    specs, trace, summary = blink_attack_workload(
+    print("Simulating 500 concurrent legitimate flows + 40 persistent")
+    print("attack flows at packet level (paper's experiment, scaled 4x"
+          " down with the flow selector scaled to 16 cells to match)...")
+    report = packet_level_experiment(
         destination_prefix=PREFIX,
         horizon=300.0,
         legitimate_flows=500,
         malicious_flows=40,
         duration_model=DurationDistribution(median=3.0),
-        seed=0,
-    )
-    print(f"  {len(trace)} packets, {summary.malicious_packet_fraction:.1%} malicious")
-    print()
-
-    switch = BlinkSwitch(
-        {PREFIX: ["nh-primary", "nh-backup"]},
         cells=16,
-        retransmission_window=2.0,
+        seed=0,
+        sample_interval=2.0,
     )
-    series = switch.replay_trace(trace, sample_interval=2.0)[PREFIX]
-    monitor = switch.monitors[PREFIX]
-
-    print(series_block("attacker-held selector cells", series.times, series.values))
+    print(
+        f"  {report.packets} packets, "
+        f"{report.trace_summary['malicious_packets'] / report.packets:.1%} malicious"
+    )
     print()
 
-    threshold = len(monitor.selector.cells) // 2
-    crossing = first_crossing_time(series.times, series.values, threshold)
+    print(
+        series_block(
+            "attacker-held selector cells",
+            list(report.sample_times),
+            list(report.sample_values),
+        )
+    )
+    print()
+
     rows = [
-        {"metric": "selector cells", "value": len(monitor.selector.cells)},
-        {"metric": "reroute threshold (cells)", "value": threshold},
+        {"metric": "selector cells", "value": 16},
+        {"metric": "reroute threshold (cells)", "value": report.crossing_threshold},
         {
             "metric": "measured tR of legitimate flows (s)",
-            "value": round(monitor.selector.stats.mean_legit_occupancy(), 2),
+            "value": round(report.measured_tr, 2),
         },
         {
             "metric": "time until half the sample is malicious (s)",
-            "value": round(crossing, 1) if crossing else "never",
+            "value": round(report.crossing_time, 1) if report.crossing_time else "never",
         },
-        {"metric": "reroute events", "value": len(monitor.reroutes)},
+        {"metric": "reroute events", "value": report.reroutes},
     ]
     print(ascii_table(rows, title="hijack outcome"))
 
-    if monitor.reroutes:
-        event = monitor.reroutes[0]
+    if report.first_reroute is not None:
         print()
-        print(
-            f"First bogus reroute at t={event.time:.1f}s: "
-            f"{event.old_next_hop} -> {event.new_next_hop}; "
-            f"{event.malicious_monitored_ground_truth} of the "
-            f"{event.monitored_flows} monitored flows were attack traffic."
-        )
+        print(f"First bogus reroute at t={report.first_reroute:.1f}s.")
         print("The prefix is now forwarded along a path the attacker chose —")
         print("without a single BGP message, from plain host-level traffic.")
+
+    print()
+    print(
+        f"engine: {report.events:,} events in {report.wall_seconds:.2f}s wall "
+        f"({report.events_per_second:,.0f} events/s, "
+        f"scheduler={report.scheduler}); peak trace memory "
+        f"{report.peak_ring_bytes / 1024:.1f} KiB (streaming ring)"
+    )
 
 
 if __name__ == "__main__":

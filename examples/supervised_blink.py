@@ -84,6 +84,21 @@ def main() -> None:
         f"before the periodic check raised {len(supervisor.alarms)} alarm(s) — "
         "the fast-but-late end of the paper's trade-off question."
     )
+    print()
+
+    # The same monitor logic runs at packet level on the fast-path
+    # engine (honours REPRO_SCHEDULER=heap|calendar).
+    from repro.blink import packet_level_experiment
+
+    report = packet_level_experiment(
+        horizon=60.0, legitimate_flows=120, malicious_flows=7, seed=0
+    )
+    print(
+        f"Packet-level engine check: {report.events:,} events in "
+        f"{report.wall_seconds:.2f}s wall ({report.events_per_second:,.0f} "
+        f"events/s, scheduler={report.scheduler}); peak trace memory "
+        f"{report.peak_ring_bytes / 1024:.1f} KiB (streaming ring)"
+    )
 
 
 if __name__ == "__main__":

@@ -37,6 +37,11 @@ from repro.blink.constants import (
     RESET_INTERVAL,
     RETRANSMISSION_WINDOW,
 )
+from repro.blink.packet_level import (
+    PacketLevelReport,
+    blink_attack_specs,
+    packet_level_experiment,
+)
 from repro.blink.pipeline import BlinkPrefixMonitor, BlinkSwitch, RerouteEvent
 from repro.blink.selector import Cell, FlowSelector, SelectorStats
 
@@ -56,10 +61,12 @@ __all__ = [
     "Fig2Result",
     "FlowSelector",
     "MonteCarloRun",
+    "PacketLevelReport",
     "RESET_INTERVAL",
     "RETRANSMISSION_WINDOW",
     "RerouteEvent",
     "SelectorStats",
+    "blink_attack_specs",
     "capture_probability",
     "captured_percentile",
     "expected_hitting_time",
@@ -67,6 +74,7 @@ __all__ = [
     "mean_captured",
     "mean_crossing_time",
     "minimum_qm",
+    "packet_level_experiment",
     "probability_at_least",
     "simulate_capture",
     "success_time_quantile",

@@ -20,7 +20,7 @@ Three integration surfaces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.blink.constants import (
     DEFAULT_CELLS,
@@ -295,13 +295,27 @@ class BlinkSwitch:
         }
         self.metrics = metrics or MetricRegistry()
         self.decisions: List[Decision] = []
+        # destination -> matched prefix memo; exact because the prefix
+        # set is fixed at construction and matching is pure.  Without it
+        # every packet re-parses ip_network() strings.
+        self._prefix_cache: Dict[str, Optional[str]] = {}
         obs.attach_metrics("blink", self.metrics)
 
     def prefix_for(self, destination: str) -> Optional[str]:
+        cache = self._prefix_cache
+        try:
+            return cache[destination]
+        except KeyError:
+            pass
+        matched: Optional[str] = None
         for prefix in self.monitors:
             if destination == prefix or ip_in_prefix(destination, prefix):
-                return prefix
-        return None
+                matched = prefix
+                break
+        if len(cache) >= 65536:
+            cache.clear()
+        cache[destination] = matched
+        return matched
 
     def monitor_for(self, destination: str) -> Optional[BlinkPrefixMonitor]:
         prefix = self.prefix_for(destination)
@@ -331,35 +345,39 @@ class BlinkSwitch:
         self.decisions.extend(decisions)
         return decisions
 
+    def replay_session(self, sample_interval: float = 1.0) -> "TraceReplaySession":
+        """Open a push-mode replay: feed records one at a time.
+
+        The streaming counterpart of :meth:`replay_trace` — same
+        sampling cadence and decision flow, but records arrive from a
+        live source (e.g. a :class:`~repro.netsim.trace.
+        StreamingTraceAggregator` sink) instead of a retained trace.
+        """
+        return TraceReplaySession(self, sample_interval)
+
     def replay_trace(
         self,
-        trace: Trace,
+        trace: Iterable[TraceRecord],
         sample_interval: float = 1.0,
     ) -> Dict[str, TimeSeries]:
         """Replay a trace; record malicious occupancy per prefix over time.
 
         Returns a mapping ``prefix -> TimeSeries`` of the ground-truth
         number of malicious flows monitored — the y-axis of Fig. 2.
+        ``trace`` may be a :class:`~repro.netsim.trace.Trace` or any
+        time-ordered iterable of records (including a generator, for
+        streaming replays that never hold the full trace).
         """
-        series: Dict[str, TimeSeries] = {
-            prefix: self.metrics.timeseries(f"blink.{prefix}.malicious_monitored")
-            for prefix in self.monitors
-        }
+        session = TraceReplaySession(self, sample_interval)
+        packets = len(trace) if hasattr(trace, "__len__") else None
         with obs.span(
-            "blink.replay_trace", packets=len(trace), prefixes=len(self.monitors)
+            "blink.replay_trace", packets=packets, prefixes=len(self.monitors)
         ):
-            next_sample = trace.start_time if len(trace) else 0.0
+            feed = session.feed
             for record in trace:
-                while record.time >= next_sample:
-                    for prefix, monitor in self.monitors.items():
-                        monitor.selector.maybe_reset(next_sample)
-                        series[prefix].record(
-                            next_sample, monitor.selector.malicious_count(next_sample)
-                        )
-                    next_sample += sample_interval
-                self.replay_record(record)
-            self._snapshot_selector_metrics()
-        return series
+                feed(record)
+            session.finish()
+        return session.series
 
     def _snapshot_selector_metrics(self) -> None:
         """Fold per-prefix selector statistics into the metric registry."""
@@ -417,3 +435,53 @@ class BlinkSwitch:
             events.extend(monitor.reroutes)
         events.sort(key=lambda e: e.time)
         return events
+
+
+class TraceReplaySession:
+    """Incremental trace replay against a :class:`BlinkSwitch`.
+
+    Replays records pushed via :meth:`feed` with exactly the sampling
+    cadence of :meth:`BlinkSwitch.replay_trace` (which is now built on
+    this class): before any record at or past the next sample boundary
+    is processed, every monitor's reset timer is serviced and the
+    ground-truth malicious occupancy is appended to the per-prefix
+    series.  Call :meth:`finish` once the source is exhausted to fold
+    selector statistics into the metric registry.
+    """
+
+    def __init__(self, switch: BlinkSwitch, sample_interval: float = 1.0):
+        if sample_interval <= 0:
+            raise ConfigurationError("sample_interval must be positive")
+        self.switch = switch
+        self.sample_interval = sample_interval
+        self.series: Dict[str, TimeSeries] = {
+            prefix: switch.metrics.timeseries(f"blink.{prefix}.malicious_monitored")
+            for prefix in switch.monitors
+        }
+        self.packets = 0
+        self._next_sample: Optional[float] = None
+
+    def feed(self, record: TraceRecord) -> None:
+        """Process one record (records must arrive in time order)."""
+        time = record.time
+        next_sample = self._next_sample
+        if next_sample is None:
+            next_sample = time
+        if time >= next_sample:
+            monitors = self.switch.monitors
+            series = self.series
+            while time >= next_sample:
+                for prefix, monitor in monitors.items():
+                    monitor.selector.maybe_reset(next_sample)
+                    series[prefix].record(
+                        next_sample, monitor.selector.malicious_count(next_sample)
+                    )
+                next_sample += self.sample_interval
+        self._next_sample = next_sample
+        self.packets += 1
+        self.switch.replay_record(record)
+
+    def finish(self) -> Dict[str, TimeSeries]:
+        """Seal the session; returns the per-prefix series."""
+        self.switch._snapshot_selector_metrics()
+        return self.series

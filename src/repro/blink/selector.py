@@ -27,7 +27,7 @@ from repro.flows.flow import FiveTuple
 from repro.obs import tracer as obs
 
 
-@dataclass
+@dataclass(slots=True)
 class Cell:
     """One flow-selector cell."""
 
@@ -110,6 +110,16 @@ class FlowSelector:
         self.reseed_on_reset = reseed_on_reset
         self.stats = SelectorStats()
         self._last_reset = 0.0
+        # Memoised flow -> cell index for the current hash_seed.  The
+        # mapping is a pure function of (flow, cells, hash_seed), so the
+        # cache is exact; it is dropped whenever the seed changes (e.g.
+        # reseed-on-reset) and bounded against unbounded flow churn.
+        self._index_cache: Dict[FiveTuple, int] = {}
+        self._index_cache_seed = hash_seed
+        # Upper bound on the newest retransmission timestamp ever seen;
+        # lets retransmitting_count() skip the cell scan entirely while
+        # no recent retransmission can possibly be in the window.
+        self._latest_retransmission = -float("inf")
 
     # -- sampling ----------------------------------------------------------
 
@@ -130,7 +140,15 @@ class FlowSelector:
         does).
         """
         self.maybe_reset(now)
-        index = flow.cell_index(len(self.cells), seed=self.hash_seed)
+        cache = self._index_cache
+        if self._index_cache_seed != self.hash_seed:
+            cache.clear()
+            self._index_cache_seed = self.hash_seed
+        index = cache.get(flow)
+        if index is None:
+            if len(cache) >= 65536:
+                cache.clear()
+            index = cache[flow] = flow.cell_index(len(self.cells), seed=self.hash_seed)
         cell = self.cells[index]
 
         if cell.occupied and cell.flow != flow:
@@ -166,6 +184,8 @@ class FlowSelector:
         duplicate_seq = seq is not None and cell.last_seq is not None and seq == cell.last_seq
         if is_retransmission or duplicate_seq:
             cell.last_retransmission = now
+            if now > self._latest_retransmission:
+                self._latest_retransmission = now
             # The gap between a retransmission and the flow's previous
             # packet is what the RTO-plausibility defense inspects:
             # genuine timeouts respect the RTO floor (~1 s), fakes
@@ -249,13 +269,21 @@ class FlowSelector:
 
     def retransmitting_count(self, now: float, window: float) -> int:
         """Monitored flows with a retransmission within ``window`` s."""
+        # Cheap upper-bound check: if the newest retransmission ever
+        # recorded already fell out of the window, no cell can count.
+        if now - self._latest_retransmission > window:
+            return 0
         count = 0
+        timeout = self.eviction_timeout
         for cell in self.cells:
-            if not cell.occupied or cell.last_retransmission is None:
+            if cell.flow is None:
                 continue
-            if now - cell.last_activity >= self.eviction_timeout:
+            last_retransmission = cell.last_retransmission
+            if last_retransmission is None:
                 continue
-            if now - cell.last_retransmission <= window:
+            if now - cell.last_activity >= timeout:
+                continue
+            if now - last_retransmission <= window:
                 count += 1
         return count
 

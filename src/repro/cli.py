@@ -126,6 +126,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         if resolved_backend != DEFAULT_BACKEND:
             params["backend"] = resolved_backend
 
+    if args.scheduler or os.environ.get("REPRO_SCHEDULER"):
+        from repro.core.errors import ConfigurationError
+        from repro.netsim.events import SCHEDULER_ENV, resolve_scheduler_name
+
+        try:
+            resolved_scheduler = resolve_scheduler_name(args.scheduler)
+        except ConfigurationError as exc:
+            print(f"invalid scheduler: {exc}", file=sys.stderr)
+            return 2
+        # Exported rather than threaded through params: every EventLoop
+        # the attack (or its sweep workers) constructs resolves the
+        # backend from the environment, and results are byte-identical
+        # across schedulers so cache keys must not differ.
+        os.environ[SCHEDULER_ENV] = resolved_scheduler
+
     if args.faults:
         from repro.core.errors import FaultSpecError
         from repro.faults import coerce_plan
@@ -172,22 +187,46 @@ def cmd_run(args: argparse.Namespace) -> int:
             )
         return outcome.result
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     tracing = bool(args.trace or args.metrics)
     tracer = None
     started = _wallclock.perf_counter()
     try:
-        if tracing:
-            from repro.obs import Tracer, activate
+        if profiler is not None:
+            profiler.enable()
+        try:
+            if tracing:
+                from repro.obs import Tracer, activate
 
-            tracer = Tracer()
-            with activate(tracer), tracer.span(f"attack.{attack.name}"):
+                tracer = Tracer()
+                with activate(tracer), tracer.span(f"attack.{attack.name}"):
+                    result = execute()
+            else:
                 result = execute()
-        else:
-            result = execute()
+        finally:
+            if profiler is not None:
+                profiler.disable()
     except _RunFailed as exc:
         print(str(exc), file=sys.stderr)
         return 1
     wall_seconds = _wallclock.perf_counter() - started
+
+    if profiler is not None:
+        import pstats
+
+        try:
+            profiler.dump_stats(args.profile)
+        except OSError as exc:
+            print(f"cannot write profile to {args.profile}: {exc}", file=sys.stderr)
+            return 2
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"profile written to {args.profile}", file=sys.stderr)
 
     if args.json:
         from repro.obs import jsonable
@@ -558,6 +597,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="kernel backend for the Monte-Carlo hot paths "
         "(default: $REPRO_BACKEND, then python)",
+    )
+    run_parser.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default=None,
+        help="event-queue scheduler for packet-level simulations "
+        "(default: $REPRO_SCHEDULER, then heap)",
+    )
+    run_parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="profile the run under cProfile: dump pstats to PATH and "
+        "print the top 20 functions by cumulative time to stderr",
     )
     run_parser.set_defaults(func=cmd_run)
 

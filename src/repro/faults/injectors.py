@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.netsim.link import Link, LinkTap, TapVerdict
 from repro.netsim.packet import Packet
@@ -233,28 +233,45 @@ class TelemetryFault:
 
     # -- adapters ----------------------------------------------------------
 
-    def degrade_trace(self, trace: Trace) -> Trace:
-        """Blink adapter: drop/garble the packet feed to the selector.
+    def degrade_record(self, record: TraceRecord) -> Optional[TraceRecord]:
+        """Drop/garble one Blink feed record; None means it was lost.
 
-        Dropout removes records (the mirror/sampler lost them);
+        Dropout removes the record (the mirror/sampler lost it);
         garbling flips the retransmission signal the selector keys on
-        (a misread sensor), keeping timestamps ordered.
+        (a misread sensor), keeping the timestamp intact.  The RNG is
+        consumed in record order — drop check first, garble draw only
+        for survivors — so the noise stream is identical whether the
+        caller materialises a :class:`Trace` or feeds records one at a
+        time from a live aggregator sink.
         """
+        if self.drop(record.time):
+            return None
+        flipped = self.garble(record.time, 1.0) != 1.0
+        if flipped:
+            record = TraceRecord(
+                time=record.time,
+                flow=record.flow,
+                size=record.size,
+                observation_point=record.observation_point,
+                is_retransmission=not record.is_retransmission,
+                is_fin_or_rst=record.is_fin_or_rst,
+                malicious_ground_truth=record.malicious_ground_truth,
+            )
+        return record
+
+    def degrade_records(
+        self, records: Iterable[TraceRecord]
+    ) -> Iterator[TraceRecord]:
+        """Streaming Blink adapter: drop/garble a record stream lazily."""
+        for record in records:
+            degraded = self.degrade_record(record)
+            if degraded is not None:
+                yield degraded
+
+    def degrade_trace(self, trace: Trace) -> Trace:
+        """Blink adapter: materialised form of :meth:`degrade_records`."""
         degraded = Trace(name=f"{trace.name}:faulted")
-        for record in trace:
-            if self.drop(record.time):
-                continue
-            flipped = self.garble(record.time, 1.0) != 1.0
-            if flipped:
-                record = TraceRecord(
-                    time=record.time,
-                    flow=record.flow,
-                    size=record.size,
-                    observation_point=record.observation_point,
-                    is_retransmission=not record.is_retransmission,
-                    is_fin_or_rst=record.is_fin_or_rst,
-                    malicious_ground_truth=record.malicious_ground_truth,
-                )
+        for record in self.degrade_records(trace):
             degraded.append(record)
         return degraded
 

@@ -13,10 +13,11 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.flows.flow import FiveTuple, hosts_in_prefix
+from repro.netsim.events import EventLoop
 from repro.netsim.trace import Trace, TraceRecord
 
 
@@ -260,6 +261,58 @@ def steady_state_flow_schedule(
     return specs
 
 
+def flow_packet_schedule(
+    spec: FlowSpec, flow_rng: random.Random
+) -> Tuple[List[float], List[bool]]:
+    """Bulk-compute one flow's packet times and retransmission flags.
+
+    Reproduces, draw for draw, the inner loop :func:`emit_trace` has
+    always run (the retransmission draw precedes the gap draw, and the
+    first packet never draws for retransmission), so a schedule built
+    from batches is byte-identical to the scalar rendering.  FIN
+    emission is the caller's concern — it consumes no randomness.
+    """
+    times: List[float] = []
+    flags: List[bool] = []
+    t = spec.start
+    end = spec.end
+    retrans_p = spec.retransmit_probability
+    rand = flow_rng.random
+    last_was_data = False
+    if spec.constant_rate:
+        gap = 1.0 / spec.packet_rate
+        while t < end:
+            flags.append(last_was_data and rand() < retrans_p)
+            times.append(t)
+            last_was_data = True
+            t += gap
+    else:
+        expo = flow_rng.expovariate
+        rate = spec.packet_rate
+        while t < end:
+            flags.append(last_was_data and rand() < retrans_p)
+            times.append(t)
+            last_was_data = True
+            t += expo(rate)
+    return times, flags
+
+
+def iter_flow_schedules(
+    specs: Sequence[FlowSpec], seed: int = 0
+) -> Iterator[Tuple[FlowSpec, List[float], List[bool]]]:
+    """Per-flow packet batches, with the same RNG tree as :func:`emit_trace`.
+
+    Each spec gets an independent generator seeded from a draw off the
+    parent stream *in spec order*, so any consumer — offline trace
+    rendering or the event-driven driver — sees identical schedules.
+    """
+    rng = random.Random(seed)
+    for spec in specs:
+        flow_rng = random.Random(rng.randrange(2**63))
+        times, flags = flow_packet_schedule(spec, flow_rng)
+        yield spec, times, flags
+
+
 def emit_trace(
     specs: Sequence[FlowSpec],
     seed: int = 0,
@@ -272,16 +325,9 @@ def emit_trace(
     retransmissions repeat the previous record (marked ground-truth);
     FIN records close flows that send one.
     """
-    rng = random.Random(seed)
     records: List[TraceRecord] = []
-    for spec in specs:
-        flow_rng = random.Random(rng.randrange(2**63))
-        t = spec.start
-        last_was_data = False
-        while t < spec.end:
-            is_retransmission = last_was_data and (
-                flow_rng.random() < spec.retransmit_probability
-            )
+    for spec, times, flags in iter_flow_schedules(specs, seed):
+        for t, is_retransmission in zip(times, flags):
             records.append(
                 TraceRecord(
                     time=t,
@@ -293,11 +339,6 @@ def emit_trace(
                     malicious_ground_truth=spec.malicious,
                 )
             )
-            last_was_data = True
-            if spec.constant_rate:
-                t += 1.0 / spec.packet_rate
-            else:
-                t += flow_rng.expovariate(spec.packet_rate)
         if spec.sends_fin:
             records.append(
                 TraceRecord(
@@ -314,6 +355,76 @@ def emit_trace(
     trace = Trace(name)
     trace.extend(records)
     return trace
+
+
+#: Callback fired for every packet the event-driven driver emits:
+#: ``(spec, time, is_retransmission, is_fin)``.
+PacketCallback = Callable[[FlowSpec, float, bool, bool], None]
+
+
+def schedule_workload(
+    loop: EventLoop,
+    specs: Sequence[FlowSpec],
+    seed: int = 0,
+    on_packet: Optional[PacketCallback] = None,
+) -> int:
+    """Drive a flow schedule *through the event loop* instead of offline.
+
+    For each spec a transient flow-start event is queued at
+    ``spec.start``; when it fires, the flow's whole packet batch (from
+    :func:`flow_packet_schedule`, so byte-identical timing to
+    :func:`emit_trace`) is bulk-loaded via
+    :meth:`~repro.netsim.events.EventLoop.schedule_batch_at` — one
+    shared event, O(1) appends on the calendar scheduler.  Per-flow
+    RNG seeds are drawn up front in spec order, preserving the
+    :func:`emit_trace` RNG tree no matter when flows actually start.
+
+    ``on_packet(spec, time, is_retransmission, is_fin)`` fires in event
+    order.  Returns the number of flows scheduled.  When a timer fault
+    is installed on the loop, batches fall back to individual transient
+    events so dropped/skewed firings cannot desynchronise the batch
+    cursor.
+    """
+    if on_packet is None:
+        raise ConfigurationError("schedule_workload requires an on_packet callback")
+    rng = random.Random(seed)
+    scheduled = 0
+    for spec in specs:
+        flow_seed = rng.randrange(2**63)
+
+        def start(spec: FlowSpec = spec, flow_seed: int = flow_seed) -> None:
+            times, flags = flow_packet_schedule(spec, random.Random(flow_seed))
+            if loop.fault is None:
+                if times:
+                    cursor = [0]
+
+                    def fire() -> None:
+                        i = cursor[0]
+                        cursor[0] = i + 1
+                        on_packet(spec, times[i], flags[i], False)
+
+                    loop.schedule_batch_at(times, fire, name="flow.packet")
+            else:
+                # A skewed flow-start may fire after some of its packet
+                # times have passed; clamp those to "emit immediately".
+                now = loop.now
+                for t, flag in zip(times, flags):
+                    loop.schedule_transient(
+                        t if t > now else now,
+                        lambda flag=flag: on_packet(spec, loop.now, flag, False),
+                        name="flow.packet",
+                    )
+            if spec.sends_fin:
+                fin_time = spec.end if spec.end > loop.now else loop.now
+                loop.schedule_transient(
+                    fin_time,
+                    lambda: on_packet(spec, loop.now, False, True),
+                    name="flow.fin",
+                )
+
+        loop.schedule_transient(spec.start, start, name="flow.start")
+        scheduled += 1
+    return scheduled
 
 
 @dataclass

@@ -123,7 +123,11 @@ class TcpSink:
             self.received_bytes += size
             self.delivered_segments += 1
         self._next_expected[flow] = expected
-        ack = Packet(
+        # ACKs are the sink's hot path and nothing downstream retains
+        # them (the sender reads the header synchronously), so they are
+        # drawn from the packet free list.  Data segments stay unpooled:
+        # taps and attacker tooling may hold references across events.
+        ack = Packet.obtain(
             src=packet.dst,
             dst=packet.src,
             protocol=Protocol.TCP,

@@ -5,7 +5,14 @@ topology/link/routing layers and a packet-forwarding :class:`Network`
 with MitM tap points and in-switch dataplane programs.
 """
 
-from repro.netsim.events import Event, EventLoop
+from repro.netsim.events import (
+    DEFAULT_SCHEDULER,
+    SCHEDULER_ENV,
+    Event,
+    EventLoop,
+    available_schedulers,
+    resolve_scheduler_name,
+)
 from repro.netsim.link import (
     ChainTap,
     DelayTap,
@@ -37,14 +44,23 @@ from repro.netsim.topology import (
     random_topology,
     triangle_with_hosts,
 )
-from repro.netsim.trace import Trace, TraceCollector, TraceRecord
+from repro.netsim.trace import (
+    FlowStats,
+    StreamingTraceAggregator,
+    StreamingTraceCollector,
+    Trace,
+    TraceCollector,
+    TraceRecord,
+)
 
 __all__ = [
     "ChainTap",
+    "DEFAULT_SCHEDULER",
     "DelayTap",
     "DropTap",
     "Event",
     "EventLoop",
+    "FlowStats",
     "IcmpHeader",
     "IcmpType",
     "Link",
@@ -57,7 +73,10 @@ __all__ = [
     "RecordTap",
     "Route",
     "RoutingTable",
+    "SCHEDULER_ENV",
     "StaticRouter",
+    "StreamingTraceAggregator",
+    "StreamingTraceCollector",
     "TapVerdict",
     "TcpFlags",
     "TcpHeader",
@@ -65,11 +84,13 @@ __all__ = [
     "Trace",
     "TraceCollector",
     "TraceRecord",
+    "available_schedulers",
     "dumbbell_topology",
     "flow_key",
     "icmp_time_exceeded",
     "line_topology",
     "random_topology",
+    "resolve_scheduler_name",
     "tcp_packet",
     "triangle_with_hosts",
 ]

@@ -110,6 +110,11 @@ class Link:
         self._queue: Deque[Tuple[Packet, DeliveryCallback]] = deque()
         self._busy_until = 0.0
         self._metric_prefix = f"link.{src}->{dst}"
+        self._deliver_name = f"{self._metric_prefix}.deliver"
+        # Hot-path counters, resolved lazily on first use so stats()
+        # keeps reporting only counters that actually fired.
+        self._accepted_counter = None
+        self._delivered_counter = None
 
     # -- public API ----------------------------------------------------
 
@@ -144,13 +149,20 @@ class Link:
             self._count("queue_dropped")
             return False
 
-        self._count("accepted")
+        counter = self._accepted_counter
+        if counter is None:
+            counter = self._accepted_counter = self.metrics.counter(
+                f"{self._metric_prefix}.accepted"
+            )
+        counter.increment()
         serialisation = packet.size * 8.0 / self.bandwidth_bps
         start = max(now, self._busy_until)
         self._busy_until = start + serialisation
         arrival = self._busy_until + self.delay_s + extra_delay
         self._queue.append((packet, deliver))
-        self.loop.schedule_at(arrival, self._deliver_front, name=f"{self._metric_prefix}.deliver")
+        # Transient event: no handle escapes, so the loop recycles the
+        # Event object instead of allocating one per packet.
+        self.loop.schedule_transient(arrival, self._deliver_front, name=self._deliver_name)
         return True
 
     def set_down(self) -> None:
@@ -190,7 +202,12 @@ class Link:
 
     def _deliver_front(self) -> None:
         packet, deliver = self._queue.popleft()
-        self._count("delivered")
+        counter = self._delivered_counter
+        if counter is None:
+            counter = self._delivered_counter = self.metrics.counter(
+                f"{self._metric_prefix}.delivered"
+            )
+        counter.increment()
         deliver(packet)
 
     def _count(self, what: str) -> None:

@@ -10,7 +10,6 @@ every forwarded packet — the "programmable data plane" of the paper.
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Dict, List, Optional, Protocol, Tuple
 
 from repro.core.errors import ConfigurationError, RoutingError
@@ -46,13 +45,13 @@ class Network:
         seed: int = 0,
         default_queue_packets: int = 1000,
         metrics: Optional[MetricRegistry] = None,
+        scheduler: Optional[str] = None,
     ):
         self.topology = topology
-        self.loop = loop or EventLoop()
+        self.loop = loop or EventLoop(scheduler=scheduler)
         self.metrics = metrics or MetricRegistry()
         self.router = StaticRouter(topology)
         self.router.compute()
-        self._rng = random.Random(seed)
         self._links: Dict[Tuple[str, str], Link] = {}
         self._host_handlers: Dict[str, HostHandler] = {}
         self._programs: Dict[str, List[DataplaneProgram]] = {}
@@ -60,6 +59,10 @@ class Network:
         for a, b in topology.links():
             props = topology.link_properties(a, b)
             for src, dst in ((a, b), (b, a)):
+                # Each link derives its loss RNG from (seed, src, dst)
+                # via the sha256 per-link scheme inside Link — *not*
+                # from draws off a shared generator, whose streams
+                # depended on dict iteration order of the topology.
                 self._links[(src, dst)] = Link(
                     loop=self.loop,
                     src=src,
@@ -68,8 +71,8 @@ class Network:
                     delay_s=props.delay_s,
                     loss_rate=props.loss_rate,
                     queue_packets=default_queue_packets,
-                    rng=random.Random(self._rng.randrange(2**63)),
                     metrics=self.metrics,
+                    seed=seed,
                 )
 
     # -- wiring ---------------------------------------------------------
@@ -158,6 +161,10 @@ class Network:
         handler = self._host_handlers.get(node)
         if handler is not None:
             handler(packet, self.loop.now)
+        # Pooled packets end their lifecycle at local delivery: handlers
+        # that retain one must copy() it (the free-list contract).
+        if packet.pooled:
+            packet.release()
 
     def _handle_ttl_expiry(self, packet: Packet, node: str) -> None:
         self.metrics.counter("network.ttl_expired").increment()

@@ -13,12 +13,17 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flows.flow import FiveTuple
 
 _packet_ids = itertools.count(1)
+
+#: Free list of recycled packets (see :meth:`Packet.obtain`).  Bounded
+#: so a burst can't pin memory forever.
+_packet_pool: List["Packet"] = []
+_PACKET_POOL_LIMIT = 8192
 
 
 class Protocol(enum.IntEnum):
@@ -49,7 +54,7 @@ class IcmpType(enum.IntEnum):
     TIME_EXCEEDED = 11
 
 
-@dataclass
+@dataclass(slots=True)
 class IcmpHeader:
     """Minimal ICMP header + the bits traceroute needs."""
 
@@ -59,7 +64,7 @@ class IcmpHeader:
     original_probe_id: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class TcpHeader:
     """The TCP header fields data-driven systems read.
 
@@ -78,12 +83,20 @@ class TcpHeader:
     is_retransmission_ground_truth: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One simulated packet.
 
     ``payload_size`` is the application bytes; ``size`` adds 40 bytes
     of header, the constant the link model uses for serialisation time.
+
+    Instances are ``__slots__``-backed (no per-packet ``__dict__``) and
+    can optionally be recycled through a free list: hot loops create
+    packets with :meth:`obtain` and hand them back with :meth:`release`
+    once delivered.  The contract is strictly opt-in — a handler that
+    wants to retain a pooled packet beyond its delivery callback must
+    take a :meth:`copy`.  Packets built with the plain constructor are
+    never recycled.
     """
 
     src: str
@@ -101,6 +114,8 @@ class Packet:
     malicious_ground_truth: bool = False
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     created_at: float = 0.0
+    #: True while the packet is owned by the free-list lifecycle.
+    pooled: bool = field(default=False, repr=False, compare=False)
 
     HEADER_BYTES = 40
 
@@ -125,7 +140,39 @@ class Packet:
         """
         clone = replace(self, **changes)  # type: ignore[arg-type]
         clone.packet_id = next(_packet_ids)
+        clone.pooled = False
         return clone
+
+    @classmethod
+    def obtain(cls, *args: object, **kwargs: object) -> "Packet":
+        """Build a packet, reusing a recycled instance when available.
+
+        Same signature as the constructor.  The returned packet is
+        marked ``pooled``; whoever consumes it terminally (for the
+        built-in network, :class:`~repro.netsim.network.Network` after
+        local delivery) should call :meth:`release` to recycle it.
+        """
+        pool = _packet_pool
+        if pool:
+            packet = pool.pop()
+            packet.__init__(*args, **kwargs)  # type: ignore[misc]
+        else:
+            packet = cls(*args, **kwargs)  # type: ignore[arg-type]
+        packet.pooled = True
+        return packet
+
+    def release(self) -> None:
+        """Hand a pooled packet back to the free list.
+
+        No-op for non-pooled packets and for double releases — the
+        ``pooled`` flag is cleared on the way in, so releasing twice
+        cannot put the same instance on the free list twice.
+        """
+        if self.pooled and len(_packet_pool) < _PACKET_POOL_LIMIT:
+            self.pooled = False
+            self.tcp = None
+            self.icmp = None
+            _packet_pool.append(self)
 
     def decrement_ttl(self) -> int:
         """Decrement TTL (router forwarding); returns the new value."""
@@ -145,9 +192,15 @@ def tcp_packet(
     flow_id: Optional[int] = None,
     malicious: bool = False,
     created_at: float = 0.0,
+    pooled: bool = False,
 ) -> Packet:
-    """Convenience constructor for a TCP data segment."""
-    return Packet(
+    """Convenience constructor for a TCP data segment.
+
+    With ``pooled=True`` the packet is drawn from the free list (see
+    :meth:`Packet.obtain`); the terminal consumer should ``release`` it.
+    """
+    make = Packet.obtain if pooled else Packet
+    return make(
         src=src,
         dst=dst,
         protocol=Protocol.TCP,

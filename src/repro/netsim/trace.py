@@ -6,13 +6,23 @@ of query helpers the analyses need (per-flow grouping, time slicing,
 inter-arrival statistics).  The CAIDA-substitute generator in
 :mod:`repro.flows.caida` produces these, and Blink's offline analysis
 consumes them — mirroring how the paper computed tR from CAIDA traces.
+
+For experiments too large to hold a full trace in memory (the
+packet-level Blink runs observe millions of packets), the streaming
+side of this module — :class:`StreamingTraceAggregator` and
+:class:`StreamingTraceCollector` — maintains the same aggregate
+statistics incrementally, retains only a bounded ring of the most
+recent records, and can forward each record to a sink (e.g. a Blink
+switch) as it is observed.
 """
 
 from __future__ import annotations
 
+import sys
 from bisect import bisect_left
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from typing import TYPE_CHECKING
 
@@ -22,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flows.flow import FiveTuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One packet observation."""
 
@@ -151,6 +161,251 @@ class Trace:
         return bad / len(self._records)
 
 
+class FlowStats:
+    """Incrementally maintained per-flow counters."""
+
+    __slots__ = (
+        "packets",
+        "bytes",
+        "retransmissions",
+        "fin_rst",
+        "malicious",
+        "first_time",
+        "last_time",
+    )
+
+    def __init__(self, time: float) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self.retransmissions = 0
+        self.fin_rst = 0
+        self.malicious = 0
+        self.first_time = time
+        self.last_time = time
+
+    @property
+    def span(self) -> Tuple[float, float]:
+        return (self.first_time, self.last_time)
+
+
+class StreamingTraceAggregator:
+    """Single-pass trace statistics with bounded retention.
+
+    The streaming counterpart of :class:`Trace`: every observation
+    updates totals, per-flow :class:`FlowStats` and per-observation-point
+    packet counts in O(1), and — instead of retaining every record —
+    keeps at most ``ring_capacity`` recent :class:`TraceRecord` objects
+    in a ring buffer (``ring_capacity=None`` disables retention
+    entirely; ``0`` is the same).  An optional ``sink`` callable
+    receives each :class:`TraceRecord` as it is observed, which is how
+    the packet-level Blink pipeline consumes traffic inline without a
+    2-million-record trace ever existing.
+
+    Like :class:`Trace`, observation times must be non-decreasing.
+    """
+
+    __slots__ = (
+        "name",
+        "sink",
+        "ring",
+        "ring_capacity",
+        "packets",
+        "bytes",
+        "retransmissions",
+        "fin_rst",
+        "malicious_packets",
+        "first_time",
+        "last_time",
+        "flows",
+        "points",
+    )
+
+    def __init__(
+        self,
+        name: str = "stream",
+        ring_capacity: Optional[int] = 1024,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ):
+        self.name = name
+        self.sink = sink
+        self.ring_capacity = ring_capacity or 0
+        self.ring: Deque[TraceRecord] = deque(maxlen=self.ring_capacity)
+        self.packets = 0
+        self.bytes = 0
+        self.retransmissions = 0
+        self.fin_rst = 0
+        self.malicious_packets = 0
+        self.first_time = 0.0
+        self.last_time = 0.0
+        self.flows: Dict[FiveTuple, FlowStats] = {}
+        self.points: Dict[str, int] = {}
+
+    # -- ingestion --------------------------------------------------------
+
+    def observe(
+        self,
+        time: float,
+        flow: FiveTuple,
+        size: int,
+        observation_point: str = "",
+        is_retransmission: bool = False,
+        is_fin_or_rst: bool = False,
+        malicious: bool = False,
+    ) -> None:
+        """Account one observation from plain fields.
+
+        This is the allocation-light hot path: a :class:`TraceRecord`
+        is only materialised when the ring or a sink needs it.
+        """
+        if self.packets and time < self.last_time:
+            raise ValueError(
+                f"stream {self.name!r} requires non-decreasing times: "
+                f"{time} < {self.last_time}"
+            )
+        if not self.packets:
+            self.first_time = time
+        self.last_time = time
+        self.packets += 1
+        self.bytes += size
+        if is_retransmission:
+            self.retransmissions += 1
+        if is_fin_or_rst:
+            self.fin_rst += 1
+        if malicious:
+            self.malicious_packets += 1
+        stats = self.flows.get(flow)
+        if stats is None:
+            stats = self.flows[flow] = FlowStats(time)
+        stats.packets += 1
+        stats.bytes += size
+        stats.last_time = time
+        if is_retransmission:
+            stats.retransmissions += 1
+        if is_fin_or_rst:
+            stats.fin_rst += 1
+        if malicious:
+            stats.malicious += 1
+        if observation_point:
+            points = self.points
+            points[observation_point] = points.get(observation_point, 0) + 1
+        if self.ring_capacity or self.sink is not None:
+            record = TraceRecord(
+                time=time,
+                flow=flow,
+                size=size,
+                observation_point=observation_point,
+                is_retransmission=is_retransmission,
+                is_fin_or_rst=is_fin_or_rst,
+                malicious_ground_truth=malicious,
+            )
+            if self.ring_capacity:
+                self.ring.append(record)
+            if self.sink is not None:
+                self.sink(record)
+
+    def observe_record(self, record: TraceRecord) -> None:
+        """Account an existing :class:`TraceRecord`."""
+        if self.packets and record.time < self.last_time:
+            raise ValueError(
+                f"stream {self.name!r} requires non-decreasing times: "
+                f"{record.time} < {self.last_time}"
+            )
+        if not self.packets:
+            self.first_time = record.time
+        self.last_time = record.time
+        self.packets += 1
+        self.bytes += record.size
+        if record.is_retransmission:
+            self.retransmissions += 1
+        if record.is_fin_or_rst:
+            self.fin_rst += 1
+        if record.malicious_ground_truth:
+            self.malicious_packets += 1
+        stats = self.flows.get(record.flow)
+        if stats is None:
+            stats = self.flows[record.flow] = FlowStats(record.time)
+        stats.packets += 1
+        stats.bytes += record.size
+        stats.last_time = record.time
+        if record.is_retransmission:
+            stats.retransmissions += 1
+        if record.is_fin_or_rst:
+            stats.fin_rst += 1
+        if record.malicious_ground_truth:
+            stats.malicious += 1
+        if record.observation_point:
+            points = self.points
+            points[record.observation_point] = points.get(record.observation_point, 0) + 1
+        if self.ring_capacity:
+            self.ring.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def observe_packet(self, time: float, packet: Packet, point: str = "") -> None:
+        """Account a live :class:`Packet` (no record retained unless needed)."""
+        tcp = packet.tcp
+        self.observe(
+            time,
+            packet.five_tuple,
+            packet.size,
+            observation_point=point,
+            is_retransmission=bool(tcp and tcp.is_retransmission_ground_truth),
+            is_fin_or_rst=bool(tcp and (tcp.flags & 0x01 or tcp.flags & 0x04)),
+            malicious=packet.malicious_ground_truth,
+        )
+
+    def consume(self, records: Iterable[TraceRecord]) -> "StreamingTraceAggregator":
+        """Feed every record through :meth:`observe_record`; returns self."""
+        for record in records:
+            self.observe_record(record)
+        return self
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def duration(self) -> float:
+        return self.last_time - self.first_time if self.packets else 0.0
+
+    def flow_count(self) -> int:
+        return len(self.flows)
+
+    def malicious_fraction(self) -> float:
+        return self.malicious_packets / self.packets if self.packets else 0.0
+
+    def recent(self) -> List[TraceRecord]:
+        """The (bounded) tail of records still held in the ring."""
+        return list(self.ring)
+
+    def ring_memory_bytes(self) -> int:
+        """Approximate bytes held by the ring buffer (records + deque)."""
+        total = sys.getsizeof(self.ring)
+        for record in self.ring:
+            total += sys.getsizeof(record)
+        return total
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-able aggregate summary (order-stable)."""
+        return {
+            "name": self.name,
+            "packets": self.packets,
+            "bytes": self.bytes,
+            "flows": self.flow_count(),
+            "retransmissions": self.retransmissions,
+            "fin_rst": self.fin_rst,
+            "malicious_packets": self.malicious_packets,
+            "malicious_fraction": self.malicious_fraction(),
+            "first_time": self.first_time,
+            "last_time": self.last_time,
+            "duration": self.duration,
+            "observation_points": dict(sorted(self.points.items())),
+            "ring": {
+                "capacity": self.ring_capacity,
+                "held": len(self.ring),
+                "dropped": self.packets - len(self.ring) if self.ring_capacity else self.packets,
+            },
+        }
+
+
 class TraceCollector:
     """Dataplane program / host handler that records packets to a trace."""
 
@@ -163,3 +418,29 @@ class TraceCollector:
 
     def __call__(self, packet: Packet, now: float) -> None:
         self.trace.append(TraceRecord.from_packet(now, packet))
+
+
+class StreamingTraceCollector:
+    """Drop-in :class:`TraceCollector` that aggregates instead of retaining.
+
+    Same dataplane-program / host-handler interface, but packets feed a
+    :class:`StreamingTraceAggregator` — bounded memory no matter how
+    long the run is.
+    """
+
+    def __init__(
+        self,
+        name: str = "collector",
+        ring_capacity: Optional[int] = 1024,
+        sink: Optional[Callable[[TraceRecord], None]] = None,
+    ):
+        self.aggregator = StreamingTraceAggregator(
+            name, ring_capacity=ring_capacity, sink=sink
+        )
+
+    def process(self, packet: Packet, now: float, node: str) -> Optional[str]:
+        self.aggregator.observe_packet(now, packet, point=node)
+        return None
+
+    def __call__(self, packet: Packet, now: float) -> None:
+        self.aggregator.observe_packet(now, packet)

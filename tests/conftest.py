@@ -14,9 +14,15 @@ from repro.netsim.topology import (
 )
 
 
-@pytest.fixture
-def loop() -> EventLoop:
-    return EventLoop()
+@pytest.fixture(params=["heap", "calendar"])
+def loop(request) -> EventLoop:
+    """An event loop, parametrized over both scheduler backends.
+
+    Every test that drives a loop directly therefore runs twice —
+    cheap, broad parity coverage on top of the dedicated equivalence
+    suite in ``test_netsim_scheduler.py``.
+    """
+    return EventLoop(scheduler=request.param)
 
 
 @pytest.fixture

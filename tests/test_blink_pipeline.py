@@ -158,3 +158,45 @@ class TestBlinkSwitch:
 
         with pytest.raises(ConfigurationError):
             BlinkSwitch({})
+
+
+class TestStreamingReplay:
+    """replay_trace over generators and the push-mode session agree
+    with the retained-trace path, record for record."""
+
+    def _workload(self):
+        from repro.flows.generators import DurationDistribution, blink_attack_workload
+
+        _, trace, _ = blink_attack_workload(
+            horizon=40,
+            legitimate_flows=60,
+            malicious_flows=12,
+            duration_model=DurationDistribution(median=3.0),
+            seed=4,
+        )
+        return trace
+
+    def test_generator_input_matches_trace_input(self):
+        trace = self._workload()
+        retained = BlinkSwitch({PREFIX: ["a", "b"]}, cells=16)
+        streamed = BlinkSwitch({PREFIX: ["a", "b"]}, cells=16)
+        series_a = retained.replay_trace(trace, sample_interval=2.0)[PREFIX]
+        series_b = streamed.replay_trace(
+            (record for record in trace), sample_interval=2.0
+        )[PREFIX]
+        assert series_a.times == series_b.times
+        assert series_a.values == series_b.values
+        assert len(retained.decisions) == len(streamed.decisions)
+
+    def test_session_feed_matches_replay_trace(self):
+        trace = self._workload()
+        batch = BlinkSwitch({PREFIX: ["a", "b"]}, cells=16)
+        push = BlinkSwitch({PREFIX: ["a", "b"]}, cells=16)
+        series_a = batch.replay_trace(trace, sample_interval=2.0)[PREFIX]
+        session = push.replay_session(sample_interval=2.0)
+        for record in trace:
+            session.feed(record)
+        series_b = session.finish()[PREFIX]
+        assert series_a.times == series_b.times
+        assert series_a.values == series_b.values
+        assert [d.time for d in batch.decisions] == [d.time for d in push.decisions]

@@ -255,3 +255,41 @@ class TestSweepCommands:
         )
         assert code == 1
         assert "timed out" in capsys.readouterr().err
+
+
+class TestSchedulerAndProfile:
+    def test_run_with_scheduler_exports_env(self, capsys, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+        code = main(["run", "ron-probe-divert", "--scheduler", "calendar"])
+        assert code == 0
+        assert os.environ.get("REPRO_SCHEDULER") == "calendar"
+
+    def test_run_with_bad_scheduler_env_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCHEDULER", "bogus")
+        code = main(["run", "ron-probe-divert"])
+        assert code == 2
+        assert "invalid scheduler" in capsys.readouterr().err
+
+    def test_run_profile_writes_pstats_and_prints_hotspots(
+        self, capsys, tmp_path
+    ):
+        import pstats
+
+        target = tmp_path / "run.prof"
+        code = main(["run", "ron-probe-divert", "--profile", str(target)])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "cumulative" in err  # top-20 table printed to stderr
+        assert f"profile written to {target}" in err
+        # The dump is a loadable pstats file with real entries.
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls > 0
+
+    def test_run_profile_unwritable_path_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["run", "ron-probe-divert", "--profile", str(tmp_path / "no" / "x.prof")]
+        )
+        assert code == 2
+        assert "cannot write profile" in capsys.readouterr().err

@@ -313,3 +313,47 @@ class TestTelemetryAdapters:
         # the initial stale value of 0.0 loss.
         assert fault.counters()["telemetry_dropped"] == fault.counters()["telemetry_seen"]
         assert fault.counters()["telemetry_seen"] >= 20
+
+
+class TestStreamingDegrade:
+    def _trace(self, n=300):
+        trace = Trace(name="t")
+        for i in range(n):
+            trace.append(
+                TraceRecord(
+                    time=float(i),
+                    flow=("a", 1, "b", 2),
+                    size=1000,
+                    is_retransmission=i % 3 == 0,
+                )
+            )
+        return trace
+
+    def test_degrade_records_matches_degrade_trace(self):
+        """The lazy generator consumes the RNG exactly like the
+        materialised adapter: same plan seed, same surviving records."""
+        spec = "telemetry-drop:p=0.2;telemetry-garble:p=0.3,scale=1.0"
+        trace = self._trace()
+        eager = TelemetryFault(FaultPlan.parse(spec, seed=11), role="blink")
+        lazy = TelemetryFault(FaultPlan.parse(spec, seed=11), role="blink")
+        materialised = eager.degrade_trace(trace)
+        streamed = list(lazy.degrade_records(iter(trace)))
+        assert streamed == list(materialised)
+        assert lazy.counters() == eager.counters()
+
+    def test_degrade_records_is_lazy(self):
+        fault = TelemetryFault(
+            FaultPlan.parse("telemetry-drop:p=0.0", seed=0), role="blink"
+        )
+        stream = fault.degrade_records(iter(self._trace(10)))
+        assert fault.seen == 0  # nothing consumed yet
+        next(stream)
+        assert fault.seen == 1
+
+    def test_degrade_record_none_on_drop(self):
+        fault = TelemetryFault(
+            FaultPlan.parse("telemetry-drop:p=1.0", seed=0), role="blink"
+        )
+        record = self._trace(1)[0]
+        assert fault.degrade_record(record) is None
+        assert fault.dropped == 1

@@ -151,3 +151,34 @@ class TestTapInstallation:
         network.send(tcp_packet("src", "dst", 1, 2, seq=0))
         network.run_until(1.0)
         assert len(tap.records) == 1
+
+
+class TestLinkSeedDerivation:
+    """Network links must use the sha256 per-link RNG scheme — not
+    draws off a shared generator (which depended on topology dict
+    iteration order)."""
+
+    def test_network_links_match_standalone_links(self):
+        from repro.netsim.events import EventLoop
+        from repro.netsim.link import Link
+
+        net = Network(triangle_with_hosts(), seed=7)
+        for (src, dst), link in net._links.items():
+            standalone = Link(
+                loop=EventLoop(), src=src, dst=dst, seed=7
+            )
+            assert link.rng.getstate() == standalone.rng.getstate(), (src, dst)
+
+    def test_link_streams_independent_per_direction(self):
+        net = Network(triangle_with_hosts(), seed=7)
+        a = net.link("r1", "r2").rng
+        b = net.link("r2", "r1").rng
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]
+
+    def test_network_seed_changes_all_streams(self):
+        net7 = Network(triangle_with_hosts(), seed=7)
+        net8 = Network(triangle_with_hosts(), seed=8)
+        assert (
+            net7.link("r1", "r2").rng.getstate()
+            != net8.link("r1", "r2").rng.getstate()
+        )

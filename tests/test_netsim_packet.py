@@ -1,0 +1,112 @@
+"""Packet model: slots, the free-list pool, and the release contract."""
+
+from __future__ import annotations
+
+import copy
+import pickle
+
+import pytest
+
+from repro.netsim import packet as packet_module
+from repro.netsim.packet import Packet, tcp_packet
+
+
+@pytest.fixture(autouse=True)
+def clean_pool():
+    """Isolate the module-level free list per test."""
+    packet_module._packet_pool.clear()
+    yield
+    packet_module._packet_pool.clear()
+
+
+class TestSlots:
+    def test_no_instance_dict(self):
+        packet = tcp_packet("a", "b", 1, 2, seq=0)
+        assert not hasattr(packet, "__dict__")
+        with pytest.raises(AttributeError):
+            packet.unknown_attribute = 1
+
+    def test_still_pickles_and_copies(self):
+        packet = tcp_packet("a", "b", 1, 2, seq=3, retransmission=True)
+        clone = pickle.loads(pickle.dumps(packet))
+        assert clone.tcp.seq == 3 and clone.tcp.is_retransmission_ground_truth
+        assert copy.deepcopy(packet).five_tuple == packet.five_tuple
+
+
+class TestPool:
+    def test_obtain_reuses_released_instance(self):
+        first = Packet.obtain("a", "b")
+        assert first.pooled
+        first.release()
+        second = Packet.obtain("c", "d")
+        assert second is first  # recycled, reinitialised
+        assert second.src == "c" and second.pooled
+
+    def test_release_clears_headers(self):
+        packet = tcp_packet("a", "b", 1, 2, seq=9, pooled=True)
+        packet.release()
+        assert packet.tcp is None and packet.icmp is None
+
+    def test_double_release_is_safe(self):
+        packet = Packet.obtain("a", "b")
+        packet.release()
+        packet.release()
+        assert len(packet_module._packet_pool) == 1
+
+    def test_plain_packets_never_pool(self):
+        packet = Packet("a", "b")
+        packet.release()
+        assert packet_module._packet_pool == []
+
+    def test_copy_detaches_from_pool(self):
+        packet = Packet.obtain("a", "b")
+        clone = packet.copy(dst="c")
+        assert not clone.pooled
+        assert clone.packet_id != packet.packet_id
+        packet.release()
+        clone.release()  # no-op: the copy never joined the pool
+        assert len(packet_module._packet_pool) == 1
+
+    def test_pool_is_bounded(self):
+        packets = [Packet.obtain("a", "b") for _ in range(20)]
+        limit = packet_module._PACKET_POOL_LIMIT
+        packet_module._packet_pool.extend(
+            Packet("x", "y") for _ in range(limit - 2)
+        )
+        for packet in packets:
+            packet.release()
+        assert len(packet_module._packet_pool) == limit
+
+    def test_fresh_ids_on_reuse(self):
+        first = Packet.obtain("a", "b")
+        old_id = first.packet_id
+        first.release()
+        second = Packet.obtain("a", "b")
+        assert second.packet_id != old_id
+
+    def test_tcp_packet_pooled_flag(self):
+        pooled = tcp_packet("a", "b", 1, 2, seq=0, pooled=True)
+        plain = tcp_packet("a", "b", 1, 2, seq=0)
+        assert pooled.pooled and not plain.pooled
+        assert pooled.tcp.seq == plain.tcp.seq == 0
+
+
+class TestNetworkReleasesPooledPackets:
+    def test_local_delivery_recycles(self):
+        from repro.netsim.network import Network
+        from repro.netsim.topology import line_topology
+
+        topo = line_topology(2)
+        topo.add_node("src", role="host")
+        topo.add_node("dst", role="host")
+        topo.add_link("src", "r0", delay_s=0.0005)
+        topo.add_link("dst", "r1", delay_s=0.0005)
+        net = Network(topo, seed=1)
+        seen = []
+        net.attach_host("dst", lambda p, now: seen.append(p.five_tuple))
+        packet = tcp_packet("src", "dst", 1, 2, seq=0, pooled=True)
+        net.send(packet)
+        net.run_until(1.0)
+        assert len(seen) == 1
+        assert not packet.pooled  # released back to the free list
+        assert packet in packet_module._packet_pool

@@ -95,3 +95,126 @@ class TestFromPacket:
         packet = tcp_packet("a", "b", 1, 2, seq=5, retransmission=True)
         record = TraceRecord.from_packet(0.0, packet)
         assert record.is_retransmission
+
+
+class TestStreamingAggregator:
+    """StreamingTraceAggregator mirrors Trace's aggregates in O(1) memory."""
+
+    def _records(self, n=200):
+        records = []
+        for i in range(n):
+            records.append(
+                _record(
+                    float(i) * 0.1,
+                    sport=1000 + (i % 7),
+                    retrans=i % 5 == 0,
+                    fin=i % 50 == 49,
+                    bad=i % 4 == 0,
+                )
+            )
+        return records
+
+    def test_matches_trace_aggregates(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        records = self._records()
+        trace = Trace("t")
+        trace.extend(records)
+        agg = StreamingTraceAggregator("t").consume(records)
+        assert agg.packets == len(trace)
+        assert agg.duration == trace.duration
+        assert agg.malicious_fraction() == trace.malicious_fraction()
+        assert agg.flow_count() == trace.flow_count()
+        assert agg.bytes == sum(r.size for r in trace)
+        assert agg.retransmissions == sum(1 for r in trace if r.is_retransmission)
+        assert agg.fin_rst == sum(1 for r in trace if r.is_fin_or_rst)
+
+    def test_observe_fields_equals_observe_record(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        records = self._records()
+        by_record = StreamingTraceAggregator("a").consume(records)
+        by_fields = StreamingTraceAggregator("b")
+        for r in records:
+            by_fields.observe(
+                r.time,
+                r.flow,
+                r.size,
+                r.observation_point,
+                r.is_retransmission,
+                r.is_fin_or_rst,
+                r.malicious_ground_truth,
+            )
+        sa, sb = by_record.summary(), by_fields.summary()
+        sa.pop("name"), sb.pop("name")
+        assert sa == sb
+
+    def test_ring_is_bounded_and_holds_the_tail(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        records = self._records(300)
+        agg = StreamingTraceAggregator(ring_capacity=16).consume(records)
+        recent = agg.recent()
+        assert len(recent) == 16
+        assert recent == records[-16:]
+        assert agg.ring_memory_bytes() > 0
+        assert agg.summary()["ring"] == {"capacity": 16, "held": 16, "dropped": 284}
+
+    def test_zero_capacity_disables_retention(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        agg = StreamingTraceAggregator(ring_capacity=0).consume(self._records(50))
+        assert agg.recent() == []
+        assert agg.packets == 50
+
+    def test_sink_sees_every_record_in_order(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        seen = []
+        records = self._records(80)
+        agg = StreamingTraceAggregator(ring_capacity=0, sink=seen.append)
+        for r in records:
+            agg.observe(
+                r.time,
+                r.flow,
+                r.size,
+                r.observation_point,
+                r.is_retransmission,
+                r.is_fin_or_rst,
+                r.malicious_ground_truth,
+            )
+        assert seen == records
+
+    def test_rejects_time_regression(self):
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        agg = StreamingTraceAggregator()
+        agg.observe_record(_record(1.0))
+        with pytest.raises(ValueError):
+            agg.observe_record(_record(0.5))
+        with pytest.raises(ValueError):
+            agg.observe(0.5, _record(1.0).flow, 100)
+
+    def test_observe_packet_matches_from_packet(self):
+        from repro.netsim.packet import TcpFlags, tcp_packet
+        from repro.netsim.trace import StreamingTraceAggregator
+
+        packet = tcp_packet(
+            "a", "b", 1, 2, seq=5, flags=TcpFlags.FIN | TcpFlags.ACK,
+            retransmission=True, malicious=True,
+        )
+        agg = StreamingTraceAggregator(ring_capacity=4)
+        agg.observe_packet(2.0, packet, point="r0")
+        record = agg.recent()[0]
+        assert record == TraceRecord.from_packet(2.0, packet, observation_point="r0")
+
+    def test_streaming_collector_is_a_dropin(self):
+        from repro.netsim.packet import tcp_packet
+        from repro.netsim.trace import StreamingTraceCollector
+
+        collector = StreamingTraceCollector("c", ring_capacity=8)
+        packet = tcp_packet("a", "b", 1, 2, seq=0)
+        assert collector.process(packet, 0.5, "r1") is None
+        collector(packet, 1.0)
+        assert collector.aggregator.packets == 2
+        assert collector.aggregator.points == {"r1": 1}

@@ -12,6 +12,12 @@ Two modes, combinable in one invocation:
   numpy run against a python run) and the current file's trials/sec
   must be at least ``min-speedup`` times the other file's.
 
+* Parity gate (``--against`` + ``--require-equal KEY``): for every
+  bench matched on ``name`` whose records carry ``extra_info[KEY]`` on
+  both sides, the values must be identical — how CI asserts that the
+  calendar and heap schedulers produced byte-identical experiment
+  results (``--require-equal report_hash``).  Repeatable.
+
 Input files are the ``BENCH_<NAME>.json`` exports of
 ``benchmarks/conftest.py`` (``pytest benchmarks/... --bench-json``).
 Exit status: 0 all gates pass, 1 a gate failed, 2 usage/input error.
@@ -111,6 +117,42 @@ def check_speedups(
     return rows
 
 
+def check_equalities(
+    current: Dict[str, dict], against: Dict[str, dict], keys: List[str]
+) -> List[dict]:
+    """Require ``extra_info[key]`` to match across files (by bench name)."""
+    by_name = {}
+    for record in against.values():
+        by_name.setdefault(record["name"], record)
+    rows = []
+    for bench_key in sorted(current):
+        record = current[bench_key]
+        other = by_name.get(record["name"])
+        if other is None:
+            continue
+        ours = record.get("extra_info", {})
+        theirs = other.get("extra_info", {})
+        for key in keys:
+            if key not in ours and key not in theirs:
+                continue
+            mine, its = ours.get(key), theirs.get(key)
+            ok = mine == its and mine is not None
+            detail = (
+                f"{key} matches ({str(mine)[:16]}…)"
+                if ok
+                else f"{key} differs: {mine!r} vs {its!r}"
+            )
+            rows.append(
+                {
+                    "gate": "parity",
+                    "bench": f"{bench_key} vs {other['backend']}",
+                    "detail": detail,
+                    "ok": ok,
+                }
+            )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="bench JSON for the run under test")
@@ -139,6 +181,14 @@ def main(argv=None) -> int:
         help="required trials/sec ratio vs --against; a bare number sets "
         "the default floor, NAME=X overrides it per bench (repeatable)",
     )
+    parser.add_argument(
+        "--require-equal",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="extra_info key that must be identical between matched "
+        "benches of the current file and --against (repeatable)",
+    )
     args = parser.parse_args(argv)
     if not args.baseline and not args.against:
         parser.error("nothing to compare: pass --baseline and/or --against")
@@ -157,8 +207,9 @@ def main(argv=None) -> int:
             return 2
         rows.extend(matched)
     if args.against:
+        against = load_records(args.against)
         floors = parse_speedup_floors(args.min_speedup)
-        matched = check_speedups(current, load_records(args.against), floors)
+        matched = check_speedups(current, against, floors)
         if not matched:
             print(
                 f"error: no benches of {args.current} appear in {args.against}",
@@ -166,6 +217,18 @@ def main(argv=None) -> int:
             )
             return 2
         rows.extend(matched)
+        if args.require_equal:
+            parity = check_equalities(current, against, args.require_equal)
+            if not parity:
+                print(
+                    f"error: --require-equal matched no extra_info of "
+                    f"{args.current} against {args.against}",
+                    file=sys.stderr,
+                )
+                return 2
+            rows.extend(parity)
+    elif args.require_equal:
+        parser.error("--require-equal needs --against")
 
     width = max(len(row["bench"]) for row in rows)
     failed = 0
