@@ -23,6 +23,13 @@ regression gate call :func:`bench_record` with their headline timing;
 ``--bench-json NAME`` then writes every record to ``BENCH_<NAME>.json``
 (or to the literal path when NAME ends in ``.json``) at session end,
 in the schema ``tools/bench_compare.py`` consumes.
+
+``--metrics`` additionally activates a fresh
+:class:`repro.obs.metrics.MetricRegistry` *inside* the timed region of
+every ``run_once``, so a metrics-on bench JSON can be diffed against a
+metrics-off one with ``bench_compare --metrics-budget`` — the CI gate
+holding instrumentation overhead under 3 %.  Each record exports
+``extra_info["metrics_enabled"]`` so the comparison is self-describing.
 """
 
 from __future__ import annotations
@@ -32,7 +39,11 @@ import time
 
 import pytest
 
-from repro.obs import Tracer, activate
+from repro.obs import MetricRegistry, Tracer, activate
+from repro.obs import metrics as obs_metrics
+
+#: Whether --metrics was passed: run_once meters its timed region.
+_METRICS_ON = False
 
 #: Bench records for this session, keyed ``"<name>:<backend>"``.
 _RECORDS = {}
@@ -64,6 +75,18 @@ def pytest_addoption(parser):
         help="write bench records to BENCH_<NAME>.json "
         "(a literal path when NAME ends in .json)",
     )
+    group.addoption(
+        "--metrics",
+        action="store_true",
+        default=False,
+        help="activate a MetricRegistry inside every timed region "
+        "(for the bench_compare --metrics-budget overhead gate)",
+    )
+
+
+def pytest_configure(config):
+    global _METRICS_ON
+    _METRICS_ON = bool(config.getoption("--metrics"))
 
 
 @pytest.fixture
@@ -90,16 +113,24 @@ def run_once(benchmark, fn, *args, **kwargs):
     :func:`bench_record` without re-timing.
     """
     tracer = Tracer()
+    registry = MetricRegistry() if _METRICS_ON else None
 
     def traced(*call_args, **call_kwargs):
         started = time.perf_counter()
-        with activate(tracer):
-            result = fn(*call_args, **call_kwargs)
+        if registry is not None:
+            with activate(tracer), obs_metrics.activate(registry):
+                result = fn(*call_args, **call_kwargs)
+        else:
+            with activate(tracer):
+                result = fn(*call_args, **call_kwargs)
         benchmark.extra_info["wall_seconds"] = time.perf_counter() - started
         return result
 
     result = benchmark.pedantic(traced, args=args, kwargs=kwargs, rounds=1, iterations=1)
     benchmark.extra_info["trace"] = tracer.summary()
+    benchmark.extra_info["metrics_enabled"] = _METRICS_ON
+    if registry is not None:
+        benchmark.extra_info["metric_names"] = len(registry)
     return result
 
 

@@ -1,13 +1,15 @@
 """Command-line interface: ``python -m repro``.
 
-Five subcommands:
+Six subcommands:
 
 * ``list`` — enumerate the implemented attacks with their threat-model
   cells (the paper's Fig. 1 matrix, as a table);
 * ``run <attack> [--param value ...]`` — execute one attack and print
   its result details; ``--trace out.jsonl`` records a run ledger
   (spans, events, metric snapshots, provenance), ``--metrics`` prints
-  the merged metric snapshot, ``--json`` emits the result as one JSON
+  the merged metric snapshot, ``--metrics-out PATH`` exports the run's
+  metric registry (Prometheus text for ``.prom``/``.txt``, otherwise an
+  appended JSONL snapshot), ``--json`` emits the result as one JSON
   object for scripting.  Robustness flags: ``--faults SPEC`` injects a
   seeded fault plan (see ``faults``), ``--timeout``/``--retries`` wrap
   the run in the resilient harness, and ``--seeds 0,1,2`` turns the run
@@ -19,10 +21,15 @@ Five subcommands:
 * ``faults`` — list the injectable fault kinds and the ``--faults``
   spec grammar;
 * ``fig2`` — reproduce the paper's Fig. 2 headline numbers quickly
-  (also supports ``--json``); and
+  (also supports ``--json``);
 * ``report [<ledger.jsonl>] [--cache-dir DIR]`` — render a previously
-  recorded run ledger back into the benches' table format, and/or print
-  result-cache statistics.
+  recorded run ledger back into the benches' table format
+  (``--profile`` adds the per-span self-time ranking), and/or print
+  result-cache statistics; and
+* ``top <ledger.jsonl> [--metrics snapshots.jsonl]`` — a compact live
+  view of a running or completed run: event mix, timeline, latest
+  metric snapshot.  ``--follow`` redraws every ``--interval`` seconds,
+  tolerating torn mid-write lines, so it can watch a sweep in flight.
 
 Exit codes: 0 success, 1 attack failed (or gave up after retries),
 2 usage errors, 3 malformed ``--faults`` spec, 4 unreadable or
@@ -193,18 +200,23 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         profiler = cProfile.Profile()
 
-    tracing = bool(args.trace or args.metrics)
+    tracing = bool(args.trace or args.metrics or args.metrics_out)
     tracer = None
+    registry = None
     started = _wallclock.perf_counter()
     try:
         if profiler is not None:
             profiler.enable()
         try:
             if tracing:
-                from repro.obs import Tracer, activate
+                from repro.obs import MetricRegistry, Tracer, activate
+                from repro.obs import metrics as obs_metrics
 
-                tracer = Tracer()
-                with activate(tracer), tracer.span(f"attack.{attack.name}"):
+                registry = MetricRegistry()
+                tracer = Tracer(metrics=registry)
+                with activate(tracer), obs_metrics.activate(registry), tracer.span(
+                    f"attack.{attack.name}"
+                ):
                     result = execute()
             else:
                 result = execute()
@@ -281,7 +293,37 @@ def cmd_run(args: argparse.Namespace) -> int:
                 return 2
             if not args.json:
                 print(f"\ntrace ledger written to {args.trace}", file=sys.stderr)
+    if registry is not None and args.metrics_out:
+        code = _write_metrics_out(
+            args.metrics_out,
+            registry,
+            attack=result.attack_name,
+            seed=params.get("seed"),
+            wall_seconds=wall_seconds,
+        )
+        if code:
+            return code
+        if not args.json:
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0 if result.success else 1
+
+
+def _write_metrics_out(path: str, registry, **meta: object) -> int:
+    """Export a registry: Prometheus text for .prom/.txt, JSONL otherwise."""
+    from repro.obs import metrics as obs_metrics
+
+    try:
+        if path.endswith((".prom", ".txt")):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(registry.to_prometheus())
+        else:
+            obs_metrics.append_snapshot(
+                path, registry, **{k: v for k, v in meta.items() if v is not None}
+            )
+    except OSError as exc:
+        print(f"cannot write metrics to {path}: {exc}", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
@@ -319,12 +361,17 @@ def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
         return 2
 
     tracer = None
+    registry = None
     try:
-        if args.trace:
-            from repro.obs import Tracer, activate
+        if args.trace or args.metrics_out:
+            from repro.obs import MetricRegistry, Tracer, activate
+            from repro.obs import metrics as obs_metrics
 
-            tracer = Tracer()
-            with activate(tracer), tracer.span(f"sweep.{attack.name}"):
+            registry = MetricRegistry()
+            tracer = Tracer(metrics=registry)
+            with activate(tracer), obs_metrics.activate(registry), tracer.span(
+                f"sweep.{attack.name}"
+            ):
                 report = executor.run(
                     RegistryAttackFactory(attack.name),
                     cells,
@@ -364,7 +411,7 @@ def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
             f"{stats.stores} store(s)",
             file=sys.stderr,
         )
-    if tracer is not None:
+    if tracer is not None and args.trace:
         from repro.obs import RunLedger
 
         ledger = RunLedger.from_tracer(
@@ -384,6 +431,17 @@ def _cmd_run_sweep(attack: Attack, params: Dict[str, object], args) -> int:
             print(f"cannot write trace ledger to {args.trace}: {exc}", file=sys.stderr)
             return 2
         print(f"trace ledger written to {args.trace}", file=sys.stderr)
+    if registry is not None and args.metrics_out:
+        code = _write_metrics_out(
+            args.metrics_out,
+            registry,
+            attack=attack.name,
+            seeds=",".join(str(s) for s in seeds),
+            jobs=executor.jobs,
+        )
+        if code:
+            return code
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 0 if report.failed == 0 else 1
 
 
@@ -481,7 +539,10 @@ def cmd_report(args: argparse.Namespace) -> int:
         except ReproError as exc:
             print(f"cannot parse {args.ledger}: {exc}", file=sys.stderr)
             return 2
-        print(ledger.render())
+        print(ledger.render(width=args.width))
+        if args.profile:
+            print()
+            print(ledger.render_profile())
     if args.cache_dir:
         from repro.runner import ResultCache
 
@@ -499,6 +560,137 @@ def cmd_report(args: argparse.Namespace) -> int:
             rows.append({"quantity": f"entries[{name}]", "value": count})
         print(ascii_table(rows, title=f"result cache: {args.cache_dir}"))
     return 0
+
+
+def _load_ledger_tolerant(path: str):
+    """Best-effort ledger load for ``top``: skip lines that don't parse.
+
+    A run mid-write may have a torn final line (or none of the usual
+    records yet); ``top`` should render whatever is there rather than
+    raise, so this loader keeps every record it can read and returns a
+    possibly-partial :class:`~repro.obs.ledger.RunLedger`.
+    """
+    from repro.obs import RunLedger
+
+    ledger = RunLedger()
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return ledger
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(record, dict):
+            continue
+        record_type = record.pop("record", None)
+        if record_type == "run":
+            ledger.run = record
+        elif record_type == "metrics":
+            ledger.metrics[str(record.get("source", ""))] = record.get("values", {})
+        elif record_type == "event":
+            ledger.events.append(record)
+    return ledger
+
+
+def _render_top(ledger, snapshots: List[dict], source: str, width: int) -> str:
+    """One frame of the ``top`` view: run header, event mix, metrics."""
+    from repro.analysis.reporting import sparkline
+
+    lines: List[str] = []
+    run = ledger.run or {}
+    header = " ".join(
+        f"{key}={run[key]}"
+        for key in ("attack", "seed", "seeds", "success", "wall_seconds")
+        if key in run and run[key] is not None
+    )
+    lines.append(f"repro top — {header or 'no run record yet'}")
+    lines.append(f"events: {len(ledger.events)}")
+
+    counts: Dict[str, int] = {}
+    for event in ledger.events:
+        kind = str(event.get("kind", "?"))
+        counts[kind] = counts.get(kind, 0) + 1
+    if counts:
+        top_kinds = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        kind_width = max(len(kind) for kind, _ in top_kinds)
+        for kind, count in top_kinds:
+            lines.append(f"  {kind.ljust(kind_width)}  {count}")
+        times = [
+            float(event["t"])
+            for event in ledger.events
+            if isinstance(event.get("t"), (int, float))
+        ]
+        if len(times) >= 2 and max(times) > 0:
+            t_max = max(times)
+            bucket_count = max(1, min(width, len(times)))
+            buckets = [0] * bucket_count
+            for t in times:
+                buckets[min(int(t / t_max * bucket_count), bucket_count - 1)] += 1
+            lines.append(f"timeline ({t_max:.3f}s):")
+            lines.append(f"  {sparkline(buckets, width)}")
+
+    metric_values: Dict[str, object] = {}
+    if snapshots:
+        latest = snapshots[-1]
+        stamp = latest.get("t_wall")
+        lines.append(
+            f"metrics snapshot #{len(snapshots)}"
+            + (f" (t_wall={stamp:.1f})" if isinstance(stamp, (int, float)) else "")
+        )
+        metrics = latest.get("metrics")
+        if isinstance(metrics, dict):
+            from repro.obs import MetricRegistry
+
+            metric_values = MetricRegistry.from_dict(metrics).snapshot()
+    elif source in ledger.metrics:
+        lines.append(f"metrics (ledger source {source!r}):")
+        metric_values = dict(ledger.metrics[source])
+    if metric_values:
+        name_width = max(len(name) for name in metric_values)
+        for name in sorted(metric_values):
+            value = metric_values[name]
+            if isinstance(value, dict):
+                rendered = " ".join(
+                    f"{k}={format_value(v)}" for k, v in value.items()
+                )
+            else:
+                rendered = format_value(value) if value is not None else "-"
+            lines.append(f"  {name.ljust(name_width)}  {rendered}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import metrics as obs_metrics
+
+    if not os.path.exists(args.ledger) and not (
+        args.metrics and os.path.exists(args.metrics)
+    ):
+        print(f"no such ledger file: {args.ledger}", file=sys.stderr)
+        return 2
+    width = max(1, min(args.width, 400))
+
+    def frame() -> str:
+        ledger = _load_ledger_tolerant(args.ledger)
+        snapshots = obs_metrics.read_snapshots(args.metrics) if args.metrics else []
+        return _render_top(ledger, snapshots, source=args.source, width=width)
+
+    if not args.follow:
+        print(frame())
+        return 0
+    try:
+        while True:
+            # ANSI clear + home, so the view redraws in place.
+            sys.stdout.write("\x1b[2J\x1b[H" + frame() + "\n")
+            sys.stdout.flush()
+            _wallclock.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -530,6 +722,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="collect and print the merged simulator metric snapshot",
+    )
+    run_parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="export the run's metric registry: Prometheus text for "
+        ".prom/.txt paths, otherwise append a timestamped JSONL snapshot",
     )
     run_parser.add_argument(
         "--json",
@@ -648,7 +846,59 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also print statistics for a result cache directory",
     )
+    report_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="append the per-span self-time profile (descending self time)",
+    )
+    report_parser.add_argument(
+        "--width",
+        type=int,
+        default=60,
+        metavar="N",
+        help="sparkline width for the event timeline (clamped to [1, 400])",
+    )
     report_parser.set_defaults(func=cmd_report)
+
+    top_parser = sub.add_parser(
+        "top", help="live terminal view of a running or completed ledger"
+    )
+    top_parser.add_argument(
+        "ledger", help="path to a ledger written (or being written) by run --trace"
+    )
+    top_parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="JSONL metrics snapshots (run --metrics-out); the latest "
+        "snapshot is rendered alongside the event view",
+    )
+    top_parser.add_argument(
+        "--source",
+        default="run",
+        metavar="NAME",
+        help="ledger metrics source to show when no --metrics file is "
+        "given (default: run)",
+    )
+    top_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="redraw every --interval seconds until interrupted",
+    )
+    top_parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="redraw period for --follow (default 2.0)",
+    )
+    top_parser.add_argument(
+        "--width",
+        type=int,
+        default=60,
+        metavar="N",
+        help="timeline sparkline width (clamped to [1, 400])",
+    )
+    top_parser.set_defaults(func=cmd_top)
     return parser
 
 

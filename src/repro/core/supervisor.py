@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.core.entities import Signal
 from repro.core.errors import SupervisorVeto
 from repro.core.system import DataDrivenSystem, Decision, SystemState
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 
 
@@ -180,6 +181,9 @@ class Supervisor:
         the emitted trace event is what makes a defended run replayable
         from its ledger alone.
         """
+        # Verdict counters are independent of tracing: metrics may be
+        # on while the (heavier) event trail is off.
+        obs_metrics.inc(f"supervisor.verdicts.{kind.replace('-', '_')}")
         if not obs.enabled():
             return
         obs.emit(
@@ -234,6 +238,7 @@ class Supervisor:
         self.events.append(
             SupervisionEvent(time, "degraded-enter", 1.0, None, reason)
         )
+        obs_metrics.inc("supervisor.degraded_enters")
         if obs.enabled():
             obs.emit(
                 "supervisor.degraded_enter",
@@ -249,6 +254,7 @@ class Supervisor:
         since = self.degraded_since
         self.degraded_since = None
         self.events.append(SupervisionEvent(time, "degraded-exit", 0.0, None, reason))
+        obs_metrics.inc("supervisor.degraded_exits")
         if obs.enabled():
             obs.emit(
                 "supervisor.degraded_exit",
@@ -298,6 +304,7 @@ class Supervisor:
         risk = self.model.risk(state)
         if risk >= self.risk_threshold:
             self.events.append(SupervisionEvent(state.time, "risk-alarm", risk, None, ""))
+            obs_metrics.inc("supervisor.risk_alarms")
             obs.emit("supervisor.risk_alarm", t_sim=state.time, risk=risk)
         return risk
 

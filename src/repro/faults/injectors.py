@@ -30,6 +30,7 @@ from typing import Iterable, Iterator, List, Optional, Sequence
 from repro.netsim.link import Link, LinkTap, TapVerdict
 from repro.netsim.packet import Packet
 from repro.netsim.trace import Trace, TraceRecord
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 
 from repro.faults.plan import FaultPlan, FaultSpec
@@ -75,14 +76,17 @@ class FaultyLinkTap(LinkTap):
             if spec.kind == "loss-burst":
                 if self.rng.random() < float(spec.param("p")):
                     self.dropped += 1
+                    obs_metrics.inc("faults.data.dropped")
                     return TapVerdict("drop")
             elif spec.kind == "corrupt-burst":
                 if self.rng.random() < float(spec.param("p")):
                     self.corrupted += 1
+                    obs_metrics.inc("faults.data.corrupted")
                     current = self._corrupt(current)
             elif spec.kind == "reorder-burst":
                 if self.rng.random() < float(spec.param("p")):
                     self.reordered += 1
+                    obs_metrics.inc("faults.data.reordered")
                     extra_delay += float(spec.param("delay"))
         if extra_delay > 0.0:
             return TapVerdict("delay", packet=current, extra_delay=extra_delay)
@@ -141,6 +145,7 @@ def _schedule_transition(link: Link, when: float, down: bool) -> int:
             t_sim=link.loop.now,
             link=f"{link.src}-{link.dst}",
         )
+        obs_metrics.inc("faults.data.link_transitions")
 
     link.loop.schedule_at(
         max(when, link.loop.now), fire, name=f"fault.{link.src}-{link.dst}"
@@ -177,10 +182,12 @@ class ClockFaultInjector:
                     continue
                 if self.rng.random() < float(spec.param("p")):
                     self.dropped += 1
+                    obs_metrics.inc("faults.control.timer_dropped")
                     return None
             elif spec.kind == "clock-skew":
                 skew = float(spec.param("skew"))
                 self.skewed += 1
+                obs_metrics.inc("faults.control.timer_skewed")
                 time = now + (time - now) * (1.0 + skew)
         return time
 
@@ -211,6 +218,7 @@ class TelemetryFault:
             if spec.kind == "telemetry-drop" and spec.active(now):
                 if self.rng.random() < float(spec.param("p")):
                     self.dropped += 1
+                    obs_metrics.inc("faults.telemetry.dropped")
                     return True
         return False
 
@@ -220,6 +228,7 @@ class TelemetryFault:
             if spec.kind == "telemetry-garble" and spec.active(now):
                 if self.rng.random() < float(spec.param("p")):
                     self.garbled += 1
+                    obs_metrics.inc("faults.telemetry.garbled")
                     scale = float(spec.param("scale"))
                     value *= 1.0 + scale * (2.0 * self.rng.random() - 1.0)
         return value

@@ -25,11 +25,14 @@ double-hash family, same bit layout).  See EXPERIMENTS.md, "Backends".
 
 from __future__ import annotations
 
+import functools
 import hashlib
+import time
 from typing import Dict, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.kernels.base import KernelBackend
+from repro.obs import metrics as obs_metrics
 
 #: Environment variable naming the default backend.
 BACKEND_ENV = "REPRO_BACKEND"
@@ -58,6 +61,44 @@ def resolve_backend_name(name: Optional[str] = None) -> str:
     return resolved
 
 
+def _metered(backend_name: str, method):
+    """Wrap one kernel entry point with per-call dispatch metrics.
+
+    Kernels are batch-level calls (one call covers hundreds to
+    thousands of trials), so a registry check per call is noise next to
+    the work inside — and when metrics are off, the cost is the one
+    ``is None`` check.  Wrapping bound methods at instance-build time
+    keeps ``get_backend`` memoisation, ``isinstance`` and subclassing
+    untouched.
+    """
+    method_name = method.__name__
+
+    @functools.wraps(method)
+    def wrapper(*args, **kwargs):
+        registry = obs_metrics.current()
+        if registry is None:
+            return method(*args, **kwargs)
+        started = time.perf_counter()
+        try:
+            return method(*args, **kwargs)
+        finally:
+            registry.inc(f"kernels.calls.{backend_name}.{method_name}")
+            registry.observe(
+                f"kernels.wall_s.{backend_name}", time.perf_counter() - started
+            )
+
+    return wrapper
+
+
+def _instrument(instance: KernelBackend) -> KernelBackend:
+    """Shadow every abstract kernel method with a metered bound method."""
+    for method_name in KernelBackend.__abstractmethods__:
+        bound = getattr(instance, method_name)
+        if callable(bound):
+            setattr(instance, method_name, _metered(instance.name, bound))
+    return instance
+
+
 def get_backend(name: Optional[str] = None) -> KernelBackend:
     """The (memoised) backend instance for ``name``.
 
@@ -80,7 +121,7 @@ def get_backend(name: Optional[str] = None) -> KernelBackend:
             from repro.kernels.python_backend import PythonBackend
 
             instance = PythonBackend()
-        _INSTANCES[resolved] = instance
+        _INSTANCES[resolved] = _instrument(instance)
     return instance
 
 

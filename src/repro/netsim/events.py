@@ -44,6 +44,7 @@ from repro.core.errors import (
     SchedulingError,
     SimulationError,
 )
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 
 EventCallback = Callable[[], None]
@@ -331,6 +332,11 @@ class EventLoop:
         self._running = False
         self._processed = 0
         self._event_pool: List[Event] = []
+        # Pool accounting: plain int bumps on the transient fast path
+        # (always on — two attribute increments are cheaper than any
+        # enabled() check), rolled into metrics once per run.
+        self._pool_hits = 0
+        self._pool_misses = 0
         #: Optional :class:`TimerFault` applied to every schedule_at/in
         #: call; installed by the fault-injection layer, None otherwise.
         self.fault: Optional[TimerFault] = None
@@ -411,12 +417,14 @@ class EventLoop:
             time = max(self._now, adjusted)
         pool = self._event_pool
         if pool:
+            self._pool_hits += 1
             event = pool.pop()
             event.time = time
             event.callback = callback
             event.cancelled = False
             event.name = name
         else:
+            self._pool_misses += 1
             event = Event(time, callback, name=name)
             event.transient = True
         self._queue.push(time, event)
@@ -499,13 +507,14 @@ class EventLoop:
             raise SimulationError("event loop is not reentrant")
         self._running = True
         processed_here = 0
-        # Capture the tracer once per run: the rollup below must match
-        # the tracer that was active when the run started, and the hot
-        # loop itself stays untouched.
+        # Capture the tracer and metric registry once per run: the
+        # rollups below must match what was active when the run
+        # started, and the hot loop itself stays untouched.
         tracer = obs.current()
+        registry = obs_metrics.current()
         wall_started = (
             _wallclock.perf_counter()
-            if tracer is not None or wall_limit_s is not None
+            if tracer is not None or registry is not None or wall_limit_s is not None
             else 0.0
         )
         queue = self._queue
@@ -558,18 +567,34 @@ class EventLoop:
             # event; callbacks observing it mid-run see the pre-run
             # value, which nothing relies on.
             self._processed += processed_here
-            if tracer is not None:
+            if tracer is not None or registry is not None:
                 wall = _wallclock.perf_counter() - wall_started
-                tracer.emit(
-                    "netsim.run",
-                    t_sim=self._now,
-                    end_time=end_time,
-                    processed=processed_here,
-                    wall_s=wall,
-                    events_per_s=processed_here / wall if wall > 0 else None,
-                    queue_depth=self.pending_events,
-                    scheduler=self.scheduler,
-                )
+                depth = self.pending_events
+                if tracer is not None:
+                    tracer.emit(
+                        "netsim.run",
+                        t_sim=self._now,
+                        end_time=end_time,
+                        processed=processed_here,
+                        wall_s=wall,
+                        events_per_s=processed_here / wall if wall > 0 else None,
+                        queue_depth=depth,
+                        scheduler=self.scheduler,
+                    )
+                if registry is not None:
+                    # Counter/histogram names under netsim.* are
+                    # deterministic per seed except the *_s wall
+                    # timings (excluded from the determinism pin).
+                    registry.inc("netsim.runs")
+                    registry.inc(f"netsim.events.{self.scheduler}", processed_here)
+                    registry.observe("netsim.run_events", processed_here)
+                    registry.observe("netsim.run_wall_s", wall)
+                    registry.gauge_set("netsim.queue_depth", depth)
+                    pool_total = self._pool_hits + self._pool_misses
+                    if pool_total:
+                        registry.gauge_set(
+                            "netsim.pool_hit_rate", self._pool_hits / pool_total
+                        )
         return processed_here
 
     def run_all(self, max_events: int = 10_000_000) -> int:

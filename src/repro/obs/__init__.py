@@ -1,23 +1,27 @@
 """Observability: span tracing, structured event logs, run ledgers.
 
 The runtime half lives in :mod:`repro.obs.tracer` (stdlib-only, safe to
-import from any hot path); the persistence half in
-:mod:`repro.obs.ledger` (JSONL/CSV export, report rendering).  The
-ledger module is loaded lazily so that instrumented core modules
-importing this package never pull reporting machinery — or an import
-cycle — into simulator import time.
+import from any hot path); quantitative telemetry in
+:mod:`repro.obs.metrics` (counters/gauges/histograms, also hot-path
+safe); the persistence half in :mod:`repro.obs.ledger` (JSONL/CSV
+export, report rendering).  The ledger module is loaded lazily so that
+instrumented core modules importing this package never pull reporting
+machinery — or an import cycle — into simulator import time.
 
 Typical use::
 
-    from repro.obs import Tracer, activate, RunLedger
+    from repro.obs import MetricRegistry, Tracer, RunLedger, activate
+    from repro.obs import metrics as obs_metrics
 
-    tracer = Tracer()
-    with activate(tracer):
+    registry = MetricRegistry()
+    tracer = Tracer(metrics=registry)
+    with activate(tracer), obs_metrics.activate(registry):
         result = attack.run(seed=1)
     ledger = RunLedger.from_tracer(tracer, attack=attack.name, seed=1)
     ledger.to_jsonl("run.jsonl")
 """
 
+from repro.obs.metrics import Histogram, MetricRegistry
 from repro.obs.tracer import (
     DEFAULT_MAX_EVENTS,
     TraceEvent,
@@ -33,6 +37,8 @@ from repro.obs.tracer import (
 __all__ = [
     "DEFAULT_MAX_EVENTS",
     "DEGRADATION_EVENT_KINDS",
+    "Histogram",
+    "MetricRegistry",
     "RunLedger",
     "SUPERVISOR_EVENT_KINDS",
     "TraceEvent",

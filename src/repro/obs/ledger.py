@@ -158,6 +158,53 @@ class RunLedger:
             if event.get("kind") in DEGRADATION_EVENT_KINDS
         ]
 
+    def self_time_profile(self) -> List[Dict[str, object]]:
+        """Per-span-name *self* time: inclusive duration minus children.
+
+        Span events close innermost-first (a child's ``span`` event is
+        emitted before its parent's), and each carries its nesting
+        ``depth``; one pass over the log can therefore subtract, from
+        every closing span, the accumulated durations of the spans that
+        closed one level deeper since — no live tracer needed, a parsed
+        ledger has everything.  Worker shards ingest as contiguous
+        blocks with their own depth-0 roots, so nesting stays coherent
+        across a sweep.  Rows are sorted by descending self time; the
+        clock-jitter case (children summing past the parent) clamps at
+        zero rather than going negative.
+        """
+        profile: Dict[str, List[float]] = {}  # name -> [count, total, self]
+        child_at_depth: Dict[int, float] = {}
+        for event in self.events:
+            if event.get("kind") != "span":
+                continue
+            name = str(event.get("name", "?"))
+            duration = event.get("duration_s")
+            duration = float(duration) if isinstance(duration, (int, float)) else 0.0
+            depth = event.get("depth")
+            depth = int(depth) if isinstance(depth, int) else 0
+            self_s = max(0.0, duration - child_at_depth.pop(depth + 1, 0.0))
+            child_at_depth[depth] = child_at_depth.get(depth, 0.0) + duration
+            stats = profile.get(name)
+            if stats is None:
+                profile[name] = [1, duration, self_s]
+            else:
+                stats[0] += 1
+                stats[1] += duration
+                stats[2] += self_s
+        grand_self = sum(stats[2] for stats in profile.values())
+        rows = [
+            {
+                "span": name,
+                "count": int(stats[0]),
+                "total_s": stats[1],
+                "self_s": stats[2],
+                "self_pct": 100.0 * stats[2] / grand_self if grand_self > 0 else 0.0,
+            }
+            for name, stats in profile.items()
+        ]
+        rows.sort(key=lambda row: (-row["self_s"], row["span"]))
+        return rows
+
     # -- exporters ---------------------------------------------------------
 
     def to_jsonl(self, path: str) -> None:
@@ -231,8 +278,21 @@ class RunLedger:
     # -- rendering ---------------------------------------------------------
 
     def render(self, width: int = 60) -> str:
-        """Human-readable report: tables + histogram, via analysis.reporting."""
-        from repro.analysis.reporting import ascii_table, format_value
+        """Human-readable report: tables + histogram, via analysis.reporting.
+
+        ``width`` bounds the event-timeline sparkline.  Degenerate
+        inputs never raise: a nonsensical width is clamped into
+        [1, 400], and every block — including the timeline, which needs
+        at least one timestamped event — renders only when it has rows,
+        so ``repro report`` works on empty or partial ledgers.
+        """
+        from repro.analysis.reporting import ascii_table, format_value, sparkline
+
+        try:
+            width = int(width)
+        except (TypeError, ValueError):
+            width = 60
+        width = max(1, min(width, 400))
 
         blocks: List[str] = []
         run_rows = [
@@ -244,7 +304,12 @@ class RunLedger:
         if isinstance(params, dict):
             for key, value in sorted(params.items()):
                 run_rows.append({"field": f"param.{key}", "value": format_value(value)})
-        blocks.append(ascii_table(run_rows, title="run"))
+        if run_rows:
+            blocks.append(ascii_table(run_rows, title="run"))
+
+        timeline = self._timeline_block(width, sparkline)
+        if timeline:
+            blocks.append(timeline)
 
         span_totals = self.run.get("span_totals")
         if isinstance(span_totals, dict) and span_totals:
@@ -293,3 +358,50 @@ class RunLedger:
             title = f"supervisor audit trail ({len(audits)} events, first 20)"
             blocks.append(ascii_table(audit_rows, title=title))
         return "\n\n".join(blocks)
+
+    def _timeline_block(self, width: int, sparkline) -> str:
+        """Event density over run time as a sparkline, or "" if moot.
+
+        Events are bucketed into at most ``width`` equal slices of
+        [0, t_max]; ledgers whose events all share one timestamp (or
+        carry none, e.g. pure ``metrics.snapshot`` records) yield no
+        block rather than a degenerate plot.
+        """
+        times = [
+            float(event["t"])
+            for event in self.events
+            if isinstance(event.get("t"), (int, float))
+        ]
+        if len(times) < 2:
+            return ""
+        t_max = max(times)
+        if t_max <= 0:
+            return ""
+        bucket_count = max(1, min(width, len(times)))
+        counts = [0] * bucket_count
+        for t in times:
+            index = min(int(t / t_max * bucket_count), bucket_count - 1)
+            counts[index] += 1
+        return (
+            f"event timeline ({len(times)} events over {t_max:.3f}s)\n"
+            f"  {sparkline(counts, width)}"
+        )
+
+    def render_profile(self) -> str:
+        """The ``repro report --profile`` view: self-time ranked spans."""
+        from repro.analysis.reporting import ascii_table, format_value
+
+        rows = self.self_time_profile()
+        if not rows:
+            return "no span events in this ledger (was tracing on?)"
+        formatted = [
+            {
+                "span": row["span"],
+                "count": row["count"],
+                "total_s": format_value(row["total_s"]),
+                "self_s": format_value(row["self_s"]),
+                "self_%": f"{row['self_pct']:.1f}",
+            }
+            for row in rows
+        ]
+        return ascii_table(formatted, title="self-time profile (descending)")

@@ -66,12 +66,18 @@ class Tracer:
             context matters more for diagnosis than ancient history).
         clock: monotonic time source, injectable for deterministic
             tests.
+        metrics: optional :data:`MetricsProvider` (typically a
+            :class:`repro.obs.metrics.MetricRegistry`) attached under
+            the ``"run"`` source, so its end-of-run ``snapshot()``
+            lands in the ledger without a separate
+            :meth:`attach_metrics` call.
     """
 
     def __init__(
         self,
         max_events: int = DEFAULT_MAX_EVENTS,
         clock: Callable[[], float] = time.perf_counter,
+        metrics: Optional[MetricsProvider] = None,
     ):
         if max_events < 1:
             raise ValueError("max_events must be at least 1")
@@ -84,6 +90,8 @@ class Tracer:
         #: Per-span-name aggregates: name -> [count, total_s, max_s].
         self._span_stats: Dict[str, List[float]] = {}
         self._metric_sources: List[Tuple[str, MetricsProvider]] = []
+        if metrics is not None:
+            self.attach_metrics("run", metrics)
 
     # -- events ------------------------------------------------------------
 

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.core.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -139,17 +140,23 @@ class ResultCache:
                 entry = json.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
+            obs_metrics.inc("cache.misses")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            obs_metrics.inc("cache.corrupt")
+            obs_metrics.inc("cache.misses")
             return None
         result = entry.get("result") if isinstance(entry, dict) else None
         if not isinstance(result, dict):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            obs_metrics.inc("cache.corrupt")
+            obs_metrics.inc("cache.misses")
             return None
         self.stats.hits += 1
+        obs_metrics.inc("cache.hits")
         return result
 
     def put(self, key: str, attack_name: str, result: dict) -> None:
@@ -171,6 +178,7 @@ class ResultCache:
                 pass
             raise
         self.stats.stores += 1
+        obs_metrics.inc("cache.stores")
 
     # -- maintenance / reporting -------------------------------------------
 

@@ -24,7 +24,11 @@ guarantee the serial path gives:
 * **Observability** — each worker records its cell under a local
   :class:`~repro.obs.Tracer` shard wrapped in a ``sweep.cell`` span;
   the parent ingests every shard into the active tracer, so one
-  RunLedger covers the whole sweep.
+  RunLedger covers the whole sweep.  When a
+  :class:`~repro.obs.metrics.MetricRegistry` is active, workers
+  likewise collect per-cell registries and the parent merges them in
+  cell-index order — merged counter sums and histogram bucket counts
+  are identical between ``jobs=1`` and ``jobs=N``.
 
 Workers receive the *name* of a registry attack (rebuilt via
 :func:`repro.attacks.resolve_attack`) or a picklable attack
@@ -42,6 +46,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.attack import Attack
 from repro.core.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 from repro.runner.cache import ResultCache, cache_key
 from repro.runner.checkpoint import (
@@ -107,6 +112,7 @@ def _execute_cell(
     timeout_s: Optional[float],
     runner_seed: int,
     traced: bool,
+    metered: bool = False,
 ) -> dict:
     """Run one cell (in a pool worker or inline) and package the outcome.
 
@@ -114,12 +120,19 @@ def _execute_cell(
     errors (configuration bugs, privilege violations) propagate, which
     the pool surfaces in the parent — the same fail-loud behaviour as
     the serial path.
+
+    ``metered`` cells collect into a fresh per-cell
+    :class:`~repro.obs.metrics.MetricRegistry` shipped back as
+    ``record["metrics"]`` (a ``to_dict()`` payload); the parent merges
+    shards in cell-index order, so the merged values are identical
+    whether cells ran inline or across N processes.
     """
     attack = _materialise(attack_source)
     # Per-cell jitter seed: retries inside different workers must not
     # share RNG state, but the sequence stays reproducible per cell.
     runner = ResilientRunner(retry, timeout_s=timeout_s, seed=runner_seed ^ index)
     tracer = obs.Tracer() if traced else None
+    registry = obs_metrics.MetricRegistry() if metered else None
 
     def run_once():
         outcome = runner.run(
@@ -127,8 +140,16 @@ def _execute_cell(
         )
         return outcome
 
-    if tracer is not None:
+    if tracer is not None and registry is not None:
+        with obs.activate(tracer), obs_metrics.activate(registry), tracer.span(
+            f"sweep.cell[{index}]", index=index
+        ):
+            outcome = run_once()
+    elif tracer is not None:
         with obs.activate(tracer), tracer.span(f"sweep.cell[{index}]", index=index):
+            outcome = run_once()
+    elif registry is not None:
+        with obs_metrics.activate(registry):
             outcome = run_once()
     else:
         outcome = run_once()
@@ -144,6 +165,8 @@ def _execute_cell(
         "shard": shard,
         "pid": os.getpid(),
     }
+    if registry is not None:
+        record["metrics"] = registry.to_dict()
     if outcome.succeeded:
         record["ok"] = True
         record["payload"] = result_payload(outcome.result)  # type: ignore[arg-type]
@@ -264,9 +287,16 @@ class ParallelSweepExecutor:
                     continue
             pending.append(cell)
 
+        metric_shards: Dict[int, dict] = {}
+
         def finish(cell: SweepCell, outcome: dict) -> None:
             """Merge one fresh outcome: journal, cache, trace, count."""
             self._ingest_shard(outcome)
+            shard_metrics = outcome.get("metrics")
+            if shard_metrics is not None:
+                # Stash now (completion order), merge later in cell-index
+                # order so serial and parallel sweeps agree exactly.
+                metric_shards[outcome["index"]] = shard_metrics
             report.executed += 1
             record = self._cell_record(cell, outcome)
             by_index[cell.index] = record
@@ -295,6 +325,7 @@ class ParallelSweepExecutor:
                 progress(cell, payload)
 
         traced = obs.enabled()
+        metered = obs_metrics.enabled()
         workers = min(self.jobs, len(pending)) if pending else 0
         if workers <= 1:
             for cell in pending:
@@ -308,6 +339,7 @@ class ParallelSweepExecutor:
                         self.timeout_s,
                         self.runner_seed,
                         traced,
+                        metered,
                     ),
                 )
         else:
@@ -324,6 +356,7 @@ class ParallelSweepExecutor:
                             self.timeout_s,
                             self.runner_seed,
                             traced,
+                            metered,
                         )
                         for cell in pending
                     }
@@ -341,6 +374,16 @@ class ParallelSweepExecutor:
         report.cells = [
             by_index[cell.index] for cell in cells if cell.index in by_index
         ]
+        registry = obs_metrics.current()
+        if registry is not None:
+            # Cell-index order, independent of completion order — the
+            # property the serial-vs-parallel determinism test pins.
+            for index in sorted(metric_shards):
+                registry.merge_dict(metric_shards[index])
+            registry.inc("sweep.cells_executed", report.executed)
+            registry.inc("sweep.cells_cached", report.cached)
+            registry.inc("sweep.cells_resumed", report.resumed)
+            registry.inc("sweep.cells_failed", report.failed)
         obs.emit(
             "runner.sweep_done",
             attack=attack.name,

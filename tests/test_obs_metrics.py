@@ -1,0 +1,281 @@
+"""Unit tests for the production metrics layer (repro.obs.metrics)."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import metrics as om
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    BUCKET_COUNT,
+    Histogram,
+    MetricRegistry,
+    append_snapshot,
+    bucket_index,
+    read_snapshots,
+)
+
+
+class TestBucketIndex:
+    def test_lowest_bucket_absorbs_tiny_and_nonpositive(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(BUCKET_BOUNDS[0]) == 0
+        assert bucket_index(BUCKET_BOUNDS[0] / 2) == 0
+
+    def test_power_of_two_lands_on_its_own_bound(self):
+        # A value exactly equal to a bound belongs to that bound's bucket.
+        for index, bound in enumerate(BUCKET_BOUNDS):
+            assert bucket_index(bound) == index
+
+    def test_just_above_a_bound_moves_up(self):
+        for index, bound in enumerate(BUCKET_BOUNDS[:-1]):
+            assert bucket_index(bound * 1.0000001) == index + 1
+
+    def test_overflow_bucket(self):
+        assert bucket_index(BUCKET_BOUNDS[-1] * 2) == BUCKET_COUNT - 1
+        assert bucket_index(float("inf")) == BUCKET_COUNT - 1
+        assert bucket_index(float("nan")) == BUCKET_COUNT - 1
+
+    def test_every_index_in_range(self):
+        for exponent in range(-30, 10):
+            value = 2.0 ** exponent * 1.3
+            assert 0 <= bucket_index(value) < BUCKET_COUNT
+
+
+class TestHistogram:
+    def test_summary_empty(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_summary_tracks_sum_min_max(self):
+        hist = Histogram()
+        for value in (0.001, 0.002, 0.004):
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.007)
+        assert summary["min"] == 0.001
+        assert summary["max"] == 0.004
+
+    def test_quantile_is_bucket_upper_bound(self):
+        hist = Histogram()
+        for _ in range(100):
+            hist.observe(0.01)
+        p50 = hist.quantile(0.5)
+        assert p50 >= 0.01
+        assert p50 == BUCKET_BOUNDS[bucket_index(0.01)]
+
+    def test_merge_adds_buckets(self):
+        a, b = Histogram(), Histogram()
+        a.observe(0.001)
+        b.observe(0.001)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.count == 3
+        assert a.buckets[bucket_index(0.001)] == 2
+        assert a.buckets[bucket_index(100.0)] == 1
+        assert a.maximum == 100.0
+
+
+class TestMetricRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricRegistry()
+        registry.inc("a")
+        registry.inc("a", 2)
+        assert registry.counter("a") == 3
+        assert registry.counter("missing") == 0
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().inc("a", -1)
+
+    def test_gauge_watermarks(self):
+        registry = MetricRegistry()
+        registry.gauge_set("depth", 5)
+        registry.gauge_set("depth", 2)
+        registry.gauge_set("depth", 9)
+        registry.gauge_set("depth", 4)
+        assert registry.gauge("depth") == 4
+        snap = registry.snapshot()
+        assert snap["gauge.depth"] == 4
+        assert snap["gauge.depth.min"] == 2
+        assert snap["gauge.depth.max"] == 9
+
+    def test_snapshot_is_flat_sorted_and_json_safe(self):
+        registry = MetricRegistry()
+        registry.inc("z")
+        registry.inc("a")
+        registry.observe("lat_s", 0.001)
+        snap = registry.snapshot()
+        assert list(snap)[:2] == ["counter.a", "counter.z"]
+        json.dumps(snap)  # must not raise
+        assert snap["hist.lat_s"]["count"] == 1
+
+    def test_timed_records_into_histogram(self):
+        registry = MetricRegistry()
+        with registry.timed("block_s"):
+            pass
+        assert registry.histograms["block_s"].count == 1
+
+    def test_len_counts_all_families(self):
+        registry = MetricRegistry()
+        registry.inc("c")
+        registry.gauge_set("g", 1)
+        registry.observe("h", 1)
+        assert len(registry) == 3
+
+
+class TestSerialisationAndMerge:
+    def _populated(self):
+        registry = MetricRegistry()
+        registry.inc("calls", 7)
+        registry.gauge_set("depth", 3)
+        registry.gauge_set("depth", 8)
+        registry.observe("lat", 0.004)
+        registry.observe("lat", 2.0)
+        return registry
+
+    def test_round_trip(self):
+        registry = self._populated()
+        clone = MetricRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_to_dict_is_json_round_trippable(self):
+        data = self._populated().to_dict()
+        assert json.loads(json.dumps(data)) == data
+
+    def test_merge_order_independent_for_counters_and_buckets(self):
+        shards = []
+        for offset in range(3):
+            shard = MetricRegistry()
+            shard.inc("calls", offset + 1)
+            shard.observe("lat", 0.001 * (offset + 1))
+            shards.append(shard.to_dict())
+        forward, backward = MetricRegistry(), MetricRegistry()
+        for shard in shards:
+            forward.merge_dict(shard)
+        for shard in reversed(shards):
+            backward.merge_dict(shard)
+        assert forward.counters == backward.counters
+        assert (
+            forward.histograms["lat"].buckets == backward.histograms["lat"].buckets
+        )
+
+    def test_merge_rejects_foreign_bucket_layout(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            registry.merge_dict(
+                {"histograms": {"lat": {"buckets": [1, 2, 3], "count": 6, "sum": 1.0}}}
+            )
+
+    def test_merge_gauge_folds_watermarks(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.gauge_set("depth", 5)
+        b.gauge_set("depth", 1)
+        b.gauge_set("depth", 9)
+        a.merge(b)
+        assert a.gauge("depth") == 9
+        assert a.gauges["depth"][1] == 1
+        assert a.gauges["depth"][2] == 9
+
+
+class TestPrometheusExposition:
+    def test_counter_gets_total_suffix_and_sanitised_name(self):
+        registry = MetricRegistry()
+        registry.inc("netsim.events.calendar", 42)
+        text = registry.to_prometheus()
+        assert "# TYPE repro_netsim_events_calendar_total counter" in text
+        assert "repro_netsim_events_calendar_total 42" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_with_inf(self):
+        registry = MetricRegistry()
+        registry.observe("lat", 0.001)
+        registry.observe("lat", 1e9)  # overflow bucket
+        text = registry.to_prometheus()
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        # Cumulative counts never decrease down the bucket list.
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_lat_bucket")
+        ]
+        assert counts == sorted(counts)
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricRegistry().to_prometheus() == ""
+
+
+class TestSnapshotStream:
+    def test_append_and_read(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        registry = MetricRegistry()
+        registry.inc("x")
+        append_snapshot(path, registry, attack="demo")
+        registry.inc("x")
+        append_snapshot(path, registry, attack="demo")
+        records = read_snapshots(path)
+        assert len(records) == 2
+        assert records[0]["attack"] == "demo"
+        assert records[1]["metrics"]["counters"]["x"] == 2
+        assert all(r["record"] == "metrics.snapshot" for r in records)
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        registry = MetricRegistry()
+        registry.inc("x")
+        append_snapshot(path, registry)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"record": "metrics.snapsh')  # torn mid-write
+        records = read_snapshots(path)
+        assert len(records) == 1
+
+    def test_garbage_mid_file_raises(self, tmp_path):
+        path = str(tmp_path / "snaps.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"record": "metrics.snapshot", "metrics": {}}\n')
+        with pytest.raises(json.JSONDecodeError):
+            read_snapshots(path)
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_snapshots(str(tmp_path / "absent.jsonl")) == []
+
+
+class TestModuleRouting:
+    def test_disabled_helpers_are_noops(self):
+        assert om.current() is None
+        assert not om.enabled()
+        om.inc("ghost")
+        om.observe("ghost", 1.0)
+        om.gauge_set("ghost", 1.0)
+        assert om.current() is None
+
+    def test_activate_routes_and_restores(self):
+        registry = MetricRegistry()
+        with om.activate(registry):
+            assert om.enabled()
+            assert om.current() is registry
+            om.inc("x")
+            om.observe("lat", 0.5)
+            om.gauge_set("g", 2)
+        assert om.current() is None
+        assert registry.counter("x") == 1
+        assert registry.histograms["lat"].count == 1
+
+    def test_activate_nests(self):
+        outer, inner = MetricRegistry(), MetricRegistry()
+        with om.activate(outer):
+            with om.activate(inner):
+                om.inc("x")
+            om.inc("x")
+        assert inner.counter("x") == 1
+        assert outer.counter("x") == 1
+
+    def test_activate_restores_on_error(self):
+        registry = MetricRegistry()
+        with pytest.raises(RuntimeError):
+            with om.activate(registry):
+                raise RuntimeError("boom")
+        assert om.current() is None

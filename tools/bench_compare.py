@@ -18,6 +18,13 @@ Two modes, combinable in one invocation:
   calendar and heap schedulers produced byte-identical experiment
   results (``--require-equal report_hash``).  Repeatable.
 
+* Metrics-overhead gate (``--against`` + ``--metrics-budget``): the
+  current file is a *metrics-on* run and ``--against`` the matching
+  metrics-off run; benches matched on ``name`` must not be slower than
+  the off run by more than the given fraction (the repo budget is
+  0.03 = 3 %) — always-on instrumentation can never silently tax the
+  fast paths.
+
 Input files are the ``BENCH_<NAME>.json`` exports of
 ``benchmarks/conftest.py`` (``pytest benchmarks/... --bench-json``).
 Exit status: 0 all gates pass, 1 a gate failed, 2 usage/input error.
@@ -153,6 +160,40 @@ def check_equalities(
     return rows
 
 
+def check_metrics_budget(
+    current: Dict[str, dict], against: Dict[str, dict], budget: float
+) -> List[dict]:
+    """Require metrics-on wall time within ``budget`` of metrics-off.
+
+    Matched on bench ``name`` (the two runs may legitimately differ in
+    backend labels only if the caller chose so; normally they share
+    both name and backend).  A metrics-on run *faster* than the off run
+    is simply noise in its favour and passes.
+    """
+    by_name = {}
+    for record in against.values():
+        by_name.setdefault(record["name"], record)
+    rows = []
+    for key in sorted(current):
+        record = current[key]
+        other = by_name.get(record["name"])
+        if other is None:
+            continue
+        on = float(record["wall_seconds"])
+        off = float(other["wall_seconds"])
+        overhead = on / off - 1.0 if off > 0 else float("inf")
+        rows.append(
+            {
+                "gate": "metrics",
+                "bench": key,
+                "detail": f"off {off * 1e3:.1f}ms -> on {on * 1e3:.1f}ms "
+                f"({overhead:+.1%}, budget {budget:.0%})",
+                "ok": overhead <= budget,
+            }
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="bench JSON for the run under test")
@@ -189,11 +230,22 @@ def main(argv=None) -> int:
         help="extra_info key that must be identical between matched "
         "benches of the current file and --against (repeatable)",
     )
+    parser.add_argument(
+        "--metrics-budget",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="treat the current file as a metrics-on run and --against "
+        "as metrics-off: matched benches must not be slower by more "
+        "than this fraction (e.g. 0.03)",
+    )
     args = parser.parse_args(argv)
     if not args.baseline and not args.against:
         parser.error("nothing to compare: pass --baseline and/or --against")
     if args.budget < 0:
         parser.error("--budget must be non-negative")
+    if args.metrics_budget is not None and args.metrics_budget < 0:
+        parser.error("--metrics-budget must be non-negative")
 
     current = load_records(args.current)
     rows: List[dict] = []
@@ -208,15 +260,34 @@ def main(argv=None) -> int:
         rows.extend(matched)
     if args.against:
         against = load_records(args.against)
-        floors = parse_speedup_floors(args.min_speedup)
-        matched = check_speedups(current, against, floors)
-        if not matched:
-            print(
-                f"error: no benches of {args.current} appear in {args.against}",
-                file=sys.stderr,
-            )
-            return 2
-        rows.extend(matched)
+        # The speedup gate runs when floors were given explicitly, or
+        # when --against has no other purpose (historical behaviour:
+        # bare --against implies a 1x floor).  A pure --metrics-budget
+        # or --require-equal invocation must not smuggle in an implicit
+        # "on-run must be at least as fast" floor.
+        run_speedups = bool(args.min_speedup) or (
+            args.metrics_budget is None and not args.require_equal
+        )
+        if run_speedups:
+            floors = parse_speedup_floors(args.min_speedup)
+            matched = check_speedups(current, against, floors)
+            if not matched:
+                print(
+                    f"error: no benches of {args.current} appear in {args.against}",
+                    file=sys.stderr,
+                )
+                return 2
+            rows.extend(matched)
+        if args.metrics_budget is not None:
+            overhead = check_metrics_budget(current, against, args.metrics_budget)
+            if not overhead:
+                print(
+                    f"error: --metrics-budget matched no benches of "
+                    f"{args.current} against {args.against}",
+                    file=sys.stderr,
+                )
+                return 2
+            rows.extend(overhead)
         if args.require_equal:
             parity = check_equalities(current, against, args.require_equal)
             if not parity:
@@ -229,6 +300,8 @@ def main(argv=None) -> int:
             rows.extend(parity)
     elif args.require_equal:
         parser.error("--require-equal needs --against")
+    elif args.metrics_budget is not None:
+        parser.error("--metrics-budget needs --against")
 
     width = max(len(row["bench"]) for row in rows)
     failed = 0
