@@ -46,6 +46,34 @@ class ExperimentTimeout(SimulationError):
     """
 
 
+class WorkerCrashError(SimulationError):
+    """A sweep worker process died mid-cell (pool broken).
+
+    Raised by the parallel executor when the process pool reports a
+    broken worker (``kill -9``, OOM, an ``os._exit`` chaos fault).
+    Subclasses :class:`SimulationError` so retry policies treat a
+    crashed worker as transient; the service's circuit breaker counts
+    these towards tripping open and degrading to serial execution.
+    """
+
+
+class AdmissionRejected(ReproError):
+    """The attack-lab service declined a submission.
+
+    ``reason`` is one of the documented rejection codes (``queue-full``,
+    ``rate-limited``, ``draining``, ``over-budget``); clients map it to
+    exit code 5.
+    """
+
+    def __init__(self, message: str, reason: str = ""):
+        super().__init__(message)
+        self.reason = reason
+
+
+class ServiceError(ReproError):
+    """The attack-lab service (or its journal/protocol) is unusable."""
+
+
 class FaultSpecError(ConfigurationError):
     """A ``--faults`` specification could not be parsed or validated.
 

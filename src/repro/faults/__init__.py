@@ -26,11 +26,14 @@ from repro.faults.plan import (
     FaultSpec,
     coerce_plan,
 )
+from repro.faults.process import CRASH_EXIT_STATUS, consume_crash_flag
 
 __all__ = [
+    "CRASH_EXIT_STATUS",
     "ClockFaultInjector",
     "FAULT_KINDS",
     "FOREVER",
+    "consume_crash_flag",
     "FaultKind",
     "FaultPlan",
     "FaultSpec",

@@ -1,0 +1,43 @@
+"""Process-plane fault injection: killing sweep workers on demand.
+
+The link/clock/telemetry injectors in this package break the *simulated*
+planes; chaos drills for the attack-lab service also need to break the
+*host* plane — a worker process dying mid-cell, exactly what a ``kill
+-9`` or an OOM kill does in production.  The mechanism is a **crash
+flag file**: the chaos harness creates the file, the next pool worker
+that starts a cell consumes it (an atomic :func:`os.unlink` — exactly
+one worker wins the race) and dies via :func:`os._exit`, and every run
+after that proceeds normally because the flag is gone.  One flag, one
+crash, deterministic recovery.
+
+The flag is honoured only inside pool workers (``in_worker=True``,
+threaded through by :class:`~repro.runner.parallel.ParallelSweepExecutor`):
+consuming it in the parent would kill the service itself, which is the
+failure mode the circuit breaker exists to *prevent*, not to cause.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Exit status a crashed worker reports, mirroring a SIGKILL'd process.
+CRASH_EXIT_STATUS = 137
+
+
+def consume_crash_flag(flag_path: str, in_worker: bool) -> bool:
+    """Die via ``os._exit`` iff ``flag_path`` exists and we won its race.
+
+    Returns ``False`` when there is nothing to do: no flag path, the
+    flag is absent (already consumed), or this process is not a pool
+    worker.  Returns never (the process exits) on a consumed flag; the
+    ``True`` annotation below keeps the signature honest for tests that
+    monkeypatch :func:`os._exit`.
+    """
+    if not flag_path or not in_worker:
+        return False
+    try:
+        os.unlink(flag_path)
+    except OSError:
+        return False
+    os._exit(CRASH_EXIT_STATUS)
+    return True  # pragma: no cover - only reachable with a patched os._exit

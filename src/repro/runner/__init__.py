@@ -13,6 +13,7 @@ thin wrappers over these.
 
 from repro.runner.cache import (
     CACHE_DIR_ENV,
+    QUARANTINE_DIR,
     CacheStats,
     ResultCache,
     cache_key,
@@ -24,6 +25,7 @@ from repro.runner.checkpoint import (
     SweepCell,
     SweepCheckpoint,
     SweepReport,
+    repair_torn_jsonl_tail,
     result_payload,
     run_sweep,
     seed_cells,
@@ -42,6 +44,7 @@ from repro.runner.resilient import (
     RetryPolicy,
     RunOutcome,
     call_with_timeout,
+    derive_backoff_rng,
 )
 
 __all__ = [
@@ -49,6 +52,7 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CacheStats",
     "JOBS_ENV",
+    "QUARANTINE_DIR",
     "ParallelSweepExecutor",
     "RegistryAttackFactory",
     "ResilientRunner",
@@ -63,6 +67,8 @@ __all__ = [
     "call_with_timeout",
     "code_version",
     "default_cache_dir",
+    "derive_backoff_rng",
+    "repair_torn_jsonl_tail",
     "resolve_jobs",
     "result_payload",
     "run_sweep",

@@ -13,7 +13,10 @@ Entries live one-per-file under ``root/<k[:2]>/<k>.json`` (a two-level
 fanout keeps directories small), written atomically via a same-dir
 temp file + :func:`os.replace` so concurrent sweep workers can never
 observe a torn entry.  A corrupt entry is treated as a miss and
-counted, never raised.
+counted, never raised — and the offending file is moved aside into a
+``.corrupt/`` sidecar directory (:data:`QUARANTINE_DIR`) so the slot
+can be rewritten cleanly instead of reading as corrupt forever;
+``repro report --cache-dir`` surfaces the quarantine count.
 
 The cache stores only the JSON-safe payload that the sweep checkpoint
 journals (:func:`repro.runner.checkpoint.result_payload`) — the lossy
@@ -35,6 +38,9 @@ from repro.obs import metrics as obs_metrics
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Sidecar directory (under the cache root) holding quarantined entries.
+QUARANTINE_DIR = ".corrupt"
 
 _CODE_VERSION: Optional[str] = None
 
@@ -133,8 +139,31 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.root, key[:2], key + ".json")
 
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry into the ``.corrupt/`` sidecar.
+
+        The move is an :func:`os.replace` (atomic on one filesystem),
+        so a concurrent reader sees either the corrupt entry or a clean
+        miss, never a half-moved file.  Quarantining instead of
+        deleting keeps the bad bytes around for post-mortems while
+        freeing the slot for a fresh store.
+        """
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        obs_metrics.inc("cache.corrupt")
+        obs_metrics.inc("cache.misses")
+        quarantine = os.path.join(self.root, QUARANTINE_DIR)
+        try:
+            os.makedirs(quarantine, exist_ok=True)
+            os.replace(self._path(key), os.path.join(quarantine, key + ".json"))
+        except OSError:
+            # Another process may have quarantined (or rewritten) the
+            # entry first; either way the slot is no longer poisoned.
+            return
+
     def get(self, key: str) -> Optional[dict]:
-        """The stored result payload, or None (corruption counts as a miss)."""
+        """The stored result payload, or None (corruption counts as a
+        miss and quarantines the entry)."""
         try:
             with open(self._path(key), "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
@@ -143,17 +172,11 @@ class ResultCache:
             obs_metrics.inc("cache.misses")
             return None
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            obs_metrics.inc("cache.corrupt")
-            obs_metrics.inc("cache.misses")
+            self._quarantine(key)
             return None
         result = entry.get("result") if isinstance(entry, dict) else None
         if not isinstance(result, dict):
-            self.stats.corrupt += 1
-            self.stats.misses += 1
-            obs_metrics.inc("cache.corrupt")
-            obs_metrics.inc("cache.misses")
+            self._quarantine(key)
             return None
         self.stats.hits += 1
         obs_metrics.inc("cache.hits")
@@ -183,11 +206,14 @@ class ResultCache:
     # -- maintenance / reporting -------------------------------------------
 
     def scan(self) -> Dict[str, object]:
-        """Walk the store: entry count, bytes, per-attack breakdown."""
+        """Walk the store: entry count, bytes, per-attack breakdown,
+        quarantined-entry count."""
         entries = 0
         total_bytes = 0
         by_attack: Dict[str, int] = {}
-        for dirpath, _, filenames in os.walk(self.root):
+        for dirpath, dirnames, filenames in os.walk(self.root):
+            if QUARANTINE_DIR in dirnames:
+                dirnames.remove(QUARANTINE_DIR)
             for filename in filenames:
                 if not filename.endswith(".json") or filename.startswith(".tmp-"):
                     continue
@@ -202,7 +228,21 @@ class ResultCache:
                 total_bytes += size
                 name = str(entry.get("attack", "?")) if isinstance(entry, dict) else "?"
                 by_attack[name] = by_attack.get(name, 0) + 1
-        return {"entries": entries, "bytes": total_bytes, "by_attack": by_attack}
+        quarantined = 0
+        try:
+            quarantined = sum(
+                1
+                for name in os.listdir(os.path.join(self.root, QUARANTINE_DIR))
+                if name.endswith(".json")
+            )
+        except OSError:
+            pass
+        return {
+            "entries": entries,
+            "bytes": total_bytes,
+            "by_attack": by_attack,
+            "quarantined": quarantined,
+        }
 
 
 def cached_attack_run(attack, cache: Optional[ResultCache] = None, **params):

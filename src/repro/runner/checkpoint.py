@@ -18,8 +18,11 @@ File format (one JSON record per line):
   — one per completed cell, in completion order.
 
 A truncated final line (the kill arrived mid-write) is dropped on
-load; any other corruption raises
-:class:`~repro.core.errors.CheckpointError`.
+load **and physically truncated from the file**
+(:func:`repair_torn_jsonl_tail`), so the next append starts on a clean
+line boundary — a ``SIGKILL`` mid-append can never poison a later
+resume by gluing two records into one garbage line.  Any other
+corruption raises :class:`~repro.core.errors.CheckpointError`.
 """
 
 from __future__ import annotations
@@ -36,6 +39,46 @@ from repro.obs import tracer as obs
 from repro.runner.resilient import ResilientRunner
 
 SCHEMA_VERSION = 1
+
+
+def repair_torn_jsonl_tail(path: str) -> int:
+    """Truncate a torn (mid-write) tail off an append-only JSONL file.
+
+    A ``kill -9`` can land between the ``write`` of a journal line and
+    its completion, leaving either a partial line with no terminating
+    newline or a final newline-terminated line that is not valid JSON.
+    Both are dropped by truncating the file back to the last record
+    that parses, so subsequent appends start on a clean line boundary.
+    Returns the number of bytes removed (0 for a healthy file).  Only
+    the *tail* is repaired; corruption earlier in the file is left for
+    the caller's loader to diagnose.
+    """
+    try:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+    except FileNotFoundError:
+        return 0
+    good_size = len(blob)
+    if blob and not blob.endswith(b"\n"):
+        good_size = blob.rfind(b"\n") + 1
+    # The last terminated line may itself be garbage (the torn write
+    # got as far as the newline): drop at most that one line.  Records
+    # are single-line JSON, so one torn append can damage at most the
+    # final line — anything worse is real corruption and is left for
+    # the loader to raise on.
+    if good_size > 0:
+        line_start = blob.rfind(b"\n", 0, good_size - 1) + 1
+        last_line = blob[line_start:good_size].strip()
+        if last_line:
+            try:
+                json.loads(last_line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                good_size = line_start
+    removed = len(blob) - good_size
+    if removed:
+        with open(path, "r+b") as handle:
+            handle.truncate(good_size)
+    return removed
 
 
 def _jsonable(value: object) -> object:
@@ -101,10 +144,15 @@ class SweepCheckpoint:
 
     def _load(self) -> None:
         try:
+            # Physically drop any torn tail first: appends after a
+            # resume must never concatenate onto a half-written line.
+            torn_bytes = repair_torn_jsonl_tail(self.path)
             with open(self.path, "r", encoding="utf-8") as handle:
                 lines = handle.readlines()
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint {self.path}: {exc}") from exc
+        if torn_bytes:
+            obs.emit("runner.checkpoint_torn_tail", path=self.path, bytes=torn_bytes)
         if not lines:
             raise CheckpointError(f"checkpoint {self.path} is empty")
         records: List[dict] = []
@@ -115,9 +163,6 @@ class SweepCheckpoint:
             try:
                 records.append(json.loads(stripped))
             except json.JSONDecodeError as exc:
-                if number == len(lines):
-                    # The kill arrived mid-write: drop the torn tail.
-                    break
                 raise CheckpointError(
                     f"{self.path}:{number}: corrupt checkpoint record: {exc}"
                 ) from exc

@@ -41,11 +41,13 @@ order; ``jobs=1`` (or a single pending cell) runs inline with no pool.
 from __future__ import annotations
 
 import os
+import signal
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.attack import Attack
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, WorkerCrashError
 from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 from repro.runner.cache import ResultCache, cache_key
@@ -78,6 +80,22 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     if jobs < 1:
         raise ConfigurationError(f"jobs must be at least 1, got {jobs}")
     return jobs
+
+
+def _init_pool_worker() -> None:  # pragma: no cover - runs in pool workers
+    """Reset inherited signal state in a freshly forked pool worker.
+
+    Forked workers inherit the parent's Python signal handlers *and*
+    its ``signal.set_wakeup_fd`` pipe.  When an embedding process (the
+    attack-lab service) runs an asyncio loop with SIGTERM/SIGINT
+    handlers, a signal aimed at a dying worker would otherwise be
+    echoed through the shared wakeup pipe into the parent's loop —
+    observed as a phantom drain when ``BrokenProcessPool`` cleanup
+    SIGTERMs the surviving workers.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 class RegistryAttackFactory:
@@ -113,6 +131,9 @@ def _execute_cell(
     runner_seed: int,
     traced: bool,
     metered: bool = False,
+    budget_s: Optional[float] = None,
+    crash_flag: Optional[str] = None,
+    in_worker: bool = False,
 ) -> dict:
     """Run one cell (in a pool worker or inline) and package the outcome.
 
@@ -127,10 +148,18 @@ def _execute_cell(
     shards in cell-index order, so the merged values are identical
     whether cells ran inline or across N processes.
     """
+    if crash_flag:
+        from repro.faults.process import consume_crash_flag
+
+        # Chaos drills: the first pool worker to reach this point
+        # consumes the flag and dies, simulating a SIGKILL'd worker.
+        consume_crash_flag(crash_flag, in_worker)
     attack = _materialise(attack_source)
     # Per-cell jitter seed: retries inside different workers must not
     # share RNG state, but the sequence stays reproducible per cell.
-    runner = ResilientRunner(retry, timeout_s=timeout_s, seed=runner_seed ^ index)
+    runner = ResilientRunner(
+        retry, timeout_s=timeout_s, seed=runner_seed ^ index, budget_s=budget_s
+    )
     tracer = obs.Tracer() if traced else None
     registry = obs_metrics.MetricRegistry() if metered else None
 
@@ -174,6 +203,7 @@ def _execute_cell(
         record["ok"] = False
         record["error"] = outcome.error
         record["timed_out"] = outcome.timed_out
+        record["budget_exhausted"] = outcome.budget_exhausted
     return record
 
 
@@ -187,6 +217,18 @@ class ParallelSweepExecutor:
         cache: optional content-addressed result cache consulted (and
             filled) per cell.
         runner_seed: base seed for per-cell backoff jitter streams.
+        budget_s: cumulative per-cell wall-clock budget (attempts plus
+            backoff; see :class:`~repro.runner.resilient.ResilientRunner`).
+        crash_flag: chaos-drill crash-flag file path — the first pool
+            worker to start a cell while the file exists consumes it and
+            dies (see :mod:`repro.faults.process`).  Ignored for inline
+            (serial) execution.
+
+    A worker process dying mid-sweep surfaces as
+    :class:`~repro.core.errors.WorkerCrashError` rather than the pool's
+    raw ``BrokenProcessPool``; cells journaled before the crash are
+    already checkpointed, so re-running the same sweep resumes instead
+    of recomputing.
     """
 
     def __init__(
@@ -196,12 +238,16 @@ class ParallelSweepExecutor:
         timeout_s: Optional[float] = None,
         cache: Optional[ResultCache] = None,
         runner_seed: int = 0,
+        budget_s: Optional[float] = None,
+        crash_flag: Optional[str] = None,
     ):
         self.jobs = resolve_jobs(jobs)
         self.retry = retry or RetryPolicy()
         self.timeout_s = timeout_s
         self.cache = cache
         self.runner_seed = runner_seed
+        self.budget_s = budget_s
+        self.crash_flag = crash_flag
 
     # -- internals ---------------------------------------------------------
 
@@ -340,11 +386,14 @@ class ParallelSweepExecutor:
                         self.runner_seed,
                         traced,
                         metered,
+                        self.budget_s,
                     ),
                 )
         else:
             cell_of = {cell.index: cell for cell in pending}
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_pool_worker
+            ) as pool:
                 try:
                     futures = {
                         pool.submit(
@@ -357,6 +406,9 @@ class ParallelSweepExecutor:
                             self.runner_seed,
                             traced,
                             metered,
+                            self.budget_s,
+                            self.crash_flag,
+                            True,
                         )
                         for cell in pending
                     }
@@ -365,6 +417,15 @@ class ParallelSweepExecutor:
                         for future in done:
                             outcome = future.result()
                             finish(cell_of[outcome["index"]], outcome)
+                except BrokenProcessPool as exc:
+                    for future in futures:
+                        future.cancel()
+                    obs.emit("runner.worker_crash", attack=attack.name)
+                    obs_metrics.inc("runner.worker_crashes")
+                    raise WorkerCrashError(
+                        f"sweep worker process died mid-sweep ({exc}); "
+                        "completed cells are checkpointed — re-run to resume"
+                    ) from exc
                 except BaseException:
                     for future in futures:
                         future.cancel()

@@ -14,7 +14,19 @@ wraps a single run with:
 * **bounded retry** with exponential backoff plus deterministic,
   seeded jitter for errors matching the policy (transient
   :class:`~repro.core.errors.SimulationError` by default —
-  configuration bugs and privilege violations fail immediately).
+  configuration bugs and privilege violations fail immediately); and
+* an optional **cumulative budget** (``budget_s``) capping the whole
+  retry schedule — attempts *plus* backoff sleeps — at one wall-clock
+  allowance, so a job admitted with a 10 s budget can never burn 30 s
+  across three 10 s attempts.  Per-attempt timeouts are clamped to the
+  remaining budget and a backoff that would overshoot it turns into an
+  immediate give-up (``RunOutcome.budget_exhausted``).
+
+Backoff jitter is derived per ``(seed, attempt)`` through SHA-256
+(:func:`derive_backoff_rng`), not drawn from a shared RNG stream: the
+backoff before retry *k* depends only on the runner seed and *k*, never
+on how many runs the same runner executed before — retry schedules are
+reproducible and testable in isolation.
 
 Every attempt, retry and give-up is mirrored to the active tracer as a
 ``runner.*`` obs event, so a ledger shows the retry history of a run.
@@ -22,6 +34,7 @@ Every attempt, retry and give-up is mirrored to the active tracer as a
 
 from __future__ import annotations
 
+import hashlib
 import random
 import threading
 import time as _wallclock
@@ -30,6 +43,18 @@ from typing import Callable, List, Optional, Tuple, Type
 
 from repro.core.errors import ConfigurationError, ExperimentTimeout, SimulationError
 from repro.obs import tracer as obs
+
+
+def derive_backoff_rng(seed: int, attempt: int) -> random.Random:
+    """A fresh RNG for the backoff before retry ``attempt`` of ``seed``.
+
+    SHA-256 of ``"backoff:<seed>:<attempt>"`` seeds the stream, so the
+    jitter for a given (seed, attempt) pair is a pure function of its
+    inputs — independent of platform hash randomisation and of any
+    draws made for earlier attempts or earlier runs.
+    """
+    digest = hashlib.sha256(f"backoff:{seed}:{attempt}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
 
 
 @dataclass(frozen=True)
@@ -66,6 +91,7 @@ class AttemptRecord:
     error: Optional[str] = None
     error_type: Optional[str] = None
     backoff_s: float = 0.0
+    timeout_clamped: bool = False
 
 
 @dataclass
@@ -77,6 +103,7 @@ class RunOutcome:
     attempts: List[AttemptRecord] = field(default_factory=list)
     error: Optional[str] = None
     timed_out: bool = False
+    budget_exhausted: bool = False
 
     @property
     def succeeded(self) -> bool:
@@ -126,9 +153,15 @@ class ResilientRunner:
     Args:
         retry: the retry/backoff policy (default: no retries).
         timeout_s: per-attempt wall-clock budget (None: unbounded).
-        seed: seeds the jitter RNG, keeping backoff sequences
+        seed: seeds the jitter derivation, keeping backoff sequences
             reproducible run-to-run.
         sleep: injectable sleep for tests (defaults to real sleeping).
+        budget_s: cumulative wall-clock allowance across *all* attempts
+            and backoff sleeps (None: unbounded).  Per-attempt timeouts
+            are clamped to the remaining budget; a backoff that would
+            cross the deadline becomes an immediate give-up with
+            ``budget_exhausted`` set.
+        clock: injectable monotonic clock for the budget deadline.
     """
 
     def __init__(
@@ -137,24 +170,59 @@ class ResilientRunner:
         timeout_s: Optional[float] = None,
         seed: int = 0,
         sleep: Callable[[float], None] = _wallclock.sleep,
+        budget_s: Optional[float] = None,
+        clock: Callable[[], float] = _wallclock.perf_counter,
     ):
         if timeout_s is not None and timeout_s <= 0:
             raise ConfigurationError("timeout_s must be positive")
+        if budget_s is not None and budget_s <= 0:
+            raise ConfigurationError("budget_s must be positive")
         self.retry = retry or RetryPolicy()
         self.timeout_s = timeout_s
-        self._rng = random.Random(seed)
+        self.budget_s = budget_s
+        self.seed = seed
         self._sleep = sleep
+        self._clock = clock
+
+    def _give_up(self, outcome: RunOutcome, label: str, error: str) -> RunOutcome:
+        outcome.error = error
+        obs.emit(
+            "runner.giveup",
+            label=label,
+            attempts=len(outcome.attempts),
+            error=error,
+            timed_out=outcome.timed_out,
+            budget_exhausted=outcome.budget_exhausted,
+        )
+        return outcome
 
     def run(self, fn: Callable[[], object], label: str = "run") -> RunOutcome:
-        """Execute ``fn`` until it completes, retries exhaust, or a
-        non-retryable error escapes (which propagates to the caller)."""
+        """Execute ``fn`` until it completes, retries exhaust, the
+        budget runs dry, or a non-retryable error escapes (which
+        propagates to the caller)."""
         outcome = RunOutcome(label=label)
+        deadline = None if self.budget_s is None else self._clock() + self.budget_s
         attempt = 0
         while True:
             attempt += 1
+            attempt_timeout = self.timeout_s
+            clamped = False
+            if deadline is not None:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    outcome.timed_out = True
+                    outcome.budget_exhausted = True
+                    return self._give_up(
+                        outcome,
+                        label,
+                        f"budget of {self.budget_s}s exhausted before attempt {attempt}",
+                    )
+                if attempt_timeout is None or remaining < attempt_timeout:
+                    attempt_timeout = remaining
+                    clamped = True
             started = _wallclock.perf_counter()
             try:
-                result = call_with_timeout(fn, self.timeout_s)
+                result = call_with_timeout(fn, attempt_timeout)
             except self.retry.retry_on as exc:
                 wall = _wallclock.perf_counter() - started
                 record = AttemptRecord(
@@ -162,21 +230,26 @@ class ResilientRunner:
                     wall_seconds=wall,
                     error=str(exc),
                     error_type=type(exc).__name__,
+                    timeout_clamped=clamped,
                 )
                 outcome.attempts.append(record)
                 if isinstance(exc, ExperimentTimeout):
                     outcome.timed_out = True
                 if attempt > self.retry.max_retries:
-                    outcome.error = str(exc)
-                    obs.emit(
-                        "runner.giveup",
-                        label=label,
-                        attempts=attempt,
-                        error=str(exc),
-                        timed_out=outcome.timed_out,
+                    return self._give_up(outcome, label, str(exc))
+                record.backoff_s = self.retry.backoff_s(
+                    attempt, derive_backoff_rng(self.seed, attempt)
+                )
+                if deadline is not None and self._clock() + record.backoff_s >= deadline:
+                    # Sleeping the backoff would overshoot the budget —
+                    # the retry could never start, so stop here.
+                    outcome.budget_exhausted = True
+                    return self._give_up(
+                        outcome,
+                        label,
+                        f"budget of {self.budget_s}s exhausted after "
+                        f"{attempt} attempt(s): {exc}",
                     )
-                    return outcome
-                record.backoff_s = self.retry.backoff_s(attempt, self._rng)
                 obs.emit(
                     "runner.retry",
                     label=label,

@@ -1,0 +1,53 @@
+"""Resilient attack-lab service over the sweep engine.
+
+``repro serve`` exposes the runner stack as a long-lived job service:
+a journaled job store (accepted jobs survive ``kill -9``), explicit
+admission control (bounded queue, per-client token buckets, resource
+budgets), a circuit breaker that degrades a crashing worker pool to
+serial in-process execution, and SIGTERM graceful drain.  See
+``EXPERIMENTS.md`` ("Service mode") for the failure-semantics table.
+"""
+
+from repro.service.admission import (
+    REJECT_DRAINING,
+    REJECT_OVER_BUDGET,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECTED_EXIT_CODE,
+    AdmissionController,
+    AdmissionVerdict,
+    TokenBucket,
+)
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.service.chaos import ServiceUnderTest, arm_crash_flag, truncate_tail
+from repro.service.client import ServiceClient, wait_for_port
+from repro.service.jobs import Job, JobState, job_id_for
+from repro.service.journal import JobJournal, journal_invariants
+from repro.service.server import AttackLabService, ServiceConfig
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionVerdict",
+    "AttackLabService",
+    "CircuitBreaker",
+    "CLOSED",
+    "HALF_OPEN",
+    "OPEN",
+    "Job",
+    "JobJournal",
+    "JobState",
+    "REJECTED_EXIT_CODE",
+    "REJECT_DRAINING",
+    "REJECT_OVER_BUDGET",
+    "REJECT_QUEUE_FULL",
+    "REJECT_RATE_LIMITED",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceUnderTest",
+    "TokenBucket",
+    "arm_crash_flag",
+    "job_id_for",
+    "journal_invariants",
+    "truncate_tail",
+    "wait_for_port",
+]

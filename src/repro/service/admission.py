@@ -1,0 +1,214 @@
+"""Admission control: bounded queue, token buckets, resource budgets.
+
+The paper's theme is systems misbehaving under adversarial inputs; for
+a long-lived job service the first adversarial input is the submission
+stream itself.  Admission therefore fails *explicitly and early*:
+
+* **bounded queue** — at most ``queue_limit`` jobs may be pending or
+  running; past that a submission is rejected with ``queue-full``
+  (never silently dropped, never unboundedly buffered);
+* **token-bucket rate limiting per client** — each client id gets a
+  bucket of ``burst`` tokens refilled at ``rate``/s; an empty bucket
+  rejects with ``rate-limited``.  One hostile flooder exhausts its own
+  bucket, not the service;
+* **resource budgets** — a submission asking for more wall-clock than
+  ``max_timeout_s``, more retries than ``max_retries`` or more cells
+  than ``max_cells`` is rejected with ``over-budget`` (the watchdog /
+  retry machinery in :mod:`repro.runner.resilient` then *enforces* the
+  granted budget during execution); and
+* **draining** — once shutdown starts every submission is rejected
+  with ``draining``.
+
+Every verdict is counted through :mod:`repro.obs.metrics`
+(``service.admission.admitted`` / ``service.admission.rejected.<reason>``)
+and rejected submissions map to CLI exit code 5.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+
+#: The documented rejection reasons (protocol ``reason`` strings).
+REJECT_QUEUE_FULL = "queue-full"
+REJECT_RATE_LIMITED = "rate-limited"
+REJECT_DRAINING = "draining"
+REJECT_OVER_BUDGET = "over-budget"
+
+#: CLI exit code for an explicitly rejected submission.
+REJECTED_EXIT_CODE = 5
+
+
+@dataclass(frozen=True)
+class AdmissionVerdict:
+    """Outcome of one admission decision."""
+
+    admitted: bool
+    reason: str = "admitted"
+    detail: str = ""
+
+    @property
+    def rejected(self) -> bool:
+        return not self.admitted
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/second.
+
+    The clock is injectable so tests can step time deterministically.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ConfigurationError("token bucket rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = burst
+        self._stamp = clock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; refill lazily from the clock."""
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+
+class AdmissionController:
+    """Every gate a submission passes before it may join the queue.
+
+    Args:
+        queue_limit: max jobs pending+running at once.
+        rate / burst: per-client token-bucket parameters.
+        max_timeout_s: largest per-job wall-clock budget grantable.
+        default_timeout_s: budget granted when the client asks for none.
+        max_retries: largest per-cell retry count grantable.
+        max_cells: largest seed-grid size accepted in one job.
+        clock: injectable monotonic clock shared with the buckets.
+    """
+
+    def __init__(
+        self,
+        queue_limit: int = 64,
+        rate: float = 20.0,
+        burst: float = 40.0,
+        max_timeout_s: float = 300.0,
+        default_timeout_s: float = 60.0,
+        max_retries: int = 3,
+        max_cells: int = 256,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if queue_limit < 1:
+            raise ConfigurationError("queue_limit must be at least 1")
+        if default_timeout_s > max_timeout_s:
+            raise ConfigurationError("default_timeout_s cannot exceed max_timeout_s")
+        self.queue_limit = queue_limit
+        self.rate = rate
+        self.burst = burst
+        self.max_timeout_s = max_timeout_s
+        self.default_timeout_s = default_timeout_s
+        self.max_retries = max_retries
+        self.max_cells = max_cells
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def _bucket(self, client: str) -> TokenBucket:
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = self._buckets[client] = TokenBucket(
+                self.rate, self.burst, clock=self._clock
+            )
+        return bucket
+
+    def admit(
+        self,
+        client: str,
+        cells: int,
+        queue_depth: int,
+        draining: bool,
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> AdmissionVerdict:
+        """Gauntlet order: draining, budgets, rate limit, queue bound.
+
+        Budgets are checked before the bucket is debited so a rejected
+        over-budget probe does not also burn the client's tokens.
+        """
+        verdict = self._decide(client, cells, queue_depth, draining, timeout_s, retries)
+        if verdict.admitted:
+            obs_metrics.inc("service.admission.admitted")
+        else:
+            obs_metrics.inc(f"service.admission.rejected.{verdict.reason}")
+        return verdict
+
+    def _decide(
+        self,
+        client: str,
+        cells: int,
+        queue_depth: int,
+        draining: bool,
+        timeout_s: Optional[float],
+        retries: int,
+    ) -> AdmissionVerdict:
+        if draining:
+            return AdmissionVerdict(
+                False, REJECT_DRAINING, "service is draining; resubmit after restart"
+            )
+        if timeout_s is not None and timeout_s > self.max_timeout_s:
+            return AdmissionVerdict(
+                False,
+                REJECT_OVER_BUDGET,
+                f"timeout_s {timeout_s} exceeds the {self.max_timeout_s}s cap",
+            )
+        if retries > self.max_retries:
+            return AdmissionVerdict(
+                False,
+                REJECT_OVER_BUDGET,
+                f"retries {retries} exceeds the cap of {self.max_retries}",
+            )
+        if cells > self.max_cells:
+            return AdmissionVerdict(
+                False,
+                REJECT_OVER_BUDGET,
+                f"{cells} cells exceeds the per-job cap of {self.max_cells}",
+            )
+        if not self._bucket(client).try_take():
+            return AdmissionVerdict(
+                False,
+                REJECT_RATE_LIMITED,
+                f"client {client!r} exceeded {self.rate}/s (burst {self.burst})",
+            )
+        if queue_depth >= self.queue_limit:
+            return AdmissionVerdict(
+                False,
+                REJECT_QUEUE_FULL,
+                f"{queue_depth} jobs queued or running (limit {self.queue_limit})",
+            )
+        return AdmissionVerdict(True)
+
+    def granted_budget(
+        self, timeout_s: Optional[float], retries: int
+    ) -> tuple:
+        """The (timeout_s, retries) actually granted to an admitted job."""
+        granted_timeout = (
+            self.default_timeout_s if timeout_s is None else float(timeout_s)
+        )
+        return granted_timeout, max(0, int(retries))

@@ -1,0 +1,169 @@
+"""Circuit breaker around the process pool, with serial degradation.
+
+A process pool whose workers keep dying (OOM killer, a poisoned cell,
+a chaos drill's ``kill -9``) must not take the service down with it —
+the same posture as the supervisor's ``hold_last_safe`` degradation in
+:mod:`repro.core.supervisor`: keep operating with a safer, slower
+fallback instead of failing.  States::
+
+    CLOSED ----(threshold consecutive failures)----> OPEN
+    OPEN ----(jittered cooldown elapses)----> HALF_OPEN
+    HALF_OPEN --(probe succeeds)--> CLOSED
+    HALF_OPEN --(probe fails)----> OPEN (again, longer-jittered)
+
+While OPEN (and for every HALF_OPEN caller that is not the single
+probe) :meth:`allow_pool` answers ``False`` and the service executes
+sweeps serially in-process — degraded but correct, since serial and
+pooled execution are byte-identical by the repo's determinism contract.
+
+The cooldown before each half-open probe is **seeded-jittered**:
+``cooldown_s * (1 + jitter_fraction * u)`` with ``u`` drawn from an RNG
+derived from ``(seed, trip_count)`` via SHA-256 — reproducible for a
+given seed (testable), yet de-synchronised across service replicas that
+share a struggling backend (no thundering-herd probes).  The clock is
+injectable so tests pin the transition schedule exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from typing import Callable, Optional
+
+from repro.core.errors import ConfigurationError
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: Gauge encoding for ``service.breaker.state``.
+STATE_GAUGE = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+def _probe_jitter(seed: int, trip: int) -> float:
+    """Deterministic U[0,1) draw for trip number ``trip`` of ``seed``."""
+    digest = hashlib.sha256(f"breaker:{seed}:{trip}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big")).random()
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with seeded half-open probing.
+
+    Args:
+        threshold: consecutive failures that trip CLOSED -> OPEN.
+        cooldown_s: base OPEN dwell time before a half-open probe.
+        jitter_fraction: probe delay spread (0 disables jitter).
+        seed: derives the per-trip jitter stream.
+        clock: injectable monotonic clock.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 30.0,
+        jitter_fraction: float = 0.5,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be at least 1")
+        if cooldown_s <= 0:
+            raise ConfigurationError("breaker cooldown_s must be positive")
+        if not 0.0 <= jitter_fraction <= 1.0:
+            raise ConfigurationError("jitter_fraction must be in [0, 1]")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self.jitter_fraction = jitter_fraction
+        self.seed = seed
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._trips = 0
+        self._open_until: Optional[float] = None
+        self._probe_in_flight = False
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def trips(self) -> int:
+        return self._trips
+
+    def state(self) -> str:
+        """Current state; OPEN lazily becomes HALF_OPEN once the
+        jittered cooldown has elapsed."""
+        if self._state == OPEN and self._open_until is not None:
+            if self._clock() >= self._open_until:
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = False
+        return self._state
+
+    def _transition(self, state: str) -> None:
+        if state == self._state:
+            return
+        previous, self._state = self._state, state
+        obs_metrics.gauge_set("service.breaker.state", STATE_GAUGE[state])
+        obs.emit("service.breaker", state=state, previous=previous, trips=self._trips)
+
+    def _trip_open(self) -> None:
+        self._trips += 1
+        jitter = self.jitter_fraction * _probe_jitter(self.seed, self._trips)
+        dwell = self.cooldown_s * (1.0 + jitter)
+        self._open_until = self._clock() + dwell
+        self._probe_in_flight = False
+        obs_metrics.inc("service.breaker.trips")
+        self._transition(OPEN)
+
+    # -- decisions ---------------------------------------------------------
+
+    def allow_pool(self) -> bool:
+        """May the next sweep use the process pool?
+
+        CLOSED: yes.  OPEN: no (degrade to serial).  HALF_OPEN: yes for
+        exactly one caller — the probe — until its outcome is recorded;
+        everyone else stays serial meanwhile.
+        """
+        state = self.state()
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and not self._probe_in_flight:
+            self._probe_in_flight = True
+            obs_metrics.inc("service.breaker.probes")
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A pooled sweep completed: close (probe passed) or stay closed."""
+        self._consecutive_failures = 0
+        if self._state == HALF_OPEN:
+            self._probe_in_flight = False
+            self._open_until = None
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A pooled sweep crashed a worker (or timed out at the pool
+        level): count towards the threshold, trip or re-trip."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN:
+            # The probe itself failed: straight back to OPEN with a
+            # fresh (longer-jittered) dwell.
+            self._trip_open()
+            return
+        if self._state == CLOSED and self._consecutive_failures >= self.threshold:
+            self._trip_open()
+
+    def status(self) -> dict:
+        """Protocol-visible summary (``stats`` response, soak reports)."""
+        state = self.state()
+        return {
+            "state": state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self._trips,
+            "cooldown_remaining_s": (
+                max(0.0, self._open_until - self._clock())
+                if state == OPEN and self._open_until is not None
+                else 0.0
+            ),
+        }

@@ -1,0 +1,188 @@
+"""Chaos harness for the attack-lab service.
+
+Drives a *real* service process (``python -m repro serve``) through the
+fault plans the robustness contract promises to survive:
+
+* ``kill9`` — SIGKILL mid-run, then :meth:`ServiceUnderTest.restart`
+  to assert journal recovery completes every accepted job exactly once;
+* ``sigterm`` — graceful drain, asserting exit code 0;
+* worker kills — arm a crash-flag file consumed (and ``os._exit``'d on)
+  by exactly one pool worker, tripping the ``WorkerCrashError`` path;
+* ``truncate_tail`` — shear bytes off the journal to simulate a torn
+  append.
+
+The harness only uses public process/filesystem interfaces, so the
+same drills run in tests and in the CI ``service-soak`` job.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.errors import ServiceError
+
+_LISTENING = re.compile(r"repro-serve listening on (\S+):(\d+)")
+
+
+def truncate_tail(path: str, nbytes: int) -> int:
+    """Shear ``nbytes`` off the end of ``path`` (torn-append simulation).
+
+    Returns the resulting file size.
+    """
+    size = os.path.getsize(path)
+    keep = max(0, size - nbytes)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep
+
+
+def arm_crash_flag(path: str) -> None:
+    """Create the flag file one pool worker will consume and die on."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("crash\n")
+
+
+class ServiceUnderTest:
+    """A ``repro serve`` subprocess the chaos drills start, kill and
+    restart.
+
+    Args:
+        workdir: directory for the journal, cache, checkpoints, logs.
+        extra_args: additional ``repro serve`` flags (queue limits,
+            breaker thresholds, crash-flag paths, ...).
+    """
+
+    def __init__(self, workdir: str, extra_args: Optional[List[str]] = None):
+        self.workdir = workdir
+        self.extra_args = list(extra_args or [])
+        self.journal_path = os.path.join(workdir, "journal.jsonl")
+        self.cache_dir = os.path.join(workdir, "cache")
+        self.checkpoint_dir = os.path.join(workdir, "checkpoints")
+        self.metrics_path = os.path.join(workdir, "metrics.jsonl")
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.proc: Optional[subprocess.Popen] = None
+        self._log_index = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self, timeout_s: float = 30.0) -> Tuple[str, int]:
+        """Launch the service and block until it reports its port."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise ServiceError("service already running")
+        os.makedirs(self.workdir, exist_ok=True)
+        self._log_index += 1
+        log_path = os.path.join(self.workdir, f"serve-{self._log_index}.log")
+        self._log = open(log_path, "w+", encoding="utf-8")
+        argv = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+            "--journal",
+            self.journal_path,
+            "--cache-dir",
+            self.cache_dir,
+            "--checkpoint-dir",
+            self.checkpoint_dir,
+            "--metrics-out",
+            self.metrics_path,
+            *self.extra_args,
+        ]
+        env = dict(os.environ)
+        src_root = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__))))), "src"
+        )
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [src_root, env.get("PYTHONPATH")])
+        )
+        self.proc = subprocess.Popen(
+            argv,
+            stdout=self._log,
+            stderr=subprocess.STDOUT,
+            cwd=self.workdir,
+            env=env,
+        )
+        deadline = time.monotonic() + timeout_s
+        while True:
+            self._log.flush()
+            with open(log_path, "r", encoding="utf-8") as handle:
+                match = _LISTENING.search(handle.read())
+            if match:
+                self.host, self.port = match.group(1), int(match.group(2))
+                return self.host, self.port
+            if self.proc.poll() is not None:
+                with open(log_path, "r", encoding="utf-8") as handle:
+                    raise ServiceError(
+                        "service exited before listening "
+                        f"(rc={self.proc.returncode}):\n{handle.read()}"
+                    )
+            if time.monotonic() >= deadline:
+                self.proc.kill()
+                raise ServiceError(f"service did not listen within {timeout_s}s")
+            time.sleep(0.05)
+
+    def restart(self, timeout_s: float = 30.0) -> Tuple[str, int]:
+        """Start a fresh process over the same journal/cache/checkpoints."""
+        if self.proc is not None and self.proc.poll() is None:
+            raise ServiceError("kill or drain the service before restart")
+        return self.start(timeout_s=timeout_s)
+
+    # -- faults ------------------------------------------------------------
+
+    def kill9(self) -> None:
+        """SIGKILL — the crash the journal must survive."""
+        if self.proc is None:
+            raise ServiceError("service not started")
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait()
+
+    def sigterm(self, timeout_s: float = 60.0) -> int:
+        """SIGTERM — graceful drain; returns the exit code (0 expected)."""
+        if self.proc is None:
+            raise ServiceError("service not started")
+        self.proc.send_signal(signal.SIGTERM)
+        try:
+            return self.proc.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            raise ServiceError(f"drain did not finish within {timeout_s}s")
+
+    def wait(self, timeout_s: float = 60.0) -> int:
+        if self.proc is None:
+            raise ServiceError("service not started")
+        return self.proc.wait(timeout=timeout_s)
+
+    def stop(self) -> None:
+        """Best-effort teardown for test fixtures."""
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+        log = getattr(self, "_log", None)
+        if log is not None and not log.closed:
+            log.close()
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self.proc is not None and self.proc.poll() is None
+
+    def read_log(self) -> str:
+        log_path = os.path.join(self.workdir, f"serve-{self._log_index}.log")
+        try:
+            with open(log_path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return ""

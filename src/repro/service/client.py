@@ -1,0 +1,152 @@
+"""Blocking client for the attack-lab service protocol.
+
+A thin synchronous wrapper over the newline-delimited-JSON TCP protocol
+served by :mod:`repro.service.server` — used by ``repro submit``, the
+chaos tests and the CI soak driver.  One socket, pipelined
+request/response lines, no external dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.errors import ServiceError
+
+
+class ServiceClient:
+    """One connection to a running attack-lab service.
+
+    Usable as a context manager; every ``op`` method sends one request
+    line and blocks for its response line.
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout_s: float = 30.0
+    ):
+        self.host = host
+        self.port = port
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach attack-lab service at {host}:{port}: {exc}"
+            ) from exc
+        self._file = self._sock.makefile("rwb")
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # -- protocol ----------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return its response object."""
+        try:
+            self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as exc:
+            raise ServiceError(f"service connection failed: {exc}") from exc
+        if not line:
+            raise ServiceError("service closed the connection mid-request")
+        try:
+            response = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"malformed service response: {exc}") from exc
+        if not isinstance(response, dict):
+            raise ServiceError("malformed service response: not an object")
+        return response
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        attack: str,
+        params: Optional[Dict[str, object]] = None,
+        seeds: Sequence[int] = (),
+        client: str = "anon",
+        timeout_s: Optional[float] = None,
+        retries: int = 0,
+    ) -> dict:
+        request: dict = {
+            "op": "submit",
+            "attack": attack,
+            "params": dict(params or {}),
+            "seeds": [int(seed) for seed in seeds],
+            "client": client,
+            "retries": retries,
+        }
+        if timeout_s is not None:
+            request["timeout_s"] = timeout_s
+        return self.request(request)
+
+    def status(self, job_id: str) -> dict:
+        return self.request({"op": "status", "job_id": job_id})
+
+    def result(self, job_id: str) -> dict:
+        return self.request({"op": "result", "job_id": job_id})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_s: float = 60.0,
+        poll_s: float = 0.05,
+    ) -> dict:
+        """Poll ``status`` until the job reaches a terminal state.
+
+        Returns the final status payload; raises :class:`ServiceError`
+        on deadline (the job is still owned by the service — this is a
+        client-side patience limit, not a job cancellation).
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {status.get('state')!r} "
+                    f"after {timeout_s}s"
+                )
+            time.sleep(poll_s)
+
+
+def wait_for_port(
+    host: str, port: int, timeout_s: float = 10.0, poll_s: float = 0.05
+) -> None:
+    """Block until a TCP listener answers at (host, port)."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=poll_s):
+                return
+        except OSError:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"no listener at {host}:{port} after {timeout_s}s"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,137 @@
+"""Job model for the attack-lab service.
+
+A *job* is one sweep submission: an attack name, base parameters and a
+seed list — exactly the unit ``repro run --seeds`` executes, but
+accepted over the wire and owned by the service.  Its identity is a
+**content address** (:func:`job_id_for`): the SHA-256 of the canonical
+JSON of (attack, params, seeds, code version), the same discipline the
+result cache uses per cell.  Two clients submitting the same work get
+the same job — duplicate submissions dedup to one execution and one
+result, and a journal replay after a crash can never enqueue the same
+work twice.
+
+Lifecycle::
+
+    PENDING --> RUNNING --> DONE
+                       \\-> FAILED
+
+Recovery maps both PENDING and RUNNING back to PENDING: a job observed
+RUNNING at crash time simply re-executes, and per-cell checkpoints plus
+the result cache make that re-execution resume (not recompute), so the
+final aggregate is byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+class JobState(str, enum.Enum):
+    """Where a job is in its lifecycle (journal ``state`` strings)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED)
+
+
+def job_id_for(
+    attack: str,
+    params: Dict[str, object],
+    seeds: Sequence[int],
+    code: Optional[str] = None,
+) -> str:
+    """Content address of one job (stable across submissions/restarts).
+
+    Includes the code version digest, so results journaled under an
+    older tree are never replayed against edited code — the same
+    staleness rule :func:`repro.runner.cache.cache_key` enforces.
+    """
+    from repro.obs.ledger import jsonable
+    from repro.runner.cache import code_version
+
+    payload = json.dumps(
+        {
+            "attack": attack,
+            "params": jsonable(params),
+            "seeds": [int(seed) for seed in seeds],
+            "code": code if code is not None else code_version(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass
+class Job:
+    """One accepted sweep submission and everything learned about it."""
+
+    id: str
+    attack: str
+    params: Dict[str, object] = field(default_factory=dict)
+    seeds: List[int] = field(default_factory=list)
+    client: str = "anon"
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    seq: int = 0  # acceptance order; recovery re-enqueues in this order
+    state: JobState = JobState.PENDING
+    aggregate: Optional[dict] = None
+    report_hash: Optional[str] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+    error: Optional[str] = None
+    degraded: bool = False  # executed serially because the breaker was open
+    recovered: bool = False  # re-enqueued by journal replay after a restart
+
+    def spec(self) -> dict:
+        """The journaled (and protocol-visible) submission spec."""
+        from repro.obs.ledger import jsonable
+
+        return {
+            "id": self.id,
+            "attack": self.attack,
+            "params": jsonable(self.params),
+            "seeds": list(self.seeds),
+            "client": self.client,
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "seq": self.seq,
+        }
+
+    def status(self) -> dict:
+        """The protocol-visible status payload."""
+        payload: dict = {
+            "job_id": self.id,
+            "state": self.state.value,
+            "attack": self.attack,
+            "seeds": len(self.seeds),
+            "recovered": self.recovered,
+        }
+        if self.state is JobState.DONE:
+            payload["report_hash"] = self.report_hash
+            payload["counts"] = dict(self.counts)
+            payload["degraded"] = self.degraded
+        if self.state is JobState.FAILED:
+            payload["error"] = self.error
+        return payload
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Job":
+        """Rebuild a job from a journaled spec record."""
+        return cls(
+            id=str(spec["id"]),
+            attack=str(spec["attack"]),
+            params=dict(spec.get("params") or {}),
+            seeds=[int(seed) for seed in spec.get("seeds") or []],
+            client=str(spec.get("client", "anon")),
+            timeout_s=spec.get("timeout_s"),
+            retries=int(spec.get("retries", 0)),
+            seq=int(spec.get("seq", 0)),
+        )

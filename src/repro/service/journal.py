@@ -1,0 +1,341 @@
+"""Journaled job store: append-only JSONL, atomic rotation, recovery.
+
+The service's durability contract — ``kill -9`` loses zero *accepted*
+jobs — rests on this file.  Every admission decision that matters is an
+appended, flushed, fsynced JSONL record (the same write discipline as
+:class:`~repro.runner.checkpoint.SweepCheckpoint` and the obs ledger):
+
+* ``{"record": "service", "schema": 1}`` — header, first line;
+* ``{"record": "job", "state": "accepted", "spec": {...}}`` — on admit,
+  *before* the submit response is sent (the response is a durability
+  receipt);
+* ``{"record": "job", "state": "running", "id": ...}`` — on dispatch;
+* ``{"record": "job", "state": "done", "id": ..., "aggregate": {...},
+  "report_hash": ..., "counts": {...}, "degraded": ...}``;
+* ``{"record": "job", "state": "failed", "id": ..., "error": ...}``.
+
+Loading replays the records into a ``Job`` map keyed by content
+address; the *latest* state wins, so a job can appear accepted, then
+running, then done across the stream and recovery sees only its final
+state.  A torn tail (the kill arrived mid-append) is tolerated and
+physically truncated via
+:func:`~repro.runner.checkpoint.repair_torn_jsonl_tail`, so the journal
+self-heals before its next append.
+
+**Rotation** (:meth:`JobJournal.rotate`) compacts the stream — one
+``accepted`` plus at most one terminal record per job, in acceptance
+order — into a temp file that is fsynced and :func:`os.replace`'d over
+the live journal.  Readers and crashes see either the old journal or
+the new one, never a half-rotated hybrid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ServiceError
+from repro.obs import metrics as obs_metrics
+from repro.runner.checkpoint import repair_torn_jsonl_tail
+from repro.service.jobs import Job, JobState
+
+SCHEMA_VERSION = 1
+
+
+class JobJournal:
+    """Append-only journal of job lifecycle transitions.
+
+    Args:
+        path: journal file (created with a header if absent).
+        rotate_after_records: soft cap on appended records before
+            :meth:`maybe_rotate` compacts the file (0 disables).
+    """
+
+    def __init__(self, path: str, rotate_after_records: int = 4096):
+        self.path = path
+        self.rotate_after_records = rotate_after_records
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # acceptance order of job ids
+        self._records_since_rotate = 0
+        self.torn_bytes_repaired = 0
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        if os.path.exists(path):
+            self._load()
+        else:
+            self._write_header()
+
+    # -- persistence -------------------------------------------------------
+
+    def _write_header(self) -> None:
+        with open(self.path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps({"record": "service", "schema": SCHEMA_VERSION}) + "\n"
+            )
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _append(self, record: dict) -> None:
+        """One durable record: written, flushed and fsynced before return."""
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._records_since_rotate += 1
+
+    def _load(self) -> None:
+        self.torn_bytes_repaired = repair_torn_jsonl_tail(self.path)
+        if self.torn_bytes_repaired:
+            obs_metrics.inc("service.journal.torn_tails")
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as exc:
+            raise ServiceError(f"cannot read job journal {self.path}: {exc}") from exc
+        records: List[dict] = []
+        for number, line in enumerate(lines, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                records.append(json.loads(stripped))
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    f"{self.path}:{number}: corrupt journal record: {exc}"
+                ) from exc
+        if not records or records[0].get("record") != "service":
+            raise ServiceError(
+                f"{self.path}: not a service journal (missing header record)"
+            )
+        if records[0].get("schema") != SCHEMA_VERSION:
+            raise ServiceError(
+                f"{self.path}: unsupported journal schema {records[0].get('schema')!r}"
+            )
+        for record in records[1:]:
+            if record.get("record") != "job":
+                raise ServiceError(
+                    f"{self.path}: unexpected record type {record.get('record')!r}"
+                )
+            self._replay(record)
+        self._records_since_rotate = len(records) - 1
+
+    def _replay(self, record: dict) -> None:
+        state = str(record.get("state", ""))
+        if state == "accepted":
+            job = Job.from_spec(record.get("spec") or {})
+            if job.id not in self.jobs:
+                self._order.append(job.id)
+            self.jobs[job.id] = job
+            return
+        job = self.jobs.get(str(record.get("id", "")))
+        if job is None:
+            # A terminal/running record without its accepted record can
+            # only follow a rotation bug or hand-edited journal; be
+            # tolerant (the job cannot be recovered without its spec).
+            return
+        if state == "running":
+            job.state = JobState.RUNNING
+        elif state == "done":
+            job.state = JobState.DONE
+            job.aggregate = record.get("aggregate")
+            job.report_hash = record.get("report_hash")
+            job.counts = dict(record.get("counts") or {})
+            job.degraded = bool(record.get("degraded", False))
+        elif state == "failed":
+            job.state = JobState.FAILED
+            job.error = record.get("error")
+
+    # -- writes ------------------------------------------------------------
+
+    def record_accepted(self, job: Job) -> None:
+        """Durably journal an admission; the submit response may only be
+        sent after this returns."""
+        self._append({"record": "job", "state": "accepted", "spec": job.spec()})
+        if job.id not in self.jobs:
+            self._order.append(job.id)
+        self.jobs[job.id] = job
+
+    def record_running(self, job: Job) -> None:
+        job.state = JobState.RUNNING
+        self._append({"record": "job", "state": "running", "id": job.id})
+
+    def record_done(self, job: Job) -> None:
+        self._append(
+            {
+                "record": "job",
+                "state": "done",
+                "id": job.id,
+                "aggregate": job.aggregate,
+                "report_hash": job.report_hash,
+                "counts": dict(job.counts),
+                "degraded": job.degraded,
+            }
+        )
+
+    def record_failed(self, job: Job) -> None:
+        self._append(
+            {"record": "job", "state": "failed", "id": job.id, "error": job.error}
+        )
+
+    # -- rotation ----------------------------------------------------------
+
+    def rotate(self) -> None:
+        """Compact the journal atomically (temp file + fsync + replace).
+
+        The compacted stream carries one ``accepted`` record per job in
+        acceptance order plus its terminal record if it has one;
+        RUNNING collapses back to accepted (recovery re-runs it, which
+        is the crash semantics anyway).
+        """
+        parent = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp_path = tempfile.mkstemp(
+            dir=parent, prefix=".journal-", suffix=".jsonl"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps({"record": "service", "schema": SCHEMA_VERSION}) + "\n"
+                )
+                for job_id in self._order:
+                    job = self.jobs[job_id]
+                    handle.write(
+                        json.dumps(
+                            {"record": "job", "state": "accepted", "spec": job.spec()},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    if job.state is JobState.DONE:
+                        handle.write(
+                            json.dumps(
+                                {
+                                    "record": "job",
+                                    "state": "done",
+                                    "id": job.id,
+                                    "aggregate": job.aggregate,
+                                    "report_hash": job.report_hash,
+                                    "counts": dict(job.counts),
+                                    "degraded": job.degraded,
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        )
+                    elif job.state is JobState.FAILED:
+                        handle.write(
+                            json.dumps(
+                                {
+                                    "record": "job",
+                                    "state": "failed",
+                                    "id": job.id,
+                                    "error": job.error,
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        self._records_since_rotate = 0
+        obs_metrics.inc("service.journal.rotations")
+
+    def maybe_rotate(self) -> bool:
+        """Rotate when the append count passed the configured cap."""
+        if (
+            self.rotate_after_records
+            and self._records_since_rotate >= self.rotate_after_records
+        ):
+            self.rotate()
+            return True
+        return False
+
+    # -- reads -------------------------------------------------------------
+
+    def in_order(self) -> List[Job]:
+        """Every journaled job, in acceptance order."""
+        return [self.jobs[job_id] for job_id in self._order]
+
+    def recoverable(self) -> List[Job]:
+        """Jobs a restart must re-enqueue: latest state PENDING/RUNNING.
+
+        Each is flipped back to PENDING and flagged ``recovered``; the
+        content-addressed id guarantees no duplicates even if a job was
+        journaled accepted on one run and running on the next.
+        """
+        recovered: List[Job] = []
+        for job in self.in_order():
+            if not job.state.terminal:
+                job.state = JobState.PENDING
+                job.recovered = True
+                recovered.append(job)
+        return recovered
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {state.value: 0 for state in JobState}
+        for job in self.jobs.values():
+            tally[job.state.value] += 1
+        return tally
+
+
+def journal_invariants(paths: List[str]) -> Tuple[Dict[str, int], List[str]]:
+    """Cross-journal exactly-once audit used by chaos drills and the soak
+    gate: parse one or more journal files (in order) and return
+    ``(done_counts_by_job, violations)``.
+
+    Violations flagged: a job with more than one ``done`` record across
+    the streams (duplicated execution), and a job accepted but never
+    completed (lost).  Journals are read tolerantly — a torn tail stops
+    the scan of that file, matching what a restarted service would see.
+    """
+    accepted: Dict[str, int] = {}
+    done: Dict[str, int] = {}
+    failed: Dict[str, int] = {}
+    hashes: Dict[str, set] = {}
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError:
+            continue
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    break
+                raise
+            if record.get("record") != "job":
+                continue
+            state = record.get("state")
+            if state == "accepted":
+                job_id = str((record.get("spec") or {}).get("id", ""))
+                accepted[job_id] = accepted.get(job_id, 0) + 1
+            elif state == "done":
+                job_id = str(record.get("id", ""))
+                done[job_id] = done.get(job_id, 0) + 1
+                hashes.setdefault(job_id, set()).add(record.get("report_hash"))
+            elif state == "failed":
+                job_id = str(record.get("id", ""))
+                failed[job_id] = failed.get(job_id, 0) + 1
+    violations: List[str] = []
+    for job_id, count in sorted(done.items()):
+        if count > 1:
+            violations.append(f"job {job_id} completed {count} times")
+        if len(hashes.get(job_id, set())) > 1:
+            violations.append(f"job {job_id} produced divergent report hashes")
+    for job_id in sorted(accepted):
+        if job_id not in done and job_id not in failed:
+            violations.append(f"job {job_id} accepted but never completed")
+    return done, violations

@@ -1,0 +1,616 @@
+"""The attack-lab service: an asyncio job API over the sweep engine.
+
+``repro serve`` turns the repo's runner stack into a long-lived
+service: clients submit sweep jobs over a newline-delimited-JSON TCP
+protocol, an admission controller decides explicitly who gets in, a
+journaled job store makes every accepted job durable before its
+acceptance is acknowledged, and a single-threaded asyncio loop
+dispatches execution to the :class:`~repro.runner.parallel.
+ParallelSweepExecutor` behind a circuit breaker.  The design goals, in
+order: never lose an accepted job, never execute one twice, never die
+because a dependency (worker pool, journal tail, hostile client)
+misbehaved.
+
+Protocol (one JSON object per line, one response line per request;
+connections may pipeline requests)::
+
+    {"op": "submit", "attack": ..., "params": {...}, "seeds": [...],
+     "client": ..., "timeout_s": ..., "retries": ...}
+    {"op": "status", "job_id": ...}
+    {"op": "result", "job_id": ...}
+    {"op": "stats"}
+    {"op": "drain"}
+    {"op": "ping"}
+
+Failure semantics (the table in EXPERIMENTS.md is generated from this
+contract):
+
+* **kill -9 of the service** — accepted jobs are journaled; restart
+  replays PENDING/RUNNING jobs exactly once, and per-cell checkpoints
+  plus the result cache make the replay *resume*, so aggregates and
+  ``report_hash`` are byte-identical to an uninterrupted run.
+* **worker process crash** — surfaces as ``WorkerCrashError``; the job
+  is re-run serially in-process (degraded, correct), and consecutive
+  crashes trip the circuit breaker so later jobs skip the pool until a
+  seeded-jittered half-open probe heals it.
+* **queue full / rate limit / over budget / draining** — the
+  submission is rejected with an explicit reason (exit code 5 at the
+  CLI), never silently dropped.
+* **SIGTERM** — admission stops, the in-flight sweep finishes (or is
+  checkpointed at the drain timeout), queued jobs stay journaled for
+  the next start, the journal is compacted and a final metrics
+  snapshot is flushed; exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import os
+import signal
+import time as _wallclock
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, WorkerCrashError
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs
+from repro.obs.metrics import MetricRegistry, append_snapshot
+from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import SweepReport, seed_cells
+from repro.runner.parallel import ParallelSweepExecutor, RegistryAttackFactory
+from repro.runner.resilient import RetryPolicy
+from repro.service.admission import REJECTED_EXIT_CODE, AdmissionController
+from repro.service.breaker import CircuitBreaker
+from repro.service.jobs import Job, JobState, job_id_for
+from repro.service.journal import JobJournal
+
+#: Sentinel queued to stop a worker coroutine.
+_DRAIN = object()
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` exposes as flags, in one place."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0: ephemeral; the bound port is reported by start()
+    journal_path: str = "service-journal.jsonl"
+    cache_dir: Optional[str] = None
+    checkpoint_dir: Optional[str] = None
+    queue_limit: int = 64
+    rate: float = 20.0
+    burst: float = 40.0
+    max_timeout_s: float = 300.0
+    default_timeout_s: float = 60.0
+    max_retries: int = 3
+    max_cells: int = 256
+    jobs: Optional[int] = None  # sweep pool width; None: $REPRO_JOBS / cores
+    concurrency: int = 1  # jobs executing at once (worker coroutines)
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    breaker_jitter: float = 0.5
+    seed: int = 0
+    metrics_out: Optional[str] = None
+    drain_timeout_s: float = 30.0
+    rotate_after_records: int = 4096
+    crash_flag: Optional[str] = None  # chaos drills: kill one pool worker
+    start_workers: bool = True  # tests pause execution with False
+
+
+class AttackLabService:
+    """One service instance: journal + admission + breaker + executor."""
+
+    def __init__(self, config: ServiceConfig):
+        if config.concurrency < 1:
+            raise ConfigurationError("concurrency must be at least 1")
+        self.config = config
+        self.journal = JobJournal(
+            config.journal_path, rotate_after_records=config.rotate_after_records
+        )
+        self.admission = AdmissionController(
+            queue_limit=config.queue_limit,
+            rate=config.rate,
+            burst=config.burst,
+            max_timeout_s=config.max_timeout_s,
+            default_timeout_s=config.default_timeout_s,
+            max_retries=config.max_retries,
+            max_cells=config.max_cells,
+        )
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            cooldown_s=config.breaker_cooldown_s,
+            jitter_fraction=config.breaker_jitter,
+            seed=config.seed,
+        )
+        self.cache = ResultCache(config.cache_dir) if config.cache_dir else None
+        self.registry = MetricRegistry()
+        self.recovered: List[Job] = []
+        self._active = 0  # jobs pending or running under this process
+        self._seq = max(
+            (job.seq for job in self.journal.jobs.values()), default=-1
+        ) + 1
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._queue: "asyncio.Queue" = asyncio.Queue()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._workers: List[asyncio.Task] = []
+        self._metrics_token = None
+        self._started_wall = _wallclock.time()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> Tuple[str, int]:
+        """Recover the journal, start workers and bind the listener.
+
+        Returns the bound (host, port) — with ``port=0`` the kernel
+        picks an ephemeral port and this is the only way to learn it.
+        """
+        # The service's registry routes every obs metric emitted in this
+        # process (admission verdicts, cache hits, breaker flips, ...).
+        self._metrics_token = obs_metrics.activate(self.registry)
+        self._metrics_token.__enter__()
+
+        if self.config.checkpoint_dir:
+            os.makedirs(self.config.checkpoint_dir, exist_ok=True)
+
+        self.recovered = self.journal.recoverable()
+        for job in self.recovered:
+            self._queue.put_nowait(job)
+            self._active += 1
+            obs_metrics.inc("service.jobs_recovered")
+        self._set_queue_gauge()
+
+        if self.config.start_workers:
+            self.start_workers()
+
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        obs.emit(
+            "service.started",
+            host=host,
+            port=port,
+            recovered=len(self.recovered),
+            torn_bytes=self.journal.torn_bytes_repaired,
+        )
+        return host, port
+
+    def start_workers(self) -> None:
+        """Spawn the execution coroutines (tests call this after
+        flooding a paused service)."""
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.get_running_loop().create_task(self._worker())
+            for _ in range(self.config.concurrency)
+        ]
+
+    def begin_drain(self) -> None:
+        """Stop admission and wake :meth:`wait_drained`; idempotent and
+        safe to call from a signal handler registered on the loop."""
+        if self._draining:
+            return
+        self._draining = True
+        obs_metrics.inc("service.drains")
+        obs.emit("service.drain_begin")
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    async def shutdown(self) -> dict:
+        """Graceful stop: close the listener, finish (or abandon to the
+        checkpoint) in-flight work, compact the journal, flush metrics.
+
+        Queued-but-unstarted jobs are *not* executed — they are already
+        durable in the journal and the next start recovers them.
+        Returns a summary dict for the CLI to print.
+        """
+        self.begin_drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Unstarted jobs stay journaled for the next start; clear them
+        # so the drain sentinels reach the workers directly.
+        abandoned = 0
+        while not self._queue.empty():
+            job = self._queue.get_nowait()
+            if job is not _DRAIN:
+                abandoned += 1
+        for _ in self._workers:
+            self._queue.put_nowait(_DRAIN)
+        timed_out = False
+        if self._workers:
+            done, pending = await asyncio.wait(
+                self._workers, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                timed_out = True
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        self.journal.maybe_rotate()
+        if self.config.metrics_out:
+            self._flush_metrics()
+        summary = {
+            "drained": True,
+            "drain_timed_out": timed_out,
+            "jobs_left_for_restart": abandoned
+            + sum(
+                1 for job in self.journal.jobs.values() if not job.state.terminal
+            ),
+            "journal": self.journal.counts(),
+            "breaker": self.breaker.status(),
+        }
+        obs.emit("service.drained", **{k: v for k, v in summary.items() if k != "journal"})
+        if self._metrics_token is not None:
+            self._metrics_token.__exit__(None, None, None)
+            self._metrics_token = None
+        return summary
+
+    async def serve_forever(self) -> dict:
+        """start() + SIGTERM/SIGINT drain handlers + shutdown()."""
+        host, port = await self.start()
+        print(f"repro-serve listening on {host}:{port}", flush=True)
+        if self.recovered:
+            print(
+                f"recovered {len(self.recovered)} journaled job(s)", flush=True
+            )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.begin_drain)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                pass
+        await self.wait_drained()
+        return await self.shutdown()
+
+    def _flush_metrics(self) -> None:
+        path = self.config.metrics_out
+        try:
+            if path.endswith((".prom", ".txt")):
+                with open(path, "w", encoding="utf-8") as handle:
+                    handle.write(self.registry.to_prometheus())
+            else:
+                append_snapshot(
+                    path,
+                    self.registry,
+                    source="service",
+                    uptime_s=_wallclock.time() - self._started_wall,
+                )
+        except OSError as exc:  # metrics must never block a drain
+            obs.emit("service.metrics_flush_failed", error=str(exc))
+
+    # -- execution ---------------------------------------------------------
+
+    def _set_queue_gauge(self) -> None:
+        obs_metrics.gauge_set("service.queue_depth", float(self._active))
+
+    def _checkpoint_path(self, job: Job) -> Optional[str]:
+        if not self.config.checkpoint_dir:
+            return None
+        return os.path.join(self.config.checkpoint_dir, f"job-{job.id}.jsonl")
+
+    def _run_sweep(self, job: Job, use_pool: bool) -> SweepReport:
+        """Execute one job's sweep (called on an executor thread)."""
+        executor = ParallelSweepExecutor(
+            jobs=self.config.jobs if use_pool else 1,
+            retry=RetryPolicy(max_retries=job.retries),
+            timeout_s=job.timeout_s,
+            budget_s=job.timeout_s,
+            cache=self.cache,
+            runner_seed=self.config.seed,
+            crash_flag=self.config.crash_flag if use_pool else None,
+        )
+        return executor.run(
+            RegistryAttackFactory(job.attack),
+            seed_cells(job.params, job.seeds),
+            checkpoint_path=self._checkpoint_path(job),
+        )
+
+    async def _worker(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            if job is _DRAIN:
+                return
+            if job.state is not JobState.PENDING:
+                continue
+            self.journal.record_running(job)
+            started = _wallclock.perf_counter()
+            use_pool = self.breaker.allow_pool()
+            degraded = not use_pool
+            try:
+                try:
+                    report = await loop.run_in_executor(
+                        None, self._run_sweep, job, use_pool
+                    )
+                    if use_pool:
+                        self.breaker.record_success()
+                except WorkerCrashError as exc:
+                    # A pool worker died mid-sweep.  Count it against
+                    # the breaker, then finish the job serially —
+                    # completed cells resume from checkpoint/cache, so
+                    # the degraded rerun is byte-identical.
+                    self.breaker.record_failure()
+                    obs_metrics.inc("service.worker_crashes")
+                    obs.emit(
+                        "service.job_degraded", job=job.id, error=str(exc)
+                    )
+                    degraded = True
+                    report = await loop.run_in_executor(
+                        None, self._run_sweep, job, False
+                    )
+            except Exception as exc:  # noqa: BLE001 - job fails, service lives
+                job.state = JobState.FAILED
+                job.error = f"{type(exc).__name__}: {exc}"
+                self.journal.record_failed(job)
+                self._finish(job, started)
+                continue
+            if report.failed:
+                job.state = JobState.FAILED
+                job.error = f"{report.failed} cell(s) exhausted retries or timed out"
+                self.journal.record_failed(job)
+            else:
+                aggregate = report.aggregate()
+                aggregate_json = report.aggregate_json()
+                job.state = JobState.DONE
+                job.aggregate = aggregate
+                job.report_hash = hashlib.sha256(
+                    aggregate_json.encode("utf-8")
+                ).hexdigest()
+                job.counts = {
+                    "executed": report.executed,
+                    "resumed": report.resumed,
+                    "cached": report.cached,
+                    "failed": report.failed,
+                }
+                job.degraded = degraded
+                self.journal.record_done(job)
+            self._finish(job, started)
+
+    def _finish(self, job: Job, started: float) -> None:
+        self._active = max(0, self._active - 1)
+        self._set_queue_gauge()
+        wall = _wallclock.perf_counter() - started
+        obs_metrics.observe("service.job_wall_s", wall)
+        obs_metrics.inc(
+            "service.jobs_completed"
+            if job.state is JobState.DONE
+            else "service.jobs_failed"
+        )
+        self.journal.maybe_rotate()
+        obs.emit(
+            "service.job_finished",
+            job=job.id,
+            state=job.state.value,
+            wall_s=wall,
+            degraded=job.degraded,
+        )
+
+    # -- protocol ----------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                started = _wallclock.perf_counter()
+                try:
+                    request = json.loads(line.decode("utf-8"))
+                    if not isinstance(request, dict):
+                        raise ValueError("request must be a JSON object")
+                except (ValueError, UnicodeDecodeError) as exc:
+                    response = {
+                        "ok": False,
+                        "status": "error",
+                        "reason": "bad-request",
+                        "detail": str(exc),
+                    }
+                else:
+                    response = self._dispatch(request)
+                obs_metrics.observe(
+                    "service.request_wall_s", _wallclock.perf_counter() - started
+                )
+                writer.write(
+                    (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+                )
+                await writer.drain()
+        except (ConnectionResetError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):  # pragma: no cover
+                pass
+
+    def _dispatch(self, request: dict) -> dict:
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "status": "pong", "draining": self._draining}
+        if op == "submit":
+            return self._op_submit(request)
+        if op == "status":
+            return self._op_status(request)
+        if op == "result":
+            return self._op_result(request)
+        if op == "stats":
+            return self._op_stats()
+        if op == "drain":
+            self.begin_drain()
+            return {"ok": True, "status": "draining"}
+        return {
+            "ok": False,
+            "status": "error",
+            "reason": "bad-request",
+            "detail": f"unknown op {op!r}",
+        }
+
+    def _op_submit(self, request: dict) -> dict:
+        obs_metrics.inc("service.jobs_submitted")
+        attack = request.get("attack")
+        params = request.get("params") or {}
+        seeds = request.get("seeds")
+        client = str(request.get("client", "anon"))
+        timeout_s = request.get("timeout_s")
+        retries = int(request.get("retries", 0) or 0)
+        if not isinstance(attack, str) or not isinstance(params, dict):
+            return {
+                "ok": False,
+                "status": "error",
+                "reason": "bad-request",
+                "detail": "submit needs a string attack and a params object",
+            }
+        if (
+            not isinstance(seeds, list)
+            or not seeds
+            or not all(isinstance(seed, int) for seed in seeds)
+        ):
+            return {
+                "ok": False,
+                "status": "error",
+                "reason": "bad-request",
+                "detail": "seeds must be a non-empty list of integers",
+            }
+        resolved = self._resolve_attack_name(attack)
+        if resolved is None:
+            return {
+                "ok": False,
+                "status": "error",
+                "reason": "unknown-attack",
+                "detail": f"no attack named {attack!r}; see `python -m repro list`",
+            }
+
+        job_id = job_id_for(resolved, params, seeds)
+        existing = self.journal.jobs.get(job_id)
+        if existing is not None and existing.state is not JobState.FAILED:
+            # Duplicate of live or completed work: same content address,
+            # same job, no re-execution.  DONE results replay from the
+            # journal byte-identically.
+            obs_metrics.inc("service.jobs_deduped")
+            return {"ok": True, "status": "duplicate", **existing.status()}
+
+        verdict = self.admission.admit(
+            client=client,
+            cells=len(seeds),
+            queue_depth=self._active,
+            draining=self._draining,
+            timeout_s=timeout_s,
+            retries=retries,
+        )
+        if verdict.rejected:
+            obs.emit(
+                "service.rejected", client=client, reason=verdict.reason
+            )
+            return {
+                "ok": False,
+                "status": "rejected",
+                "reason": verdict.reason,
+                "detail": verdict.detail,
+                "exit_code": REJECTED_EXIT_CODE,
+            }
+
+        granted_timeout, granted_retries = self.admission.granted_budget(
+            timeout_s, retries
+        )
+        if existing is not None:
+            # Failed jobs may be resubmitted: same identity, fresh run.
+            job = existing
+            job.state = JobState.PENDING
+            job.error = None
+            job.timeout_s = granted_timeout
+            job.retries = granted_retries
+        else:
+            job = Job(
+                id=job_id,
+                attack=resolved,
+                params=dict(params),
+                seeds=[int(seed) for seed in seeds],
+                client=client,
+                timeout_s=granted_timeout,
+                retries=granted_retries,
+                seq=self._seq,
+            )
+            self._seq += 1
+        # Durability receipt: journaled (flushed + fsynced) before the
+        # acceptance response is written back to the client.
+        self.journal.record_accepted(job)
+        self._active += 1
+        self._set_queue_gauge()
+        obs_metrics.inc("service.jobs_accepted")
+        self._queue.put_nowait(job)
+        return {
+            "ok": True,
+            "status": "accepted",
+            "job_id": job.id,
+            "state": job.state.value,
+            "queue_depth": self._active,
+            "timeout_s": job.timeout_s,
+        }
+
+    def _resolve_attack_name(self, name: str) -> Optional[str]:
+        from repro.attacks import attack_registry
+        from repro.cli import ATTACK_ALIASES
+
+        resolved = ATTACK_ALIASES.get(name, name)
+        return resolved if resolved in attack_registry() else None
+
+    def _op_status(self, request: dict) -> dict:
+        job = self.journal.jobs.get(str(request.get("job_id", "")))
+        if job is None:
+            return {"ok": False, "status": "error", "reason": "unknown-job"}
+        return {"ok": True, "status": "status", **job.status()}
+
+    def _op_result(self, request: dict) -> dict:
+        job = self.journal.jobs.get(str(request.get("job_id", "")))
+        if job is None:
+            return {"ok": False, "status": "error", "reason": "unknown-job"}
+        if job.state is JobState.DONE:
+            return {
+                "ok": True,
+                "status": "result",
+                "job_id": job.id,
+                "state": job.state.value,
+                "aggregate": job.aggregate,
+                "report_hash": job.report_hash,
+                "counts": dict(job.counts),
+                "degraded": job.degraded,
+            }
+        if job.state is JobState.FAILED:
+            return {
+                "ok": False,
+                "status": "result",
+                "job_id": job.id,
+                "state": job.state.value,
+                "reason": "job-failed",
+                "error": job.error,
+            }
+        return {
+            "ok": False,
+            "status": "result",
+            "job_id": job.id,
+            "state": job.state.value,
+            "reason": "not-ready",
+        }
+
+    def _op_stats(self) -> dict:
+        return {
+            "ok": True,
+            "status": "stats",
+            "queue_depth": self._active,
+            "draining": self._draining,
+            "jobs": self.journal.counts(),
+            "breaker": self.breaker.status(),
+            "counters": {
+                name: value for name, value in sorted(self.registry.counters.items())
+            },
+            "uptime_s": _wallclock.time() - self._started_wall,
+        }

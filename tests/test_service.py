@@ -1,0 +1,681 @@
+"""Unit and in-process integration tests for the attack-lab service:
+journal durability and recovery, admission control, circuit-breaker
+transitions, and the asyncio server's job lifecycle."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import pytest
+
+from repro.core.errors import ServiceError, WorkerCrashError
+from repro.obs.metrics import MetricRegistry
+from repro.obs import metrics as obs_metrics
+from repro.service import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    AdmissionController,
+    AttackLabService,
+    CircuitBreaker,
+    Job,
+    JobJournal,
+    JobState,
+    REJECT_DRAINING,
+    REJECT_OVER_BUDGET,
+    REJECT_QUEUE_FULL,
+    REJECT_RATE_LIMITED,
+    REJECTED_EXIT_CODE,
+    ServiceClient,
+    ServiceConfig,
+    TokenBucket,
+    job_id_for,
+    journal_invariants,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, seconds: float) -> None:
+        self.t += seconds
+
+
+# -- job identity -----------------------------------------------------------
+
+
+def test_job_id_is_content_addressed():
+    a = job_id_for("demo", {"runs": 5}, [0, 1], code="v1")
+    assert a == job_id_for("demo", {"runs": 5}, [0, 1], code="v1")
+    assert a != job_id_for("demo", {"runs": 6}, [0, 1], code="v1")
+    assert a != job_id_for("demo", {"runs": 5}, [0, 2], code="v1")
+    assert a != job_id_for("demo", {"runs": 5}, [0, 1], code="v2")
+
+
+def test_job_spec_round_trip():
+    job = Job(
+        id="abc",
+        attack="demo",
+        params={"runs": 5},
+        seeds=[0, 1],
+        client="c1",
+        timeout_s=12.5,
+        retries=2,
+        seq=7,
+    )
+    clone = Job.from_spec(job.spec())
+    assert clone.spec() == job.spec()
+    assert clone.state is JobState.PENDING
+
+
+# -- token bucket / admission ----------------------------------------------
+
+
+def test_token_bucket_burst_and_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.try_take() for _ in range(4)] == [True, True, True, False]
+    clock.advance(1.0)  # refills 2 tokens
+    assert bucket.try_take()
+    assert bucket.try_take()
+    assert not bucket.try_take()
+
+
+def _controller(clock, **kwargs):
+    defaults = dict(
+        queue_limit=3,
+        rate=1000.0,
+        burst=1000.0,
+        max_timeout_s=100.0,
+        default_timeout_s=10.0,
+        max_retries=2,
+        max_cells=8,
+        clock=clock,
+    )
+    defaults.update(kwargs)
+    return AdmissionController(**defaults)
+
+
+def test_admission_rejects_each_reason():
+    clock = FakeClock()
+    admission = _controller(clock)
+    ok = admission.admit("c", cells=2, queue_depth=0, draining=False)
+    assert ok.admitted
+
+    draining = admission.admit("c", cells=2, queue_depth=0, draining=True)
+    assert draining.reason == REJECT_DRAINING
+
+    full = admission.admit("c", cells=2, queue_depth=3, draining=False)
+    assert full.reason == REJECT_QUEUE_FULL
+
+    budget = admission.admit(
+        "c", cells=2, queue_depth=0, draining=False, timeout_s=1000.0
+    )
+    assert budget.reason == REJECT_OVER_BUDGET
+    assert admission.admit(
+        "c", cells=2, queue_depth=0, draining=False, retries=5
+    ).reason == REJECT_OVER_BUDGET
+    assert admission.admit(
+        "c", cells=99, queue_depth=0, draining=False
+    ).reason == REJECT_OVER_BUDGET
+
+
+def test_rate_limit_is_per_client_and_budget_checks_burn_no_tokens():
+    clock = FakeClock()
+    admission = _controller(clock, rate=0.001, burst=2.0)
+    # Over-budget probes are rejected before the bucket is debited.
+    for _ in range(5):
+        assert (
+            admission.admit(
+                "flooder", cells=99, queue_depth=0, draining=False
+            ).reason
+            == REJECT_OVER_BUDGET
+        )
+    assert admission.admit("flooder", cells=1, queue_depth=0, draining=False).admitted
+    assert admission.admit("flooder", cells=1, queue_depth=0, draining=False).admitted
+    limited = admission.admit("flooder", cells=1, queue_depth=0, draining=False)
+    assert limited.reason == REJECT_RATE_LIMITED
+    # Another client has its own bucket.
+    assert admission.admit("polite", cells=1, queue_depth=0, draining=False).admitted
+
+
+def test_granted_budget_defaults():
+    admission = _controller(FakeClock())
+    assert admission.granted_budget(None, 0) == (10.0, 0)
+    assert admission.granted_budget(5.0, -3) == (5.0, 0)
+
+
+def test_admission_verdicts_are_counted():
+    registry = MetricRegistry()
+    with obs_metrics.activate(registry):
+        admission = _controller(FakeClock())
+        admission.admit("c", cells=1, queue_depth=0, draining=False)
+        admission.admit("c", cells=1, queue_depth=0, draining=True)
+    assert registry.counter("service.admission.admitted") == 1
+    assert registry.counter(f"service.admission.rejected.{REJECT_DRAINING}") == 1
+
+
+# -- journal ----------------------------------------------------------------
+
+
+def _job(job_id="j1", seq=0, **kwargs):
+    defaults = dict(attack="demo", params={"runs": 5}, seeds=[0, 1], seq=seq)
+    defaults.update(kwargs)
+    return Job(id=job_id, **defaults)
+
+
+def test_journal_replays_latest_state(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    job = _job()
+    journal.record_accepted(job)
+    journal.record_running(job)
+    job.aggregate = {"cells": 2}
+    job.report_hash = "h" * 64
+    job.counts = {"executed": 2}
+    job.state = JobState.DONE
+    journal.record_done(job)
+
+    reloaded = JobJournal(path)
+    assert reloaded.jobs["j1"].state is JobState.DONE
+    assert reloaded.jobs["j1"].aggregate == {"cells": 2}
+    assert reloaded.jobs["j1"].report_hash == "h" * 64
+    assert reloaded.recoverable() == []
+
+
+def test_journal_recovers_pending_and_running_exactly_once(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    pending, running, done = _job("p", 0), _job("r", 1), _job("d", 2)
+    for job in (pending, running, done):
+        journal.record_accepted(job)
+    journal.record_running(running)
+    journal.record_running(done)
+    done.state = JobState.DONE
+    journal.record_done(done)
+
+    reloaded = JobJournal(path)
+    recovered = reloaded.recoverable()
+    assert [job.id for job in recovered] == ["p", "r"]
+    assert all(job.state is JobState.PENDING for job in recovered)
+    assert all(job.recovered for job in recovered)
+
+
+def test_journal_tolerates_and_repairs_torn_tail(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.record_accepted(_job())
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"record": "job", "state": "done", "id": "j1", "agg')
+
+    reloaded = JobJournal(path)
+    assert reloaded.torn_bytes_repaired > 0
+    # The torn done record is gone: the job is still recoverable.
+    assert [job.id for job in reloaded.recoverable()] == ["j1"]
+    # And the repair was physical — a third load sees a clean file.
+    assert JobJournal(path).torn_bytes_repaired == 0
+
+
+def test_journal_rejects_midfile_corruption_and_bad_header(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path)
+    journal.record_accepted(_job())
+    journal.record_running(journal.jobs["j1"])
+    lines = open(path, "r", encoding="utf-8").readlines()
+    lines[1] = "garbage\n"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.writelines(lines)
+    with pytest.raises(ServiceError):
+        JobJournal(path)
+
+    other = str(tmp_path / "not-a-journal.jsonl")
+    with open(other, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps({"record": "sweep"}) + "\n")
+    with pytest.raises(ServiceError):
+        JobJournal(other)
+
+
+def test_journal_rotation_compacts_atomically(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path, rotate_after_records=0)
+    done, pending = _job("a", 0), _job("b", 1)
+    journal.record_accepted(done)
+    for _ in range(5):  # lots of churn records
+        journal.record_running(done)
+    done.state = JobState.DONE
+    done.aggregate = {"cells": 2}
+    done.report_hash = "h" * 64
+    journal.record_done(done)
+    journal.record_accepted(pending)
+    before = os.path.getsize(path)
+    journal.rotate()
+    assert os.path.getsize(path) < before
+
+    reloaded = JobJournal(path)
+    assert reloaded.jobs["a"].state is JobState.DONE
+    assert reloaded.jobs["a"].aggregate == {"cells": 2}
+    assert [job.id for job in reloaded.recoverable()] == ["b"]
+    # Acceptance order survives compaction.
+    assert [job.id for job in reloaded.in_order()] == ["a", "b"]
+
+
+def test_maybe_rotate_honours_cap(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    journal = JobJournal(path, rotate_after_records=3)
+    job = _job()
+    journal.record_accepted(job)
+    assert not journal.maybe_rotate()
+    journal.record_running(job)
+    journal.record_running(job)
+    assert journal.maybe_rotate()
+
+
+def test_journal_invariants_flags_duplicates_and_losses(tmp_path):
+    path = str(tmp_path / "journal.jsonl")
+    records = [
+        {"record": "service", "schema": 1},
+        {"record": "job", "state": "accepted", "spec": _job("dup").spec()},
+        {"record": "job", "state": "done", "id": "dup", "report_hash": "x"},
+        {"record": "job", "state": "done", "id": "dup", "report_hash": "y"},
+        {"record": "job", "state": "accepted", "spec": _job("lost", 1).spec()},
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    done, violations = journal_invariants([path])
+    assert done == {"dup": 2}
+    assert any("completed 2 times" in v for v in violations)
+    assert any("divergent report hashes" in v for v in violations)
+    assert any("lost" in v and "never completed" in v for v in violations)
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+def test_breaker_transitions_are_pinned():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        threshold=2, cooldown_s=10.0, jitter_fraction=0.0, seed=0, clock=clock
+    )
+    assert breaker.state() == CLOSED
+    assert breaker.allow_pool()
+    breaker.record_failure()
+    assert breaker.state() == CLOSED  # one short of the threshold
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    assert not breaker.allow_pool()
+
+    clock.advance(9.9)
+    assert breaker.state() == OPEN
+    clock.advance(0.2)
+    assert breaker.state() == HALF_OPEN
+    assert breaker.allow_pool()  # the single probe
+    assert not breaker.allow_pool()  # everyone else stays serial
+    breaker.record_success()
+    assert breaker.state() == CLOSED
+    assert breaker.allow_pool()
+    assert breaker.trips == 1
+
+
+def test_breaker_failed_probe_retrips():
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        threshold=1, cooldown_s=5.0, jitter_fraction=0.0, seed=0, clock=clock
+    )
+    breaker.record_failure()
+    assert breaker.state() == OPEN
+    clock.advance(5.1)
+    assert breaker.allow_pool()
+    breaker.record_failure()  # probe failed
+    assert breaker.state() == OPEN
+    assert breaker.trips == 2
+    assert breaker.status()["cooldown_remaining_s"] > 0
+
+
+def test_breaker_probe_jitter_is_seeded():
+    def dwell(seed: int) -> list:
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            threshold=1, cooldown_s=10.0, jitter_fraction=0.5, seed=seed, clock=clock
+        )
+        dwells = []
+        for _ in range(3):
+            breaker.record_failure()
+            dwells.append(breaker._open_until - clock.t)
+            clock.advance(dwells[-1] + 0.01)
+            assert breaker.allow_pool()
+        return dwells
+
+    assert dwell(7) == dwell(7)
+    assert dwell(7) != dwell(8)
+    assert all(10.0 <= d <= 15.0 for d in dwell(7))
+
+
+# -- in-process service -----------------------------------------------------
+
+
+def _config(tmp_path, **kwargs) -> ServiceConfig:
+    defaults = dict(
+        journal_path=str(tmp_path / "journal.jsonl"),
+        cache_dir=str(tmp_path / "cache"),
+        checkpoint_dir=str(tmp_path / "ckpt"),
+        default_timeout_s=60.0,
+    )
+    defaults.update(kwargs)
+    return ServiceConfig(**defaults)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _with_service(config, body):
+    """start() a service, run ``body(service, client)`` in a worker
+    thread, then shut down — returning body's result."""
+    service = AttackLabService(config)
+    host, port = await service.start()
+    loop = asyncio.get_running_loop()
+
+    def client_body():
+        with ServiceClient(host, port) as client:
+            return body(service, client)
+
+    try:
+        return await loop.run_in_executor(None, client_body)
+    finally:
+        await service.shutdown()
+
+
+def test_submit_executes_and_serves_result(tmp_path):
+    def body(service, client):
+        response = client.submit(
+            "blink-analytical", params={"runs": 5}, seeds=[0, 1]
+        )
+        assert response["status"] == "accepted"
+        status = client.wait(response["job_id"], timeout_s=60)
+        assert status["state"] == "done"
+        result = client.result(response["job_id"])
+        assert result["ok"]
+        assert result["counts"]["executed"] == 2
+        assert len(result["report_hash"]) == 64
+        assert not result["degraded"]
+        return result
+
+    _run(_with_service(_config(tmp_path), body))
+
+
+def test_duplicate_submission_dedups_without_reexecution(tmp_path):
+    def body(service, client):
+        response = client.submit(
+            "blink-analytical", params={"runs": 5}, seeds=[0, 1]
+        )
+        client.wait(response["job_id"], timeout_s=60)
+        executed_before = service.registry.counter("sweep.cells_executed")
+        first = client.result(response["job_id"])
+
+        duplicate = client.submit(
+            "blink-analytical", params={"runs": 5}, seeds=[0, 1]
+        )
+        assert duplicate["status"] == "duplicate"
+        assert duplicate["state"] == "done"
+        assert duplicate["report_hash"] == first["report_hash"]
+        second = client.result(duplicate["job_id"])
+        # Byte-identical result, zero re-execution.
+        assert json.dumps(second, sort_keys=True) == json.dumps(
+            first, sort_keys=True
+        )
+        assert service.registry.counter("sweep.cells_executed") == executed_before
+        assert service.registry.counter("service.jobs_deduped") == 1
+
+    _run(_with_service(_config(tmp_path), body))
+
+
+def test_flood_past_queue_bound_gets_clean_rejections(tmp_path):
+    config = _config(tmp_path, queue_limit=3, start_workers=False)
+
+    async def scenario():
+        service = AttackLabService(config)
+        host, port = await service.start()
+        loop = asyncio.get_running_loop()
+
+        def flood():
+            with ServiceClient(host, port) as client:
+                responses = [
+                    client.submit(
+                        "blink-analytical",
+                        params={"runs": 5},
+                        seeds=[seed],
+                        client=f"c{seed}",  # distinct buckets: isolate queue bound
+                    )
+                    for seed in range(6)
+                ]
+                return responses
+
+        responses = await loop.run_in_executor(None, flood)
+        accepted = [r for r in responses if r["status"] == "accepted"]
+        rejected = [r for r in responses if r["status"] == "rejected"]
+        assert len(accepted) == 3
+        assert len(rejected) == 3
+        for r in rejected:
+            assert r["reason"] == REJECT_QUEUE_FULL
+            assert r["exit_code"] == REJECTED_EXIT_CODE
+        assert (
+            service.registry.counter(
+                f"service.admission.rejected.{REJECT_QUEUE_FULL}"
+            )
+            == 3
+        )
+
+        # Draining the flood: workers start late, every accepted job
+        # still completes.
+        service.start_workers()
+
+        def wait_all():
+            with ServiceClient(host, port) as client:
+                return [
+                    client.wait(r["job_id"], timeout_s=60)["state"]
+                    for r in accepted
+                ]
+
+        states = await loop.run_in_executor(None, wait_all)
+        assert states == ["done"] * 3
+        await service.shutdown()
+
+    _run(scenario())
+
+
+def test_draining_service_rejects_submissions(tmp_path):
+    def body(service, client):
+        service.begin_drain()
+        response = client.submit(
+            "blink-analytical", params={"runs": 5}, seeds=[0]
+        )
+        assert response["status"] == "rejected"
+        assert response["reason"] == REJECT_DRAINING
+        assert response["exit_code"] == REJECTED_EXIT_CODE
+
+    _run(_with_service(_config(tmp_path), body))
+
+
+def test_protocol_rejects_malformed_requests(tmp_path):
+    def body(service, client):
+        assert client.request({"op": "nope"})["reason"] == "bad-request"
+        assert (
+            client.request({"op": "submit", "attack": 7, "seeds": [1]})["reason"]
+            == "bad-request"
+        )
+        assert (
+            client.request(
+                {"op": "submit", "attack": "demo", "params": {}, "seeds": []}
+            )["reason"]
+            == "bad-request"
+        )
+        assert (
+            client.request(
+                {"op": "submit", "attack": "no-such", "params": {}, "seeds": [1]}
+            )["reason"]
+            == "unknown-attack"
+        )
+        assert client.status("missing") == {
+            "ok": False,
+            "status": "error",
+            "reason": "unknown-job",
+        }
+        # Raw garbage on the wire gets an error response, not a hangup.
+        client._file.write(b"not json\n")
+        client._file.flush()
+        line = client._file.readline()
+        assert json.loads(line)["reason"] == "bad-request"
+        assert client.ping()["ok"]  # connection still alive
+
+    _run(_with_service(_config(tmp_path), body))
+
+
+def test_worker_crash_degrades_to_serial_and_trips_breaker(tmp_path, monkeypatch):
+    config = _config(tmp_path, breaker_threshold=1, breaker_cooldown_s=600.0)
+    real = AttackLabService._run_sweep
+    calls = []
+
+    def crashy(self, job, use_pool):
+        calls.append(use_pool)
+        if use_pool:
+            raise WorkerCrashError("pool worker died")
+        return real(self, job, use_pool)
+
+    monkeypatch.setattr(AttackLabService, "_run_sweep", crashy)
+
+    def body(service, client):
+        first = client.submit("blink-analytical", params={"runs": 5}, seeds=[0])
+        status = client.wait(first["job_id"], timeout_s=60)
+        assert status["state"] == "done"
+        assert status["degraded"]  # crashed pooled, finished serial
+        assert client.stats()["breaker"]["state"] == OPEN
+
+        second = client.submit("blink-analytical", params={"runs": 5}, seeds=[1])
+        status = client.wait(second["job_id"], timeout_s=60)
+        assert status["state"] == "done"
+        assert status["degraded"]  # breaker open: straight to serial
+        assert service.registry.counter("service.worker_crashes") == 1
+
+    _run(_with_service(config, body))
+    # First job: pooled attempt + serial rerun; second job: serial only.
+    assert calls == [True, False, False]
+
+
+def test_restart_recovers_accepted_jobs_exactly_once(tmp_path):
+    """In-process crash simulation: a service that never ran its jobs is
+    abandoned; a successor over the same journal completes them."""
+    config = _config(tmp_path, start_workers=False)
+
+    async def accept_then_vanish():
+        service = AttackLabService(config)
+        host, port = await service.start()
+        loop = asyncio.get_running_loop()
+
+        def submit():
+            with ServiceClient(host, port) as client:
+                return client.submit(
+                    "blink-analytical", params={"runs": 5}, seeds=[0, 1]
+                )
+
+        response = await loop.run_in_executor(None, submit)
+        assert response["status"] == "accepted"
+        # Abandon without drain — simulating a crash after the
+        # acceptance was journaled.  Close only the listener.
+        service._server.close()
+        await service._server.wait_closed()
+        service._metrics_token.__exit__(None, None, None)
+        return response["job_id"]
+
+    job_id = _run(accept_then_vanish())
+
+    config2 = _config(tmp_path)
+
+    async def recover():
+        service = AttackLabService(config2)
+        host, port = await service.start()
+        assert [job.id for job in service.recovered] == [job_id]
+        loop = asyncio.get_running_loop()
+
+        def wait():
+            with ServiceClient(host, port) as client:
+                return client.wait(job_id, timeout_s=60)
+
+        status = await loop.run_in_executor(None, wait)
+        assert status["state"] == "done"
+        assert status["recovered"]
+        await service.shutdown()
+
+    _run(recover())
+    done, violations = journal_invariants([config.journal_path])
+    assert done == {job_id: 1}
+    assert violations == []
+
+
+def test_shutdown_preserves_queued_jobs_for_restart(tmp_path):
+    config = _config(tmp_path, start_workers=False)
+
+    async def scenario():
+        service = AttackLabService(config)
+        host, port = await service.start()
+        loop = asyncio.get_running_loop()
+
+        def submit():
+            with ServiceClient(host, port) as client:
+                return [
+                    client.submit(
+                        "blink-analytical", params={"runs": 5}, seeds=[seed]
+                    )["job_id"]
+                    for seed in range(3)
+                ]
+
+        ids = await loop.run_in_executor(None, submit)
+        summary = await service.shutdown()
+        assert summary["drained"]
+        assert summary["jobs_left_for_restart"] >= 3
+        return ids
+
+    ids = _run(scenario())
+    journal = JobJournal(config.journal_path)
+    assert sorted(job.id for job in journal.recoverable()) == sorted(ids)
+
+
+def test_cli_submit_exit_codes(tmp_path):
+    """`repro submit` maps rejections to exit code 5 and results to 0."""
+    from repro.cli import main
+
+    config = _config(tmp_path, rate=0.001, burst=1.0)
+
+    async def scenario():
+        service = AttackLabService(config)
+        host, port = await service.start()
+        loop = asyncio.get_running_loop()
+
+        def cli_calls():
+            base = [
+                "submit",
+                "blink-analytical",
+                "--port",
+                str(port),
+                "-p",
+                "runs=5",
+                "--client",
+                "cli-test",
+            ]
+            first = main(base + ["--seeds", "0", "--wait"])
+            second = main(base + ["--seeds", "1"])  # bucket now empty
+            return first, second
+
+        codes = await loop.run_in_executor(None, cli_calls)
+        await service.shutdown()
+        return codes
+
+    first, second = _run(scenario())
+    assert first == 0
+    assert second == REJECTED_EXIT_CODE

@@ -1,0 +1,149 @@
+"""Chaos drills against a real ``repro serve`` subprocess: kill -9
+with journal recovery, worker-kill degradation, torn-journal restart,
+and SIGTERM graceful drain."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.service import (
+    ServiceClient,
+    ServiceUnderTest,
+    arm_crash_flag,
+    journal_invariants,
+    truncate_tail,
+)
+
+
+@pytest.fixture
+def lab(tmp_path):
+    service = ServiceUnderTest(str(tmp_path))
+    yield service
+    service.stop()
+
+
+def test_kill9_and_restart_completes_every_job_exactly_once(tmp_path):
+    lab = ServiceUnderTest(str(tmp_path), extra_args=["--default-timeout", "120"])
+    try:
+        host, port = lab.start()
+        with ServiceClient(host, port) as client:
+            first = client.submit(
+                "blink-analytical", params={"runs": 400}, seeds=[0, 1, 2]
+            )
+            second = client.submit(
+                "pcc-oscillation", params={"mis": 120}, seeds=[3, 4]
+            )
+            assert first["status"] == "accepted"
+            assert second["status"] == "accepted"
+            ids = [first["job_id"], second["job_id"]]
+
+        lab.kill9()
+
+        host, port = lab.restart()
+        hashes = {}
+        with ServiceClient(host, port) as client:
+            for job_id in ids:
+                status = client.wait(job_id, timeout_s=180)
+                assert status["state"] == "done"
+                assert status["recovered"]
+                hashes[job_id] = status["report_hash"]
+        assert lab.sigterm() == 0
+
+        done, violations = journal_invariants([lab.journal_path])
+        assert violations == []
+        assert done == {job_id: 1 for job_id in ids}
+
+        # Byte-identity: an undisturbed service computing the same job
+        # lands on the same report hash.
+        clean = ServiceUnderTest(str(tmp_path / "clean"))
+        try:
+            host, port = clean.start()
+            with ServiceClient(host, port) as client:
+                response = client.submit(
+                    "blink-analytical", params={"runs": 400}, seeds=[0, 1, 2]
+                )
+                assert response["job_id"] == ids[0]  # same content address
+                status = client.wait(response["job_id"], timeout_s=180)
+            assert status["report_hash"] == hashes[ids[0]]
+            assert clean.sigterm() == 0
+        finally:
+            clean.stop()
+    finally:
+        lab.stop()
+
+
+def test_worker_kill_degrades_but_service_survives(tmp_path):
+    flag = str(tmp_path / "crash.flag")
+    lab = ServiceUnderTest(
+        str(tmp_path), extra_args=["--jobs", "2", "--crash-flag", flag]
+    )
+    try:
+        host, port = lab.start()
+        arm_crash_flag(flag)
+        with ServiceClient(host, port) as client:
+            response = client.submit(
+                "blink-analytical", params={"runs": 50}, seeds=[0, 1, 2, 3]
+            )
+            status = client.wait(response["job_id"], timeout_s=120)
+            assert status["state"] == "done"
+            assert status["degraded"]  # finished serial after the crash
+            stats = client.stats()
+            assert stats["counters"]["service.worker_crashes"] == 1
+        assert not os.path.exists(flag)  # exactly one worker consumed it
+        assert lab.running
+        assert lab.sigterm() == 0
+        _, violations = journal_invariants([lab.journal_path])
+        assert violations == []
+    finally:
+        lab.stop()
+
+
+def test_torn_journal_tail_does_not_poison_restart(tmp_path):
+    lab = ServiceUnderTest(str(tmp_path))
+    try:
+        host, port = lab.start()
+        with ServiceClient(host, port) as client:
+            response = client.submit(
+                "blink-analytical", params={"runs": 50}, seeds=[0]
+            )
+            client.wait(response["job_id"], timeout_s=60)
+        lab.kill9()
+
+        # Shear bytes off the journal tail — a kill that landed
+        # mid-append.  The service must repair and restart cleanly.
+        truncate_tail(lab.journal_path, 25)
+        host, port = lab.restart()
+        with ServiceClient(host, port) as client:
+            assert client.ping()["ok"]
+            # The torn done record is gone, so the job replays — and
+            # the cache/checkpoint make the replay cheap and identical.
+            status = client.wait(response["job_id"], timeout_s=60)
+            assert status["state"] == "done"
+        assert lab.sigterm() == 0
+        _, violations = journal_invariants([lab.journal_path])
+        assert violations == []
+    finally:
+        lab.stop()
+
+
+def test_sigterm_drain_flushes_metrics_and_exits_zero(tmp_path):
+    lab = ServiceUnderTest(str(tmp_path))
+    try:
+        host, port = lab.start()
+        with ServiceClient(host, port) as client:
+            response = client.submit(
+                "blink-analytical", params={"runs": 50}, seeds=[0, 1]
+            )
+            client.wait(response["job_id"], timeout_s=60)
+        assert lab.sigterm() == 0
+        assert "drained" in lab.read_log()
+
+        # The final metrics snapshot landed and carries service counters.
+        with open(lab.metrics_path, "r", encoding="utf-8") as handle:
+            snapshot = json.loads(handle.readlines()[-1])
+        assert snapshot["metrics"]["counters"]["service.jobs_completed"] == 1
+    finally:
+        lab.stop()

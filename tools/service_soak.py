@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Soak the attack-lab service and gate on its robustness contract.
+
+Drives a real ``repro serve`` subprocess through the CI ``service-soak``
+scenario:
+
+1. hundreds of concurrent submissions from several client threads
+   (single-seed jobs, plus deliberate duplicates that must dedup);
+2. one forced worker kill mid-soak (crash-flag file + a pooled
+   multi-seed job) — the service must degrade, not die;
+3. a SIGTERM graceful drain that must exit 0.
+
+Gates (process exit 1 on any violation):
+
+* **zero lost jobs** — every accepted job reaches a terminal state;
+* **zero duplicated jobs** — no job completes twice, no divergent
+  report hashes (the journal audit of
+  :func:`repro.service.journal.journal_invariants`);
+* **p99 submission latency** under ``--p99-budget-ms``.
+
+Artifacts (journal, metrics snapshot, soak summary JSON) land in
+``--workdir`` for CI upload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.service import (  # noqa: E402
+    ServiceClient,
+    ServiceUnderTest,
+    arm_crash_flag,
+    journal_invariants,
+)
+
+
+def parse_args(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workdir", default="soak-artifacts")
+    parser.add_argument("--submissions", type=int, default=300)
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--duplicates", type=int, default=30)
+    # The budget bounds worst-case admission stalls (journal fsync + GIL
+    # competition from in-process sweeps + the worker-crash recovery
+    # window), not typical latency — p50 is reported alongside.
+    parser.add_argument("--p99-budget-ms", type=float, default=2000.0)
+    parser.add_argument("--attack", default="blink-analytical")
+    parser.add_argument("--runs", type=int, default=2, help="runs per job cell")
+    parser.add_argument("--wait-timeout", type=float, default=600.0)
+    return parser.parse_args(argv)
+
+
+def percentile(values, q):
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    os.makedirs(args.workdir, exist_ok=True)
+    flag = os.path.join(args.workdir, "crash.flag")
+    lab = ServiceUnderTest(
+        args.workdir,
+        extra_args=[
+            "--jobs", "2",
+            "--queue-limit", str(args.submissions * 2 + 16),
+            "--rate", "100000", "--burst", "100000",
+            "--default-timeout", "120",
+            "--crash-flag", flag,
+        ],
+    )
+    summary = {"gates": {}, "violations": []}
+    try:
+        host, port = lab.start()
+        latencies: list = []
+        accepted: list = []
+        rejected: list = []
+        lock = threading.Lock()
+        per_client = args.submissions // args.clients
+
+        def submitter(worker: int) -> None:
+            with ServiceClient(host, port, timeout_s=60.0) as client:
+                for i in range(per_client):
+                    seed = worker * per_client + i
+                    # The duplicate band resubmits seed 0..duplicates-1,
+                    # which other workers also submit — dedup territory.
+                    if i < args.duplicates // args.clients:
+                        seed = i
+                    started = time.perf_counter()
+                    response = client.submit(
+                        args.attack,
+                        params={"runs": args.runs},
+                        seeds=[seed],
+                        client=f"soak-{worker}",
+                    )
+                    elapsed = time.perf_counter() - started
+                    with lock:
+                        latencies.append(elapsed)
+                        if response.get("status") in ("accepted", "duplicate"):
+                            accepted.append(response["job_id"])
+                        else:
+                            rejected.append(response)
+
+        threads = [
+            threading.Thread(target=submitter, args=(worker,))
+            for worker in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # Mid-soak fault: arm the crash flag, then submit one pooled
+        # multi-seed job that will lose a worker to it.
+        time.sleep(0.5)
+        arm_crash_flag(flag)
+        with ServiceClient(host, port, timeout_s=60.0) as client:
+            pooled = client.submit(
+                args.attack,
+                params={"runs": args.runs, "pooled": True},
+                seeds=[0, 1, 2, 3],
+                client="soak-chaos",
+            )
+            accepted.append(pooled["job_id"])
+
+        for thread in threads:
+            thread.join()
+
+        unique = sorted(set(accepted))
+        summary["submissions"] = len(latencies) + 1
+        summary["accepted"] = len(accepted)
+        summary["unique_jobs"] = len(unique)
+        summary["rejected"] = len(rejected)
+
+        with ServiceClient(host, port, timeout_s=60.0) as client:
+            deadline = time.monotonic() + args.wait_timeout
+            for job_id in unique:
+                remaining = max(1.0, deadline - time.monotonic())
+                status = client.wait(job_id, timeout_s=remaining)
+                if status["state"] != "done":
+                    summary["violations"].append(
+                        f"job {job_id} finished {status['state']}: "
+                        f"{status.get('error')}"
+                    )
+            stats = client.stats()
+            summary["breaker"] = stats["breaker"]
+            summary["worker_crashes"] = stats["counters"].get(
+                "service.worker_crashes", 0
+            )
+
+        drain_code = lab.sigterm(timeout_s=120.0)
+        summary["drain_exit_code"] = drain_code
+        if drain_code != 0:
+            summary["violations"].append(f"drain exited {drain_code}, expected 0")
+        if summary["worker_crashes"] < 1:
+            summary["violations"].append(
+                "forced worker kill never happened (crash flag unconsumed?)"
+            )
+
+        done, audit_violations = journal_invariants([lab.journal_path])
+        summary["jobs_done"] = len(done)
+        summary["violations"].extend(audit_violations)
+        lost = [job_id for job_id in unique if done.get(job_id, 0) != 1]
+        if lost:
+            summary["violations"].append(
+                f"{len(lost)} accepted job(s) not completed exactly once"
+            )
+
+        p99_ms = percentile(latencies, 0.99) * 1000.0
+        summary["submit_latency_ms"] = {
+            "p50": round(percentile(latencies, 0.50) * 1000.0, 3),
+            "p99": round(p99_ms, 3),
+            "max": round(max(latencies) * 1000.0, 3) if latencies else 0.0,
+        }
+        summary["gates"]["p99_budget_ms"] = args.p99_budget_ms
+        if p99_ms > args.p99_budget_ms:
+            summary["violations"].append(
+                f"p99 submission latency {p99_ms:.1f}ms exceeds "
+                f"{args.p99_budget_ms}ms budget"
+            )
+    finally:
+        lab.stop()
+
+    summary["ok"] = not summary["violations"]
+    with open(
+        os.path.join(args.workdir, "soak-summary.json"), "w", encoding="utf-8"
+    ) as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
