@@ -24,7 +24,29 @@ from repro.blink.pipeline import BlinkSwitch
 from repro.core.attack import Attack, AttackResult
 from repro.core.entities import Capability, Impact, Privilege, Target
 from repro.core.metrics import first_crossing_time
-from repro.flows.generators import DurationDistribution, blink_attack_workload
+from repro.flows.generators import (
+    DurationDistribution,
+    blink_attack_workload,
+    malicious_flow_schedule,
+    summarize_workload,
+)
+
+
+def _workload_tr(workload: str, workload_params: Dict[str, object]) -> float:
+    """tR recalibrated for one workload class (measurement seed fixed).
+
+    tR is a property of the legitimate traffic mix, not of a particular
+    run, so the measurement uses its own seed/horizon (defaulting to
+    seed 0 over 40 s) rather than the sweep cell's — every cell of a
+    sweep then shares one calibration, exactly like the paper's fixed
+    tR = 8.37 s did.
+    """
+    from repro.workloads.engine import tr_for_workload
+
+    wp = dict(workload_params)
+    seed = int(wp.pop("tr_seed", 0))
+    horizon = float(wp.pop("tr_horizon", 40.0))
+    return tr_for_workload(workload, seed=seed, horizon=horizon, **wp)
 
 
 class BlinkAnalyticalAttack(Attack):
@@ -38,32 +60,46 @@ class BlinkAnalyticalAttack(Attack):
 
     def execute(self, privilege: Privilege, **params: object) -> AttackResult:
         qm = float(params.get("qm", 0.0525))
-        tr = float(params.get("tr", 8.37))
         cells = int(params.get("cells", DEFAULT_CELLS))
         horizon = float(params.get("horizon", 510.0))
         runs = int(params.get("runs", 50))
         seed = int(params.get("seed", 0))
         backend = params.get("backend")
         backend = str(backend) if backend is not None else None
+        workload = params.get("workload")
+        if params.get("tr") is not None:
+            tr = float(params["tr"])  # an explicit tr always wins
+        elif workload:
+            # Recalibrate tR for the workload class (EXPERIMENTS.md,
+            # "tR recalibration") instead of assuming the paper's CAIDA
+            # figure.
+            tr = _workload_tr(
+                str(workload), dict(params.get("workload_params") or {})
+            )
+        else:
+            tr = 8.37
         result = fig2_experiment(
             qm=qm, tr=tr, cells=cells, horizon=horizon, runs=runs, seed=seed,
             backend=backend,
         )
         success = result.success_fraction >= 0.5
+        details: Dict[str, object] = {
+            "threshold": result.threshold,
+            "mean_crossing_theory": result.mean_crossing_theory,
+            "expected_hitting_theory": result.expected_hitting_theory,
+            "median_success_time_theory": result.median_success_time_theory,
+            "success_fraction": result.success_fraction,
+            "qm": qm,
+            "tr": tr,
+        }
+        if workload:
+            details["workload"] = str(workload)
         return AttackResult(
             attack_name=self.name,
             success=success,
             time_to_success=result.mean_crossing_simulated,
             magnitude=result.success_fraction,
-            details={
-                "threshold": result.threshold,
-                "mean_crossing_theory": result.mean_crossing_theory,
-                "expected_hitting_theory": result.expected_hitting_theory,
-                "median_success_time_theory": result.median_success_time_theory,
-                "success_fraction": result.success_fraction,
-                "qm": qm,
-                "tr": tr,
-            },
+            details=details,
         )
 
 
@@ -102,14 +138,43 @@ class BlinkCaptureAttack(Attack):
             params.get("faults"), seed=int(params.get("fault_seed", 0))
         )
 
-        _, trace, summary = blink_attack_workload(
-            destination_prefix=prefix,
-            horizon=horizon,
-            legitimate_flows=legitimate_flows,
-            malicious_flows=malicious_flows,
-            duration_model=DurationDistribution(median=duration_median),
-            seed=seed,
-        )
+        workload = params.get("workload")
+        if workload:
+            # Legitimate traffic from a registered workload class; the
+            # persistent attack flows ride on top unchanged.  Per-flow
+            # RNG streams are identity-derived, so merging the two
+            # populations perturbs neither.
+            from repro.netsim.trace import Trace
+            from repro.workloads.engine import (
+                iter_workload_specs, stream_trace_records,
+            )
+
+            wparams = dict(params.get("workload_params") or {})
+            wparams.pop("tr_seed", None)
+            wparams.pop("tr_horizon", None)
+            legit = list(iter_workload_specs(
+                str(workload), seed=seed, horizon=horizon, **wparams
+            ))
+            bad = malicious_flow_schedule(
+                prefix,
+                count=malicious_flows,
+                horizon=horizon,
+                seed=seed + 1,
+                spread_start=2.0,
+            )
+            specs = sorted(legit + bad, key=lambda s: s.start)
+            trace = Trace("blink-attack")
+            trace.extend(stream_trace_records(specs, seed=seed + 2))
+            summary = summarize_workload(specs, trace)
+        else:
+            _, trace, summary = blink_attack_workload(
+                destination_prefix=prefix,
+                horizon=horizon,
+                legitimate_flows=legitimate_flows,
+                malicious_flows=malicious_flows,
+                duration_model=DurationDistribution(median=duration_median),
+                seed=seed,
+            )
         telemetry_fault = None
         if plan is not None:
             from repro.faults import TelemetryFault
@@ -150,7 +215,8 @@ class BlinkCaptureAttack(Attack):
                 reroutes[0].malicious_monitored_ground_truth if reroutes else None
             ),
             "measured_tr": measured_tr,
-            "qm": malicious_flows / legitimate_flows,
+            "qm": summary.qm if workload else malicious_flows / legitimate_flows,
+            "workload_class": str(workload) if workload else None,
             "packets": len(trace),
             "occupancy_series": series,
             "workload": summary,

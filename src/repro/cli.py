@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro``.
 
-Eight subcommands:
+Nine subcommands:
 
 * ``list`` — enumerate the implemented attacks with their threat-model
   cells (the paper's Fig. 1 matrix, as a table);
@@ -37,13 +37,19 @@ Eight subcommands:
   crashing worker pool to serial in-process execution, and SIGTERM
   graceful drain (see EXPERIMENTS.md, "Service mode"); and
 * ``submit <attack> [--param ...] --seeds LIST`` — submit a sweep job
-  to a running service, optionally ``--wait`` for its result.
+  to a running service, optionally ``--wait`` for its result; and
+* ``scenarios list|describe|run`` — the scenario registry: named,
+  content-addressed attack × workload × fault bindings with pinned
+  golden report hashes.  ``run --verify`` recomputes a scenario and
+  compares its aggregate-report hash against the golden pinned for the
+  active kernel backend (the CI scenario-smoke gate).
 
 Exit codes: 0 success, 1 attack failed (or gave up after retries),
 2 usage errors, 3 malformed ``--faults`` spec, 4 unreadable or
 mismatched ``--resume`` checkpoint, 5 submission explicitly rejected
 by service admission control (queue full, rate limited, over budget,
-or draining).
+or draining), 6 golden report-hash mismatch under
+``scenarios run --verify``.
 
 The CLI is a thin veneer over the library; every number it prints is
 available programmatically through :mod:`repro.attacks`,
@@ -675,6 +681,142 @@ def cmd_submit(args: argparse.Namespace) -> int:
         return 2
 
 
+#: ``scenarios run --verify`` exit code for a golden-hash mismatch.
+GOLDEN_MISMATCH_EXIT_CODE = 6
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.core.errors import ScenarioSpecError
+    from repro.workloads.scenarios import resolve_scenario, scenario_names
+
+    if args.scenarios_command == "list":
+        rows = []
+        for name in scenario_names():
+            spec = resolve_scenario(name)
+            rows.append(
+                {
+                    "scenario": name,
+                    "id": spec.scenario_id,
+                    "attack": spec.attack,
+                    "workload": spec.workload,
+                    "seeds": len(spec.seeds),
+                    "golden": ",".join(sorted(spec.golden)) or "-",
+                }
+            )
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+        else:
+            print(ascii_table(rows, title="Registered scenarios"))
+        return 0
+
+    try:
+        spec = resolve_scenario(args.scenario)
+    except ScenarioSpecError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+    if args.scenarios_command == "describe":
+        payload = spec.to_dict()
+        payload["scenario_id"] = spec.scenario_id
+        payload["resolved_params"] = spec.resolve_params()
+        if args.json:
+            from repro.obs import jsonable
+
+            print(json.dumps(jsonable(payload), indent=2, sort_keys=True))
+        else:
+            print(f"scenario: {spec.name}  (id {spec.scenario_id})")
+            if spec.description:
+                print(f"  {spec.description}")
+            print(f"attack:   {spec.attack}")
+            print(f"workload: {spec.workload}")
+            print(f"seeds:    {','.join(str(s) for s in spec.seeds)}")
+            rows = [
+                {"param": key, "value": format_value(value) if isinstance(value, float) else repr(value)}
+                for key, value in sorted(spec.resolve_params().items())
+            ]
+            if rows:
+                print(ascii_table(rows, title="resolved sweep params"))
+            for backend, digest in sorted(spec.golden.items()):
+                print(f"golden[{backend}]: {digest}")
+        return 0
+
+    # scenarios run
+    from repro.core.errors import ConfigurationError
+    from repro.kernels import resolve_backend_name
+    from repro.runner import ResultCache
+    from repro.workloads.scenarios import run_scenario
+
+    try:
+        backend = resolve_backend_name(args.backend)
+    except ConfigurationError as exc:
+        print(f"invalid kernel backend: {exc}", file=sys.stderr)
+        return 2
+    if args.scheduler or os.environ.get("REPRO_SCHEDULER"):
+        from repro.netsim.events import SCHEDULER_ENV, resolve_scheduler_name
+
+        try:
+            os.environ[SCHEDULER_ENV] = resolve_scheduler_name(args.scheduler)
+        except ConfigurationError as exc:
+            print(f"invalid scheduler: {exc}", file=sys.stderr)
+            return 2
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = ResultCache(args.cache_dir)
+    try:
+        run = run_scenario(spec, jobs=args.jobs, cache=cache, backend=backend)
+    except ConfigurationError as exc:
+        print(f"scenario failed to resolve: {exc}", file=sys.stderr)
+        return 2
+    verdict = run.matches_golden
+    if args.json:
+        payload = {
+            "scenario": spec.name,
+            "scenario_id": spec.scenario_id,
+            "attack": spec.attack,
+            "workload": spec.workload,
+            "backend": run.backend,
+            "report_hash": run.report_hash,
+            "golden_hash": run.golden_hash,
+            "matches_golden": verdict,
+            "aggregate": json.loads(run.report.aggregate_json()),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [
+            {"quantity": key, "value": format_value(value) if value is not None else "-"}
+            for key, value in run.report.aggregate().items()
+        ]
+        print(ascii_table(rows, title=f"scenario: {spec.name} [{run.backend}]"))
+        print(f"report hash: {run.report_hash}")
+        if run.golden_hash:
+            status = "MATCH" if verdict else "MISMATCH"
+            print(f"golden[{run.backend}]: {run.golden_hash} ({status})")
+        else:
+            print(f"golden[{run.backend}]: (none pinned)")
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache {args.cache_dir}: {stats.hits} hit(s), {stats.misses} miss(es), "
+            f"{stats.stores} store(s)",
+            file=sys.stderr,
+        )
+    if args.verify:
+        if verdict is None:
+            print(
+                f"--verify: no golden hash pinned for backend {run.backend!r}",
+                file=sys.stderr,
+            )
+            return GOLDEN_MISMATCH_EXIT_CODE
+        if not verdict:
+            print(
+                f"--verify: report hash {run.report_hash} != pinned golden "
+                f"{run.golden_hash} for backend {run.backend!r}",
+                file=sys.stderr,
+            )
+            return GOLDEN_MISMATCH_EXIT_CODE
+    return 0 if run.report.failed == 0 else 1
+
+
 def _load_ledger_tolerant(path: str):
     """Best-effort ledger load for ``top``: skip lines that don't parse.
 
@@ -1198,6 +1340,74 @@ def build_parser() -> argparse.ArgumentParser:
         help="--wait patience before giving up polling (default 300)",
     )
     submit_parser.set_defaults(func=cmd_submit)
+
+    scenarios_parser = sub.add_parser(
+        "scenarios",
+        help="list, describe and run registered attack × workload scenarios",
+    )
+    scenarios_sub = scenarios_parser.add_subparsers(
+        dest="scenarios_command", required=True
+    )
+
+    scenarios_list = scenarios_sub.add_parser(
+        "list", help="enumerate registered scenarios with ids and golden coverage"
+    )
+    scenarios_list.add_argument(
+        "--json", action="store_true", help="emit the table as JSON"
+    )
+    scenarios_list.set_defaults(func=cmd_scenarios)
+
+    scenarios_describe = scenarios_sub.add_parser(
+        "describe", help="show one scenario's binding and resolved sweep params"
+    )
+    scenarios_describe.add_argument("scenario", help="scenario name from `scenarios list`")
+    scenarios_describe.add_argument(
+        "--json", action="store_true", help="emit the description as JSON"
+    )
+    scenarios_describe.set_defaults(func=cmd_scenarios)
+
+    scenarios_run = scenarios_sub.add_parser(
+        "run", help="execute one scenario's sweep and print its aggregate"
+    )
+    scenarios_run.add_argument("scenario", help="scenario name from `scenarios list`")
+    scenarios_run.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep worker processes (default: $REPRO_JOBS, then CPU count)",
+    )
+    scenarios_run.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="content-addressed result cache shared with `run --seeds`",
+    )
+    scenarios_run.add_argument(
+        "--no-cache", action="store_true", help="ignore --cache-dir"
+    )
+    scenarios_run.add_argument(
+        "--backend",
+        choices=("python", "numpy"),
+        default=None,
+        help="kernel backend (default: $REPRO_BACKEND, then python); "
+        "goldens are pinned per backend",
+    )
+    scenarios_run.add_argument(
+        "--scheduler",
+        choices=("heap", "calendar"),
+        default=None,
+        help="event-queue scheduler (default: $REPRO_SCHEDULER, then heap)",
+    )
+    scenarios_run.add_argument(
+        "--json", action="store_true", help="emit the outcome as one JSON object"
+    )
+    scenarios_run.add_argument(
+        "--verify",
+        action="store_true",
+        help="exit %d unless the report hash matches the pinned golden"
+        % GOLDEN_MISMATCH_EXIT_CODE,
+    )
+    scenarios_run.set_defaults(func=cmd_scenarios)
     return parser
 
 

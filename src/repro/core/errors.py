@@ -86,6 +86,19 @@ class FaultSpecError(ConfigurationError):
         self.clause = clause
 
 
+class ScenarioSpecError(ConfigurationError):
+    """A scenario specification is malformed.
+
+    Raised when parsing a scenario dict with unknown or ill-typed keys,
+    or when resolving a scenario name that is not registered.  Carries
+    the offending key so CLI messages can point at it.
+    """
+
+    def __init__(self, message: str, key: str = ""):
+        super().__init__(message)
+        self.key = key
+
+
 class CheckpointError(ReproError):
     """A sweep checkpoint file is unreadable, corrupt or mismatched."""
 

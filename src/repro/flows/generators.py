@@ -297,18 +297,35 @@ def flow_packet_schedule(
     return times, flags
 
 
+def flow_stream_seed(seed: int, spec: FlowSpec) -> int:
+    """The RNG seed for one flow's packet stream.
+
+    Derived from the workload seed plus the flow's *identity* (5-tuple
+    and start time) via the sha256 scheme the fault injectors and
+    kernels use — never from a shared parent generator or the spec's
+    position.  Inserting, removing or reordering specs (e.g. a workload
+    shaper splicing in a flash crowd) therefore cannot perturb any
+    other flow's draws.
+    """
+    from repro.kernels import derive_seed
+
+    return derive_seed("flow-packets", seed, spec.flow.packed(), spec.start)
+
+
 def iter_flow_schedules(
-    specs: Sequence[FlowSpec], seed: int = 0
+    specs: Iterable[FlowSpec], seed: int = 0
 ) -> Iterator[Tuple[FlowSpec, List[float], List[bool]]]:
     """Per-flow packet batches, with the same RNG tree as :func:`emit_trace`.
 
-    Each spec gets an independent generator seeded from a draw off the
-    parent stream *in spec order*, so any consumer — offline trace
-    rendering or the event-driven driver — sees identical schedules.
+    Each spec gets an independent generator seeded by
+    :func:`flow_stream_seed`, so any consumer — offline trace
+    rendering, the event-driven driver, or the streaming workload
+    engine — sees identical schedules for identical flows, regardless
+    of what other specs surround them.  Accepts any iterable and yields
+    lazily (one flow's batch in memory at a time).
     """
-    rng = random.Random(seed)
     for spec in specs:
-        flow_rng = random.Random(rng.randrange(2**63))
+        flow_rng = random.Random(flow_stream_seed(seed, spec))
         times, flags = flow_packet_schedule(spec, flow_rng)
         yield spec, times, flags
 
@@ -376,8 +393,9 @@ def schedule_workload(
     :func:`emit_trace`) is bulk-loaded via
     :meth:`~repro.netsim.events.EventLoop.schedule_batch_at` — one
     shared event, O(1) appends on the calendar scheduler.  Per-flow
-    RNG seeds are drawn up front in spec order, preserving the
-    :func:`emit_trace` RNG tree no matter when flows actually start.
+    RNG seeds come from :func:`flow_stream_seed` (flow identity, not
+    spec order), preserving the :func:`emit_trace` RNG tree no matter
+    when flows actually start or what else is scheduled around them.
 
     ``on_packet(spec, time, is_retransmission, is_fin)`` fires in event
     order.  Returns the number of flows scheduled.  When a timer fault
@@ -387,10 +405,9 @@ def schedule_workload(
     """
     if on_packet is None:
         raise ConfigurationError("schedule_workload requires an on_packet callback")
-    rng = random.Random(seed)
     scheduled = 0
     for spec in specs:
-        flow_seed = rng.randrange(2**63)
+        flow_seed = flow_stream_seed(seed, spec)
 
         def start(spec: FlowSpec = spec, flow_seed: int = flow_seed) -> None:
             times, flags = flow_packet_schedule(spec, random.Random(flow_seed))

@@ -43,6 +43,13 @@ Semantics every backend must honour:
   must be checked against a filter already containing every earlier
   flow in the batch) can hash in bulk but test/set bits in order.
   All three are pure integer functions: exact across backends.
+* **Workload CDF sampling** — ``cdf_quantiles`` is the inverse
+  transform over a piecewise-linear empirical CDF (the workload
+  engine's flow-size sampler).  It is a *deterministic* pure function
+  of its inputs: callers draw the uniforms themselves (off a
+  ``random.Random`` stream), so the python and numpy backends must
+  return **byte-identical** quantiles for the same uniforms — the
+  interpolation arithmetic is order-matched expression for expression.
 """
 
 from __future__ import annotations
@@ -163,3 +170,21 @@ class KernelBackend(abc.ABC):
     @abc.abstractmethod
     def bloom_index_rows(self, bloom, items: Sequence[bytes]) -> List[List[int]]:
         """Per item: the k bit indices ``add``/``__contains__`` touch."""
+
+    # -- Empirical-CDF workload sampling (repro.workloads) -----------------
+
+    @abc.abstractmethod
+    def cdf_quantiles(
+        self,
+        fractions: Sequence[float],
+        sizes: Sequence[float],
+        us: Sequence[float],
+    ) -> List[float]:
+        """Inverse-transform each uniform through a piecewise-linear CDF.
+
+        ``fractions`` are ascending cumulative probabilities ending at
+        1.0, ``sizes`` the matching ascending support points.  Each
+        ``u`` maps to ``sizes`` by linear interpolation on its segment
+        (a flat segment — equal neighbouring sizes — is an atom).
+        Deterministic pure function; backends must agree bit-for-bit.
+        """

@@ -367,3 +367,35 @@ class NumpyBackend(KernelBackend):
         if not items:
             return []
         return self._bloom_indices(bloom, items).tolist()
+
+    # -- Empirical-CDF workload sampling -----------------------------------
+
+    def cdf_quantiles(
+        self,
+        fractions: Sequence[float],
+        sizes: Sequence[float],
+        us: Sequence[float],
+    ) -> List[float]:
+        if len(fractions) != len(sizes) or len(fractions) < 2:
+            raise ConfigurationError(
+                "cdf_quantiles needs matching fractions/sizes with >= 2 points"
+            )
+        if not len(us):
+            return []
+        f = np.asarray(fractions, dtype=np.float64)
+        y = np.asarray(sizes, dtype=np.float64)
+        u = np.asarray(us, dtype=np.float64)
+        # side="left" matches the scalar bisect_left; clip to valid
+        # segments and overwrite the clamped ends afterwards.
+        idx = np.searchsorted(f, u, side="left")
+        seg = np.clip(idx, 1, len(f) - 1)
+        f_lo = f[seg - 1]
+        y_lo = y[seg - 1]
+        # IEEE doubles round identically for identical operation order,
+        # so this elementwise expression is bit-for-bit the scalar
+        # python backend's `y_lo + (u - f_lo) * (y_hi - y_lo) / (f_hi
+        # - f_lo)`.
+        out = y_lo + (u - f_lo) * (y[seg] - y_lo) / (f[seg] - f_lo)
+        out = np.where(idx <= 0, y[0], out)
+        out = np.where(idx > len(f) - 1, y[-1], out)
+        return out.tolist()

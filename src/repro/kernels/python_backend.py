@@ -194,3 +194,37 @@ class PythonBackend(KernelBackend):
         from repro.sketches.bloom import _hash_indices
 
         return [_hash_indices(item, bloom.hashes, bloom.bits) for item in items]
+
+    # -- Empirical-CDF workload sampling -----------------------------------
+
+    def cdf_quantiles(
+        self,
+        fractions: Sequence[float],
+        sizes: Sequence[float],
+        us: Sequence[float],
+    ) -> List[float]:
+        if len(fractions) != len(sizes) or len(fractions) < 2:
+            raise ConfigurationError(
+                "cdf_quantiles needs matching fractions/sizes with >= 2 points"
+            )
+        from bisect import bisect_left
+
+        last = len(fractions) - 1
+        out: List[float] = []
+        for u in us:
+            i = bisect_left(fractions, u)
+            if i <= 0:
+                out.append(sizes[0])
+                continue
+            if i > last:
+                out.append(sizes[last])
+                continue
+            f_lo = fractions[i - 1]
+            y_lo = sizes[i - 1]
+            # The numpy backend evaluates this exact expression
+            # elementwise; keep the operation order in sync or the
+            # byte-identity parity grid breaks.
+            out.append(
+                y_lo + (u - f_lo) * (sizes[i] - y_lo) / (fractions[i] - f_lo)
+            )
+        return out

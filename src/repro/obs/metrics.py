@@ -368,6 +368,16 @@ def _sanitize(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def label(fragment: str) -> str:
+    """A metric-name-safe label from free text (scenario names etc.).
+
+    Registry names tolerate dashes (exposition sanitises again), but
+    dots would splice extra hierarchy levels into the metric tree, so
+    they — and whitespace — are folded to underscores here.
+    """
+    return "".join(c if c.isalnum() or c in "_-" else "_" for c in fragment)
+
+
 def _format_number(value: float) -> str:
     """Compact numeric rendering: integers without a trailing ``.0``."""
     if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:

@@ -92,8 +92,10 @@ def cache_key(
 ) -> str:
     """Canonical content address of one run cell.
 
-    ``params`` carries the seed and any fault spec/fault seed, so they
-    participate in the key without special cases.
+    ``params`` carries the seed, any fault spec/fault seed, and — for
+    scenario runs — the resolved ``workload``/``workload_params``
+    binding, so all of them participate in the key without special
+    cases; two scenarios over different workloads can never collide.
     """
     from repro.obs.ledger import jsonable
 

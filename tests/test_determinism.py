@@ -216,3 +216,52 @@ class TestAnalysisSweepJobs:
     def test_single_task_stays_inline(self):
         result = Sweep("one", _grid_experiment, seeds=[5]).run(jobs=4)
         assert result.points[0].results[0]["seed"] == 5.0
+
+
+# -- scenario parity grid ----------------------------------------------------
+#
+# A registered scenario must hash identically no matter how it is
+# executed: serially, fanned over worker processes, or submitted to a
+# live ``repro serve`` instance (which computes the same sha256 over
+# the aggregate JSON).  Two scenarios cover both a Blink workload
+# binding and a derived-knob (PCC) binding.
+
+PARITY_SCENARIOS = ["blink-analytical-web-search", "pcc-diurnal-sway"]
+
+
+class TestScenarioParityGrid:
+    @pytest.mark.parametrize("name", PARITY_SCENARIOS)
+    def test_serial_vs_jobs_byte_identical(self, name):
+        from repro.workloads.scenarios import run_scenario
+
+        serial = run_scenario(name, jobs=1)
+        fanned = run_scenario(name, jobs=3)
+        assert serial.report_hash == fanned.report_hash
+        assert (
+            serial.report.aggregate_json() == fanned.report.aggregate_json()
+        )
+        assert serial.matches_golden is True
+
+    @pytest.mark.parametrize("name", PARITY_SCENARIOS)
+    def test_service_submission_matches_local_hash(self, tmp_path, name):
+        from repro.service import ServiceClient, ServiceUnderTest
+        from repro.workloads.scenarios import resolve_scenario, run_scenario
+
+        spec = resolve_scenario(name)
+        local = run_scenario(spec)
+        lab = ServiceUnderTest(str(tmp_path / name))
+        try:
+            host, port = lab.start()
+            with ServiceClient(host, port) as client:
+                response = client.submit(
+                    spec.attack,
+                    params=spec.resolve_params(),
+                    seeds=list(spec.seeds),
+                )
+                assert response["status"] == "accepted"
+                status = client.wait(response["job_id"], timeout_s=180)
+            assert status["state"] == "done"
+            assert status["report_hash"] == local.report_hash
+            assert local.matches_golden is True
+        finally:
+            lab.stop()

@@ -1,0 +1,225 @@
+"""Workload engine: determinism, streaming parity, bounded memory.
+
+The engine's contract has three legs:
+
+* **Determinism** — the same ``(class, seed, params)`` always produces
+  the same spec stream, and seeds are independent per flow (the
+  satellite-4 regression: splicing a flow into a schedule must not
+  perturb any other flow's packets).
+* **Streaming parity** — :func:`stream_trace_records` is byte-identical
+  to the offline :func:`emit_trace` for every shipped workload class.
+* **Bounded memory** — a million-flow trace streams through a heap
+  whose peak size tracks flow *concurrency*, not trace length.
+"""
+
+import math
+from collections import deque
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.flows.flow import FiveTuple
+from repro.flows.generators import FlowSpec, emit_trace, flow_stream_seed
+from repro.workloads.engine import (
+    DEFAULT_MAX_PACKETS,
+    MSS_BYTES,
+    WORKLOAD_CLASSES,
+    iter_workload_specs,
+    size_to_packets,
+    stream_trace_records,
+    tr_for_workload,
+    workload_names,
+    workload_records,
+)
+
+#: Cheap packet-level preset shared by the parity tests.
+FAST = {"size_scale": 0.05, "max_packets": 200}
+
+
+# -- size_to_packets ---------------------------------------------------------
+
+
+def test_size_to_packets_floors_and_caps():
+    assert size_to_packets(0.0) == 1
+    assert size_to_packets(-3.0) == 1
+    assert size_to_packets(1.0) == 1  # 1 KB < one MSS
+    assert size_to_packets(1460.0 / 1024.0) == 1  # exactly one MSS
+    assert size_to_packets(666667.0) == DEFAULT_MAX_PACKETS
+    assert size_to_packets(666667.0, max_packets=50) == 50
+    assert size_to_packets(10.0) == math.ceil(10.0 * 1024.0 / MSS_BYTES)
+
+
+# -- spec streams ------------------------------------------------------------
+
+
+class TestSpecStreams:
+    def test_registry_names(self):
+        assert workload_names() == sorted(
+            ["web-search", "data-mining", "diurnal", "flash-crowd",
+             "incast", "elephant-mice"]
+        )
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_CLASSES))
+    def test_deterministic_per_seed(self, name):
+        a = list(iter_workload_specs(name, seed=3, horizon=20.0, **FAST))
+        b = list(iter_workload_specs(name, seed=3, horizon=20.0, **FAST))
+        assert a == b
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_CLASSES))
+    def test_seeds_differ(self, name):
+        a = list(iter_workload_specs(name, seed=0, horizon=20.0, **FAST))
+        b = list(iter_workload_specs(name, seed=1, horizon=20.0, **FAST))
+        assert a != b
+
+    def test_unknown_class(self):
+        with pytest.raises(ConfigurationError, match="unknown workload class"):
+            list(iter_workload_specs("bittorrent"))
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ConfigurationError, match="no parameter"):
+            list(iter_workload_specs("web-search", ratee=9.0))
+
+    def test_bad_horizon(self):
+        with pytest.raises(ConfigurationError, match="horizon"):
+            iter_workload_specs("web-search", horizon=0.0)
+
+    def test_overrides_take_effect(self):
+        base = list(iter_workload_specs("incast", horizon=20.0, fan_in=4))
+        wide = list(iter_workload_specs("incast", horizon=20.0, fan_in=8))
+        assert len(wide) == 2 * len(base)
+
+    def test_streaming_is_lazy(self):
+        """The spec iterator does work on demand, not at call time."""
+        stream = iter_workload_specs("web-search", horizon=10**6)
+        first = next(stream)
+        assert first.start > 0.0  # no horizon-length materialisation
+
+
+# -- satellite 4: flow-identity RNG ------------------------------------------
+
+
+class TestFlowIdentityRng:
+    def test_seed_depends_on_identity_not_position(self):
+        spec = next(iter_workload_specs("web-search", seed=0, horizon=20.0))
+        assert flow_stream_seed(7, spec) == flow_stream_seed(7, spec)
+        moved = FlowSpec(
+            flow=spec.flow, start=spec.start + 1.0, duration=spec.duration,
+            packet_rate=spec.packet_rate,
+        )
+        assert flow_stream_seed(7, spec) != flow_stream_seed(7, moved)
+
+    def test_insertion_does_not_perturb_other_flows(self):
+        """Splicing one extra flow leaves every other flow's packets
+        byte-identical — the per-flow RNG regression this PR fixed."""
+        specs = list(iter_workload_specs("web-search", seed=0, horizon=20.0))
+        extra = FlowSpec(
+            flow=FiveTuple(src="203.0.113.5", dst="198.51.100.77",
+                           src_port=5555, dst_port=443, protocol=6),
+            start=specs[len(specs) // 2].start,
+            duration=2.0,
+            packet_rate=4.0,
+        )
+        spliced = sorted(specs + [extra], key=lambda s: s.start)
+        base = emit_trace(specs, seed=0)
+        with_extra = emit_trace(spliced, seed=0)
+        original = [r for r in with_extra if r.flow != extra.flow]
+        assert original == list(base)
+
+    def test_removal_does_not_perturb_other_flows(self):
+        specs = list(iter_workload_specs("data-mining", seed=1, horizon=15.0,
+                                         **FAST))
+        victim = specs[3]
+        thinned = [s for s in specs if s is not victim]
+        base = [r for r in emit_trace(specs, seed=0) if r.flow != victim.flow]
+        assert base == list(emit_trace(thinned, seed=0))
+
+
+# -- streaming parity --------------------------------------------------------
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_CLASSES))
+    def test_stream_matches_emit_trace(self, name):
+        """Byte-identical records in identical order, per class."""
+        specs = list(iter_workload_specs(name, seed=0, horizon=20.0, **FAST))
+        offline = list(emit_trace(specs, seed=5))
+        streamed = list(stream_trace_records(iter(specs), seed=5))
+        assert streamed == offline
+
+    def test_decreasing_starts_rejected(self):
+        specs = list(iter_workload_specs("web-search", seed=0, horizon=10.0))
+        backwards = [specs[1], specs[0]]
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            list(stream_trace_records(backwards, seed=0))
+
+    def test_workload_records_deterministic(self):
+        a = list(workload_records("incast", seed=2, horizon=10.0, **FAST))
+        b = list(workload_records("incast", seed=2, horizon=10.0, **FAST))
+        assert a == b
+        assert a  # non-empty
+
+    def test_empty_stream(self):
+        stats = {}
+        assert list(stream_trace_records([], seed=0, stats=stats)) == []
+        assert stats == {"peak_pending": 0, "admitted": 0, "emitted": 0}
+
+
+# -- bounded memory ----------------------------------------------------------
+
+
+def _short_flows(n, concurrency_window=0.25):
+    """A lazy generator of n one-packet flows, ~concurrency_window apart."""
+    tpl = FiveTuple(src="10.0.0.1", dst="198.51.100.9",
+                    src_port=1024, dst_port=443, protocol=6)
+    gap = concurrency_window / 100.0
+    for i in range(n):
+        yield FlowSpec(
+            flow=tpl, start=i * gap, duration=concurrency_window,
+            packet_rate=4.0, sends_fin=False,
+        )
+
+
+class TestBoundedMemory:
+    def test_million_flow_trace_streams(self):
+        """10^6 flows stream through with peak heap occupancy tracking
+        concurrency (~100 active flows), not trace length.
+
+        The acceptance check for the streaming engine: the full trace
+        (over a million records) never materialises.
+        """
+        stats = {}
+        deque(
+            stream_trace_records(_short_flows(1_000_000), seed=0, stats=stats),
+            maxlen=0,
+        )
+        assert stats["admitted"] == 1_000_000
+        assert stats["emitted"] >= 1_000_000
+        # ~100 concurrently active flows, a few records each; orders of
+        # magnitude below the emitted count is the invariant that matters.
+        assert stats["peak_pending"] < 1_000
+
+    def test_peak_pending_tracks_concurrency(self):
+        """Doubling flow overlap doubles peak occupancy; trace length
+        (flow count) alone does not move it."""
+        short, long_, many = {}, {}, {}
+        deque(stream_trace_records(_short_flows(2_000, 0.25), seed=0,
+                                   stats=short), maxlen=0)
+        deque(stream_trace_records(_short_flows(2_000, 0.5), seed=0,
+                                   stats=long_), maxlen=0)
+        deque(stream_trace_records(_short_flows(4_000, 0.25), seed=0,
+                                   stats=many), maxlen=0)
+        assert long_["peak_pending"] > 1.5 * short["peak_pending"]
+        assert many["peak_pending"] < 2 * short["peak_pending"]
+
+
+# -- tR recalibration cache --------------------------------------------------
+
+
+def test_tr_for_workload_memoised_and_exact():
+    from repro.workloads.engine import measured_tr
+
+    direct = measured_tr("incast", seed=0, horizon=30.0, **FAST)
+    cached_first = tr_for_workload("incast", seed=0, horizon=30.0, **FAST)
+    cached_second = tr_for_workload("incast", seed=0, horizon=30.0, **FAST)
+    assert cached_first == direct
+    assert cached_second == direct
