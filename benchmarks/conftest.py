@@ -68,6 +68,15 @@ def pytest_addoption(parser):
         "(default: $REPRO_SCHEDULER, then heap)",
     )
     group.addoption(
+        "--shards",
+        action="store",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard-worker count for shard-aware benches "
+        "(default: $REPRO_SHARDS, then 1)",
+    )
+    group.addoption(
         "--bench-json",
         action="store",
         default=None,
@@ -103,6 +112,14 @@ def scheduler_name(request) -> str:
     from repro.netsim.events import resolve_scheduler_name
 
     return resolve_scheduler_name(request.config.getoption("--scheduler"))
+
+
+@pytest.fixture
+def shard_count(request) -> int:
+    """The resolved shard-worker count for this bench session."""
+    from repro.netsim.sharded import resolve_shard_count
+
+    return resolve_shard_count(request.config.getoption("--shards"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

@@ -45,6 +45,7 @@ from repro.flows.generators import (
 )
 from repro.netsim.events import EventLoop, resolve_scheduler_name
 from repro.netsim.link import Link
+from repro.netsim.sharded import ShardedPacketEngine, resolve_shard_count
 from repro.netsim.packet import TcpFlags, tcp_packet
 from repro.netsim.trace import StreamingTraceAggregator, TraceRecord
 from repro.obs import tracer as obs
@@ -85,6 +86,10 @@ class PacketLevelReport:
     decisions: int
     trace_summary: Dict[str, object] = field(default_factory=dict)
     peak_ring_bytes: int = 0
+    #: Shard count the run executed under.  Excluded from
+    #: :meth:`canonical` (like the scheduler name): the determinism
+    #: contract makes it an execution detail, not an outcome.
+    shards: int = 1
 
     @property
     def events_per_second(self) -> float:
@@ -186,12 +191,23 @@ def packet_level_experiment(
     through_link: bool = False,
     ring_capacity: int = 256,
     fault: Optional[object] = None,
+    shards: Optional[int] = None,
+    shard_crash_flag: Optional[str] = None,
 ) -> PacketLevelReport:
     """Run the packet-level capture experiment through the event loop.
 
     Args:
         scheduler: event-queue backend (``"heap"``/``"calendar"``;
             None resolves via ``REPRO_SCHEDULER`` then the default).
+        shards: worker-process count for the sharded engine (None
+            resolves via ``REPRO_SHARDS`` then 1).  ``shards=1`` runs
+            today's single-loop path untouched; any other count runs
+            per-shard event loops in forked processes whose merged
+            observation order — and therefore ``report_hash`` — is
+            byte-identical to the single-loop run.
+        shard_crash_flag: optional crash-flag file path consumed by one
+            shard worker (chaos drills; see
+            :func:`repro.faults.process.consume_crash_flag`).
         with_blink: when False, only the workload + streaming
             aggregation runs (no Blink pipeline).
         with_trace: when False (implies ``with_blink=False``), even the
@@ -222,6 +238,7 @@ def packet_level_experiment(
     invariant across scheduler backends for identical parameters.
     """
     scheduler_name = resolve_scheduler_name(scheduler)
+    shard_count = resolve_shard_count(shards)
     specs = blink_attack_specs(
         destination_prefix,
         horizon=horizon,
@@ -338,7 +355,43 @@ def packet_level_experiment(
                 spec.malicious,
             )
 
-    if preload:
+    if shard_count > 1:
+        # Sharded engine: per-shard event loops in forked workers,
+        # synchronized in conservative lookahead windows; the merged
+        # record stream replays the single-loop (time, insertion_seq)
+        # order exactly, so every closure above observes the same
+        # sequence it would have seen on one loop.  Schedule generation
+        # happens during prepare() — outside the timed region, like the
+        # single-loop preload mode.
+        engine = ShardedPacketEngine(
+            specs,
+            seed=seed + 2,
+            horizon=horizon,
+            shards=shard_count,
+            scheduler=scheduler_name,
+            preload=preload,
+            with_trace=with_trace,
+            crash_flag=shard_crash_flag,
+        )
+        engine.prepare()
+        flows = len(specs)
+        with obs.span(
+            "blink.packet_level",
+            scheduler=scheduler_name,
+            flows=flows,
+            horizon=horizon,
+            through_link=through_link,
+            shards=shard_count,
+        ):
+            wall_start = _wallclock.perf_counter()
+            sharded = engine.run(
+                on_packet=on_packet, loop=loop, advance_loop=through_link
+            )
+            wall_seconds = _wallclock.perf_counter() - wall_start
+        events = sharded.events
+        if not with_trace:
+            packet_count[0] = sharded.packets
+    elif preload:
         # Same RNG tree as schedule_workload (iter_flow_schedules on
         # the same seed), but batches land in the queue up front.
         flows = 0
@@ -367,16 +420,17 @@ def packet_level_experiment(
     else:
         flows = schedule_workload(loop, specs, seed=seed + 2, on_packet=on_packet)
 
-    with obs.span(
-        "blink.packet_level",
-        scheduler=scheduler_name,
-        flows=flows,
-        horizon=horizon,
-        through_link=through_link,
-    ):
-        wall_start = _wallclock.perf_counter()
-        events = loop.run_until(horizon, max_events=50_000_000)
-        wall_seconds = _wallclock.perf_counter() - wall_start
+    if shard_count == 1:
+        with obs.span(
+            "blink.packet_level",
+            scheduler=scheduler_name,
+            flows=flows,
+            horizon=horizon,
+            through_link=through_link,
+        ):
+            wall_start = _wallclock.perf_counter()
+            events = loop.run_until(horizon, max_events=50_000_000)
+            wall_seconds = _wallclock.perf_counter() - wall_start
     peak_ring = aggregator.ring_memory_bytes() if aggregator is not None else 0
 
     threshold = cells // 2
@@ -420,4 +474,5 @@ def packet_level_experiment(
         decisions=decisions,
         trace_summary=aggregator.summary() if aggregator is not None else {},
         peak_ring_bytes=peak_ring,
+        shards=shard_count,
     )

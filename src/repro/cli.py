@@ -164,6 +164,19 @@ def cmd_run(args: argparse.Namespace) -> int:
         # across schedulers so cache keys must not differ.
         os.environ[SCHEDULER_ENV] = resolved_scheduler
 
+    if args.shards is not None or os.environ.get("REPRO_SHARDS"):
+        from repro.core.errors import ConfigurationError
+        from repro.netsim.sharded import SHARDS_ENV, resolve_shard_count
+
+        try:
+            resolved_shards = resolve_shard_count(args.shards)
+        except ConfigurationError as exc:
+            print(f"invalid shard count: {exc}", file=sys.stderr)
+            return 2
+        # Exported like --scheduler: report hashes are byte-identical
+        # across shard counts, so the knob must stay out of cache keys.
+        os.environ[SHARDS_ENV] = str(resolved_shards)
+
     if args.faults:
         from repro.core.errors import FaultSpecError
         from repro.faults import coerce_plan
@@ -759,6 +772,14 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"invalid scheduler: {exc}", file=sys.stderr)
             return 2
+    if args.shards is not None or os.environ.get("REPRO_SHARDS"):
+        from repro.netsim.sharded import SHARDS_ENV, resolve_shard_count
+
+        try:
+            os.environ[SHARDS_ENV] = str(resolve_shard_count(args.shards))
+        except ConfigurationError as exc:
+            print(f"invalid shard count: {exc}", file=sys.stderr)
+            return 2
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -1057,6 +1078,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="event-queue scheduler for packet-level simulations "
         "(default: $REPRO_SCHEDULER, then heap)",
+    )
+    run_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for packet-level simulations "
+        "(default: $REPRO_SHARDS, then 1 = in-process); report hashes "
+        "are identical at every shard count",
     )
     run_parser.add_argument(
         "--profile",
@@ -1397,6 +1427,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("heap", "calendar"),
         default=None,
         help="event-queue scheduler (default: $REPRO_SCHEDULER, then heap)",
+    )
+    scenarios_run.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for packet-level simulation (default: "
+        "$REPRO_SHARDS, then 1); goldens and cache keys are shard-agnostic",
     )
     scenarios_run.add_argument(
         "--json", action="store_true", help="emit the outcome as one JSON object"

@@ -57,6 +57,30 @@ class WorkerCrashError(SimulationError):
     """
 
 
+class ShardCrashError(SimulationError):
+    """A shard worker process of the sharded event engine died mid-run.
+
+    Raised by the coordinator when a per-shard event-loop process
+    disappears (``kill -9``, OOM, an ``os._exit`` chaos fault) instead
+    of acknowledging its lookahead window — the coordinator fails fast
+    rather than hanging on the pipe read.  Carries the simulation time
+    of the window being synchronised and the dead shard's index.
+    Subclasses :class:`SimulationError` so the resilient runner's
+    default retry predicate treats it as transient; callers can degrade
+    to a single-shard retry (see
+    :func:`repro.netsim.sharded.degrade_to_single_shard`).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        sim_time: "float | None" = None,
+        shard: "int | None" = None,
+    ):
+        super().__init__(message, sim_time=sim_time)
+        self.shard = shard
+
+
 class AdmissionRejected(ReproError):
     """The attack-lab service declined a submission.
 

@@ -188,3 +188,25 @@ class KernelBackend(abc.ABC):
         (a flat segment — equal neighbouring sizes — is an atom).
         Deterministic pure function; backends must agree bit-for-bit.
         """
+
+    # -- Struct-of-arrays bulk (de)serialization (repro.netsim.sharded) ----
+
+    @abc.abstractmethod
+    def soa_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        """Pack equal-length float64 columns into one contiguous buffer.
+
+        The layout is column-major little-endian IEEE-754 doubles:
+        column 0's values, then column 1's, and so on.  Both backends
+        must produce byte-identical output for identical input — the
+        sharded event engine ships these buffers over process pipes and
+        hashes reports derived from them.  Raises
+        :class:`ConfigurationError` on ragged columns.
+        """
+
+    @abc.abstractmethod
+    def soa_unpack_f64(self, payload: bytes, columns: int) -> List[List[float]]:
+        """Inverse of :meth:`soa_pack_f64`: split ``payload`` back into
+        ``columns`` equal-length float lists.  Raises
+        :class:`ConfigurationError` when the payload length is not a
+        multiple of ``columns`` doubles.
+        """

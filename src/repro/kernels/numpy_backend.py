@@ -399,3 +399,36 @@ class NumpyBackend(KernelBackend):
         out = np.where(idx <= 0, y[0], out)
         out = np.where(idx > len(f) - 1, y[-1], out)
         return out.tolist()
+
+    # -- Struct-of-arrays bulk (de)serialization ---------------------------
+
+    def soa_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        if not columns:
+            return b""
+        n = len(columns[0])
+        for col in columns:
+            if len(col) != n:
+                raise ConfigurationError(
+                    "soa_pack_f64 needs equal-length columns, got "
+                    f"{[len(c) for c in columns]}"
+                )
+        if n == 0:
+            return b""
+        # <f8 is little-endian IEEE-754 float64: tobytes() of the
+        # row-per-column matrix is byte-identical to the python
+        # backend's per-column struct.pack('<{n}d') concatenation.
+        return np.asarray(columns, dtype="<f8").tobytes()
+
+    def soa_unpack_f64(self, payload: bytes, columns: int) -> List[List[float]]:
+        if columns < 1:
+            raise ConfigurationError("soa_unpack_f64 needs columns >= 1")
+        if not payload:
+            return [[] for _ in range(columns)]
+        stride = 8 * columns
+        if len(payload) % stride:
+            raise ConfigurationError(
+                f"soa payload of {len(payload)} bytes does not split into "
+                f"{columns} float64 columns"
+            )
+        n = len(payload) // stride
+        return np.frombuffer(payload, dtype="<f8").reshape(columns, n).tolist()

@@ -228,3 +228,42 @@ class PythonBackend(KernelBackend):
                 y_lo + (u - f_lo) * (sizes[i] - y_lo) / (fractions[i] - f_lo)
             )
         return out
+
+    # -- Struct-of-arrays bulk (de)serialization ---------------------------
+
+    def soa_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        import struct
+
+        if not columns:
+            return b""
+        n = len(columns[0])
+        for col in columns:
+            if len(col) != n:
+                raise ConfigurationError(
+                    "soa_pack_f64 needs equal-length columns, got "
+                    f"{[len(c) for c in columns]}"
+                )
+        if n == 0:
+            return b""
+        fmt = f"<{n}d"
+        return b"".join(struct.pack(fmt, *col) for col in columns)
+
+    def soa_unpack_f64(self, payload: bytes, columns: int) -> List[List[float]]:
+        import struct
+
+        if columns < 1:
+            raise ConfigurationError("soa_unpack_f64 needs columns >= 1")
+        if not payload:
+            return [[] for _ in range(columns)]
+        stride = 8 * columns
+        if len(payload) % stride:
+            raise ConfigurationError(
+                f"soa payload of {len(payload)} bytes does not split into "
+                f"{columns} float64 columns"
+            )
+        n = len(payload) // stride
+        fmt = f"<{n}d"
+        return [
+            list(struct.unpack_from(fmt, payload, 8 * n * c))
+            for c in range(columns)
+        ]

@@ -41,9 +41,18 @@ from repro.netsim.topology import (
     Topology,
     dumbbell_topology,
     line_topology,
+    partition_cut_edges,
+    partition_lookahead,
+    partition_nodes,
     random_topology,
+    star_topology,
     triangle_with_hosts,
 )
+
+# NOTE: the sharded engines live in ``repro.netsim.sharded`` and are
+# imported as a submodule (``from repro.netsim.sharded import ...``)
+# rather than re-exported here: the module pulls in ``multiprocessing``
+# and the flow generators, which the plain simulator path never needs.
 from repro.netsim.trace import (
     FlowStats,
     StreamingTraceAggregator,
@@ -89,8 +98,12 @@ __all__ = [
     "flow_key",
     "icmp_time_exceeded",
     "line_topology",
+    "partition_cut_edges",
+    "partition_lookahead",
+    "partition_nodes",
     "random_topology",
     "resolve_scheduler_name",
+    "star_topology",
     "tcp_packet",
     "triangle_with_hosts",
 ]

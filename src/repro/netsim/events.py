@@ -169,6 +169,12 @@ class _HeapQueue:
         entry = heapq.heappop(heap)
         return entry.time, entry.event
 
+    def next_bound(self) -> Optional[float]:
+        heap = self._heap
+        if not heap:
+            return None
+        return heap[0].time
+
     def events(self) -> Iterator[Event]:
         for entry in self._heap:
             yield entry.event
@@ -280,6 +286,16 @@ class _CalendarQueue:
             return entry[0], entry[2]
         return None
 
+    def next_bound(self) -> Optional[float]:
+        lst = self._cur_list
+        if lst is not None and self._cur_idx < len(lst):
+            return lst[self._cur_idx][0]
+        if not self._keys:
+            return None
+        # Unsorted future bucket: its floor is a valid conservative
+        # bound without paying for the lazy sort early.
+        return self._keys[0] / self._scale
+
     def events(self) -> Iterator[Event]:
         lst = self._cur_list
         if lst is not None:
@@ -353,6 +369,18 @@ class EventLoop:
     @property
     def pending_events(self) -> int:
         return sum(1 for event in self._queue.events() if not event.cancelled)
+
+    def next_event_bound(self) -> Optional[float]:
+        """A conservative lower bound on the next pending event's time.
+
+        None when the queue is empty.  The bound is *not* exact: the
+        heap may report a cancelled event's time and the calendar queue
+        reports the floor of its next unsorted bucket — but it is never
+        later than the true next firing, which is what the sharded
+        engine's null-message fast-forward needs (a shard promising "I
+        have nothing before T" must never under-promise).
+        """
+        return self._queue.next_bound()
 
     def _check_time(self, time: float) -> None:
         if time < self._now:

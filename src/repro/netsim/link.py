@@ -165,6 +165,53 @@ class Link:
         self.loop.schedule_transient(arrival, self._deliver_front, name=self._deliver_name)
         return True
 
+    def transmit_remote(self, packet: Packet) -> Optional[float]:
+        """Like :meth:`transmit`, but return the arrival time instead of
+        scheduling a local delivery event.
+
+        The sharded engine's boundary links terminate in *another*
+        process: the far end cannot run a callback here, so the arrival
+        time is computed analytically at transmit time and shipped
+        across the pipe as part of a compact record.  Tap, loss and
+        serialisation/busy accounting are identical to :meth:`transmit`;
+        the one divergence is that the egress queue is unbounded (no
+        tail-drop), because queued packets never wait for a local
+        delivery event to drain — an explicitly documented
+        simplification of the cross-shard path.
+
+        Returns None when the packet was dropped (link down, tap, or
+        random loss).
+        """
+        now = self.loop.now
+        if not self.up:
+            self._count("down_dropped")
+            return None
+        if self.tap is not None:
+            verdict = self.tap.inspect(packet, now)
+            if verdict.action == "drop":
+                self._count("tap_dropped")
+                return None
+            if verdict.packet is not None:
+                packet = verdict.packet
+            extra_delay = verdict.extra_delay if verdict.action == "delay" else 0.0
+        else:
+            extra_delay = 0.0
+
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self._count("random_dropped")
+            return None
+
+        counter = self._accepted_counter
+        if counter is None:
+            counter = self._accepted_counter = self.metrics.counter(
+                f"{self._metric_prefix}.accepted"
+            )
+        counter.increment()
+        serialisation = packet.size * 8.0 / self.bandwidth_bps
+        start = max(now, self._busy_until)
+        self._busy_until = start + serialisation
+        return self._busy_until + self.delay_s + extra_delay
+
     def set_down(self) -> None:
         """Take the link down: every subsequent transmit is dropped.
 

@@ -22,6 +22,11 @@ from repro.netsim.topology import Topology
 
 HostHandler = Callable[[Packet, float], None]
 
+# (packet, egress_node, ingress_node, arrival_time) for a packet that
+# left this shard over a boundary link; the coordinator ships it to the
+# owning shard.
+RemoteEgress = Callable[[Packet, str, str, float], None]
+
 
 class DataplaneProgram(Protocol):
     """In-switch program observing packets as they are forwarded.
@@ -46,12 +51,22 @@ class Network:
         default_queue_packets: int = 1000,
         metrics: Optional[MetricRegistry] = None,
         scheduler: Optional[str] = None,
+        local_nodes: "Optional[set] | None" = None,
+        remote_egress: Optional[RemoteEgress] = None,
     ):
         self.topology = topology
         self.loop = loop or EventLoop(scheduler=scheduler)
         self.metrics = metrics or MetricRegistry()
         self.router = StaticRouter(topology)
         self.router.compute()
+        # Sharded operation: the network owns only `local_nodes` (None =
+        # everything).  Links whose source is local are instantiated —
+        # including boundary links, whose far end lives in another
+        # process and is reached through the `remote_egress` callback.
+        self.local_nodes = (
+            set(local_nodes) if local_nodes is not None else None
+        )
+        self.remote_egress = remote_egress
         self._links: Dict[Tuple[str, str], Link] = {}
         self._host_handlers: Dict[str, HostHandler] = {}
         self._programs: Dict[str, List[DataplaneProgram]] = {}
@@ -59,6 +74,8 @@ class Network:
         for a, b in topology.links():
             props = topology.link_properties(a, b)
             for src, dst in ((a, b), (b, a)):
+                if self.local_nodes is not None and src not in self.local_nodes:
+                    continue
                 # Each link derives its loss RNG from (seed, src, dst)
                 # via the sha256 per-link scheme inside Link — *not*
                 # from draws off a shared generator, whose streams
@@ -116,6 +133,21 @@ class Network:
         packet.created_at = self.loop.now
         self._forward(packet, origin)
 
+    def inject_remote(self, packet: Packet, node: str, arrival: float) -> None:
+        """Admit a packet shipped from another shard.
+
+        Scheduled as a transient at the pre-computed ``arrival`` time;
+        the packet then forwards from ``node`` exactly as if the
+        boundary link had delivered it locally.  The caller (the shard
+        synchroniser) is responsible for admitting records in global
+        ``(time, insertion_seq)`` order.
+        """
+        self.loop.schedule_transient(
+            arrival,
+            lambda p=packet, n=node: self._forward(p, n),
+            name="network.remote_ingress",
+        )
+
     # -- forwarding internals --------------------------------------------
 
     def _forward(self, packet: Packet, node: str) -> None:
@@ -147,6 +179,15 @@ class Network:
             return
 
         link = self._links[(node, next_hop)]
+        if self.local_nodes is not None and next_hop not in self.local_nodes:
+            # Boundary link: the far end lives in another shard.  The
+            # arrival time is computed analytically *now* (not via a
+            # local delivery event, which would fire a lookahead window
+            # too late for the destination shard to admit in order).
+            arrival = link.transmit_remote(packet)
+            if arrival is not None and self.remote_egress is not None:
+                self.remote_egress(packet, node, next_hop, arrival)
+            return
         link.transmit(packet, lambda p, nh=next_hop: self._forward(p, nh))
 
     def _is_destination(self, packet: Packet, node: str) -> bool:

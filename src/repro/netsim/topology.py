@@ -10,9 +10,11 @@ too.
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
@@ -163,6 +165,29 @@ class Topology:
             total += self.link_properties(a, b).delay_s
         return total
 
+    def subgraph(self, nodes: Iterable[str], name: Optional[str] = None) -> "Topology":
+        """The induced subtopology over ``nodes`` (props copied)."""
+        keep = set(nodes)
+        for node in keep:
+            if node not in self._graph:
+                raise ConfigurationError(f"no node {node!r}")
+        sub = Topology(name or f"{self.name}-sub")
+        for node in sorted(keep):
+            props: NodeProperties = self._graph.nodes[node]["props"]
+            sub.add_node(node, role=props.role, **props.metadata)
+        for a, b, data in self._graph.edges(data=True):
+            if a in keep and b in keep:
+                lp: LinkProperties = data["props"]
+                sub.add_link(
+                    a,
+                    b,
+                    bandwidth_bps=lp.bandwidth_bps,
+                    delay_s=lp.delay_s,
+                    loss_rate=lp.loss_rate,
+                    weight=lp.weight,
+                )
+        return sub
+
     def copy(self, name: Optional[str] = None) -> "Topology":
         clone = Topology(name or f"{self.name}-copy")
         for node, data in self._graph.nodes(data=True):
@@ -244,6 +269,129 @@ def random_topology(
         for j in range(i + 1, nodes):
             if not topo.has_link(names[i], names[j]) and rng.random() < edge_probability:
                 topo.add_link(names[i], names[j], **link_kwargs)
+    return topo
+
+
+# -- sharding ---------------------------------------------------------
+
+
+def _node_digest(seed: int, node: str) -> int:
+    """Stable 64-bit score for one node: tie-breaks and seed picking."""
+    payload = f"partition|{seed}|{len(node)}:{node}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big")
+
+
+def partition_nodes(
+    topology: Topology, shards: int, seed: int = 0
+) -> Dict[str, int]:
+    """Deterministically assign every node to one of ``shards`` shards.
+
+    A min-cut-ish greedy over link latencies: ``shards`` region seeds
+    are chosen by sha256 score, then regions grow by repeatedly
+    absorbing the unassigned neighbour reachable over the
+    *lowest-latency* frontier edge (ties broken by the node digest,
+    then the node name).  Low-delay links therefore tend to stay
+    internal to a shard, which maximises the conservative lookahead the
+    cross-shard synchroniser gets from the cut — cut links' latency is
+    the safe horizon.  Regions are capped at ``ceil(n / shards)`` so no
+    shard can swallow the graph.
+
+    The assignment is a pure function of ``(topology, shards, seed)``:
+    no RNG stream, no dict-order dependence.  Disconnected nodes (or
+    components no region seed landed in) are distributed round-robin
+    over the smallest regions, in digest order.
+    """
+    nodes = topology.nodes()
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if shards > len(nodes):
+        raise ConfigurationError(
+            f"cannot split {len(nodes)} node(s) into {shards} shards"
+        )
+    if shards == 1:
+        return {node: 0 for node in nodes}
+
+    scored = sorted(nodes, key=lambda n: (_node_digest(seed, n), n))
+    assignment: Dict[str, int] = {}
+    sizes = [0] * shards
+    cap = -(-len(nodes) // shards)  # ceil
+    frontier: List[Tuple[float, int, str, str, int]] = []
+
+    def absorb(node: str, region: int) -> None:
+        assignment[node] = region
+        sizes[region] += 1
+        for neighbor in topology.neighbors(node):
+            if neighbor not in assignment:
+                delay = topology.link_properties(node, neighbor).delay_s
+                heapq.heappush(
+                    frontier,
+                    (delay, _node_digest(seed, neighbor), neighbor, node, region),
+                )
+
+    for region, node in enumerate(scored[:shards]):
+        absorb(node, region)
+
+    while frontier:
+        _, _, node, _, region = heapq.heappop(frontier)
+        if node in assignment or sizes[region] >= cap:
+            continue
+        absorb(node, region)
+
+    # Leftovers: unreachable from any seeded region, or only reachable
+    # through full regions.  Pack them onto the smallest shards.
+    for node in scored:
+        if node not in assignment:
+            region = min(range(shards), key=lambda r: (sizes[r], r))
+            assignment[node] = region
+            sizes[region] += 1
+    return assignment
+
+
+def partition_cut_edges(
+    topology: Topology, assignment: Dict[str, int]
+) -> List[Tuple[str, str]]:
+    """The links crossing shard boundaries under ``assignment``."""
+    return [
+        (a, b)
+        for a, b in topology.links()
+        if assignment[a] != assignment[b]
+    ]
+
+
+def partition_lookahead(
+    topology: Topology, assignment: Dict[str, int]
+) -> Optional[float]:
+    """Minimum propagation delay over the cut — the safe sync horizon.
+
+    None when nothing is cut (single shard or disconnected shards): the
+    shards never exchange packets, so any window width is safe.
+    """
+    cut = partition_cut_edges(topology, assignment)
+    if not cut:
+        return None
+    return min(topology.link_properties(a, b).delay_s for a, b in cut)
+
+
+def star_topology(
+    sources: int,
+    hub: str = "mirror",
+    delay_s: float = 0.001,
+    bandwidth_bps: float = 10e9,
+) -> Topology:
+    """``sources`` leaf nodes, each linked to one hub.
+
+    The fan-in shape the sharded packet-level driver partitions: flows
+    hash onto the leaves, the leaves split across shards, and the hub
+    is the coordinator-side merge point.
+    """
+    if sources < 1:
+        raise ConfigurationError("star topology needs at least one source")
+    topo = Topology(f"star-{sources}")
+    topo.add_node(hub)
+    for i in range(sources):
+        name = f"src{i}"
+        topo.add_node(name)
+        topo.add_link(name, hub, bandwidth_bps=bandwidth_bps, delay_s=delay_s)
     return topo
 
 

@@ -275,17 +275,26 @@ class MetricRegistry:
         registry.merge_dict(data)
         return registry
 
-    def merge_dict(self, data: Dict[str, object]) -> None:
+    def merge_dict(self, data: Dict[str, object], prefix: str = "") -> None:
         """Merge a :meth:`to_dict` payload into this registry.
 
         Counters and histogram buckets add; gauges take the incoming
         value (merged-last wins) and fold watermarks.  Deterministic as
         long as callers merge shards in a fixed order (the sweep
         executor merges by cell index).
+
+        ``prefix`` is prepended to every incoming metric name.  Callers
+        merging registries from *distinct* sources (e.g. the sharded
+        event engine folding per-shard registries into the
+        coordinator's) pass ``prefix=f"shard{i}."`` so same-named
+        counters from different shards stay distinguishable instead of
+        silently summing.
         """
         for name, amount in (data.get("counters") or {}).items():
+            name = prefix + name
             self.counters[name] = self.counters.get(name, 0) + amount
         for name, packed in (data.get("gauges") or {}).items():
+            name = prefix + name
             value, low, high = packed
             gauge = self.gauges.get(name)
             if gauge is None:
@@ -297,6 +306,7 @@ class MetricRegistry:
                 if high > gauge[2]:
                     gauge[2] = high
         for name, packed in (data.get("histograms") or {}).items():
+            name = prefix + name
             histogram = self.histograms.get(name)
             if histogram is None:
                 histogram = self.histograms[name] = Histogram()

@@ -196,10 +196,25 @@ class ResilientRunner:
         )
         return outcome
 
-    def run(self, fn: Callable[[], object], label: str = "run") -> RunOutcome:
+    def run(
+        self,
+        fn: Callable[[], object],
+        label: str = "run",
+        degrade: Optional[
+            Callable[[BaseException], Optional[Callable[[], object]]]
+        ] = None,
+    ) -> RunOutcome:
         """Execute ``fn`` until it completes, retries exhaust, the
         budget runs dry, or a non-retryable error escapes (which
-        propagates to the caller)."""
+        propagates to the caller).
+
+        ``degrade`` is consulted after each retryable failure: given the
+        exception, it may return a *replacement* callable for every
+        subsequent attempt (or None to keep retrying ``fn`` as-is).
+        This is how a sharded run falls back to a single-shard retry
+        after a :class:`~repro.core.errors.ShardCrashError` — see
+        :func:`repro.netsim.sharded.degrade_to_single_shard`.
+        """
         outcome = RunOutcome(label=label)
         deadline = None if self.budget_s is None else self._clock() + self.budget_s
         attempt = 0
@@ -250,6 +265,9 @@ class ResilientRunner:
                         f"budget of {self.budget_s}s exhausted after "
                         f"{attempt} attempt(s): {exc}",
                     )
+                degraded = degrade(exc) if degrade is not None else None
+                if degraded is not None:
+                    fn = degraded
                 obs.emit(
                     "runner.retry",
                     label=label,
@@ -257,6 +275,7 @@ class ResilientRunner:
                     backoff_s=record.backoff_s,
                     error=str(exc),
                     error_type=type(exc).__name__,
+                    degraded=degraded is not None,
                 )
                 self._sleep(record.backoff_s)
                 continue

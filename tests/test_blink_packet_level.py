@@ -8,6 +8,8 @@ parameters — workload shape, link mode, fault gates and all.
 
 from __future__ import annotations
 
+import functools
+
 import pytest
 
 from repro.blink.packet_level import (
@@ -76,6 +78,72 @@ class TestCrossSchedulerDeterminism:
         report = small_run(seed=0, scheduler="calendar")
         assert "calendar" not in str(sorted(report.canonical().items()))
         assert report.scheduler == "calendar"
+
+
+@functools.lru_cache(maxsize=None)
+def _single_shard_baseline(scheduler: str, **overrides) -> PacketLevelReport:
+    return small_run(seed=3, scheduler=scheduler, **overrides)
+
+
+class TestShardedDeterminism:
+    """The sharded engine's contract: byte-identical reports at every
+    shard count, across schedulers, kernel backends and driver modes."""
+
+    @pytest.mark.parametrize("shards", [2, 4, 8])
+    @pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+    def test_shard_grid_parity(self, shards, scheduler):
+        base = _single_shard_baseline(scheduler)
+        run = small_run(seed=3, scheduler=scheduler, shards=shards)
+        assert run.report_hash == base.report_hash
+        assert run.packets == base.packets
+        assert run.events == base.events
+        assert run.shards == shards
+
+    def test_numpy_backend_parity(self, monkeypatch):
+        pytest.importorskip("numpy")
+        base = _single_shard_baseline("heap")
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        run = small_run(seed=3, scheduler="heap", shards=2)
+        assert run.report_hash == base.report_hash
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"preload": True},
+            {"through_link": True},
+            {"with_trace": False},
+            {"with_blink": False},
+        ],
+        ids=lambda o: ",".join(f"{k}={v}" for k, v in o.items()),
+    )
+    def test_mode_grid_parity(self, overrides):
+        base = _single_shard_baseline("heap", **overrides)
+        run = small_run(seed=3, scheduler="heap", shards=2, **overrides)
+        assert run.report_hash == base.report_hash
+
+    def test_parity_under_telemetry_fault(self):
+        reports = {}
+        for shards in (1, 2):
+            plan = FaultPlan.parse(
+                "telemetry-drop:p=0.05;telemetry-garble:p=0.05,scale=1.0",
+                seed=9,
+            )
+            reports[shards] = small_run(
+                seed=1, shards=shards, fault=TelemetryFault(plan, role="blink")
+            )
+        assert reports[1].report_hash == reports[2].report_hash
+
+    def test_shards_not_part_of_hash(self):
+        run = small_run(seed=3, scheduler="heap", shards=4)
+        assert run.shards == 4
+        assert "shards" not in dict(run.canonical())
+        assert run.report_hash == _single_shard_baseline("heap").report_hash
+
+    def test_env_var_resolves_shard_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        run = packet_level_experiment(seed=3, horizon=30.0,
+                                      legitimate_flows=30, malicious_flows=2)
+        assert run.shards == 2
 
 
 class TestDriverShape:

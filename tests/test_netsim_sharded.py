@@ -1,0 +1,449 @@
+"""Sharded simulation: partitioner, codec, bases, windows, chaos.
+
+The determinism contract itself (byte-identical report hashes across
+shard counts, schedulers and backends) is pinned by the parity grid in
+``test_blink_packet_level.py``; this file covers the building blocks —
+the sha256-seeded topology partitioner (Hypothesis), the SoA flow/record
+codecs, the global sequence-base reconstruction, the in-process
+:class:`ShardedNetworkSim` reference against the monolithic network,
+the crash-chaos path (``ShardCrashError`` + single-shard degrade), and
+the per-shard metric labelling the ledger relies on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blink.packet_level import blink_attack_specs, packet_level_experiment
+from repro.core.errors import ConfigurationError, ShardCrashError, SimulationError
+from repro.netsim.network import Network
+from repro.netsim.packet import tcp_packet
+from repro.netsim.sharded import (
+    FLOW_SOURCE_NODES,
+    RECORD_COLUMNS,
+    SHARDS_ENV,
+    ShardedNetworkSim,
+    assign_flows_to_shards,
+    compute_global_bases,
+    degrade_to_single_shard,
+    pack_flow_table,
+    resolve_shard_count,
+    run_sharded_packet_workload,
+    unpack_flow_table,
+)
+from repro.netsim.topology import (
+    Topology,
+    line_topology,
+    partition_cut_edges,
+    partition_lookahead,
+    partition_nodes,
+    random_topology,
+    star_topology,
+)
+
+TINY = dict(horizon=20.0, legitimate_flows=20, malicious_flows=2)
+
+
+def tiny_specs():
+    return blink_attack_specs(seed=4, **TINY)
+
+
+# -- shard-count resolution --------------------------------------------------
+
+
+class TestResolveShardCount:
+    def test_default_is_one(self, monkeypatch):
+        monkeypatch.delenv(SHARDS_ENV, raising=False)
+        assert resolve_shard_count() == 1
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shard_count() == 4
+
+    def test_arg_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "4")
+        assert resolve_shard_count(2) == 2
+
+    def test_garbage_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(SHARDS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            resolve_shard_count()
+
+    @pytest.mark.parametrize("bad", [0, -1, FLOW_SOURCE_NODES + 1])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_shard_count(bad)
+
+
+# -- the topology partitioner ------------------------------------------------
+
+
+@st.composite
+def topologies(draw):
+    nodes = draw(st.integers(min_value=2, max_value=20))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_topology(nodes, edge_probability=0.3, seed=seed)
+
+
+class TestPartitionerProperties:
+    @given(
+        topo=topologies(),
+        shards=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_invariants(self, topo, shards, seed):
+        nodes = topo.nodes()
+        shards = min(shards, len(nodes))
+        first = partition_nodes(topo, shards, seed=seed)
+        second = partition_nodes(topo, shards, seed=seed)
+        assert first == second  # pure function of (topology, shards, seed)
+        assert set(first) == set(nodes)  # every node assigned
+        assert set(first.values()) == set(range(shards))  # no empty shard
+        cap = -(-len(nodes) // shards)
+        sizes = [list(first.values()).count(s) for s in range(shards)]
+        assert max(sizes) <= cap  # no shard swallows the graph
+
+    def test_single_node_single_shard(self):
+        topo = Topology("solo")
+        topo.add_node("only")
+        assert partition_nodes(topo, 1) == {"only": 0}
+
+    def test_star_splits_to_full_width(self):
+        topo = star_topology(FLOW_SOURCE_NODES)
+        assignment = partition_nodes(topo, FLOW_SOURCE_NODES)
+        assert set(assignment.values()) == set(range(FLOW_SOURCE_NODES))
+
+    def test_line_splits_evenly(self):
+        topo = line_topology(8, delay_s=0.002)
+        assignment = partition_nodes(topo, 2)
+        assert assignment == partition_nodes(topo, 2)
+        sizes = [list(assignment.values()).count(s) for s in (0, 1)]
+        assert sizes == [4, 4]  # cap = ceil(8/2) forces an even split
+
+    def test_more_shards_than_nodes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_nodes(line_topology(3), 4)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_nodes(line_topology(3), 0)
+
+    def test_cut_edges_and_lookahead(self):
+        topo = Topology("chain")
+        for name in ("r0", "r1", "r2", "r3"):
+            topo.add_node(name)
+        topo.add_link("r0", "r1", delay_s=0.002)
+        topo.add_link("r1", "r2", delay_s=0.005)
+        topo.add_link("r2", "r3", delay_s=0.003)
+        assignment = {"r0": 0, "r1": 0, "r2": 1, "r3": 1}
+        assert partition_cut_edges(topo, assignment) == [("r1", "r2")]
+        assert partition_lookahead(topo, assignment) == 0.005
+
+    def test_uncut_partition_has_no_lookahead_bound(self):
+        topo = line_topology(4)
+        assignment = {node: 0 for node in topo.nodes()}
+        assert partition_cut_edges(topo, assignment) == []
+        assert partition_lookahead(topo, assignment) is None
+
+
+# -- flow assignment and global bases ---------------------------------------
+
+
+class TestFlowAssignment:
+    def test_single_shard_all_zero(self):
+        specs = tiny_specs()
+        assert assign_flows_to_shards(specs, 1) == [0] * len(specs)
+
+    def test_deterministic_and_in_range(self):
+        specs = tiny_specs()
+        first = assign_flows_to_shards(specs, 4)
+        assert first == assign_flows_to_shards(specs, 4)
+        assert set(first) <= set(range(4))
+        # A real workload spreads over every shard at modest widths.
+        assert len(set(first)) == 4
+
+
+class TestGlobalBases:
+    def test_preload_prefix_sums_in_spec_order(self):
+        specs = tiny_specs()[:4]
+        counts = [3, 0, 5, 2]
+        bases = compute_global_bases(specs, counts, preload=True)
+        cursor = 0
+        for i, spec in enumerate(specs):
+            assert bases[i] == cursor
+            cursor += counts[i] + (1 if spec.sends_fin else 0)
+
+    def test_lazy_orders_by_start_then_index(self):
+        specs = tiny_specs()[:6]
+        counts = [2] * 6
+        bases = compute_global_bases(specs, counts, preload=False)
+        order = sorted(range(6), key=lambda i: (specs[i].start, i))
+        cursor = len(specs)  # flow-start transients own sequences 0..n-1
+        for i in order:
+            assert bases[i] == cursor
+            cursor += counts[i] + (1 if specs[i].sends_fin else 0)
+
+    def test_misaligned_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compute_global_bases(tiny_specs()[:3], [1, 2], preload=True)
+
+
+# -- the SoA codecs ----------------------------------------------------------
+
+
+class TestFlowTableCodec:
+    def test_round_trip(self):
+        specs = tiny_specs()
+        indices = list(range(0, len(specs), 2))
+        payload, srcs, dsts = pack_flow_table(specs, indices)
+        table = unpack_flow_table(payload, srcs, dsts)
+        assert [fid for fid, _ in table] == indices
+        for fid, spec in table:
+            assert spec == specs[fid]
+
+    def test_empty_selection(self):
+        payload, srcs, dsts = pack_flow_table(tiny_specs(), [])
+        assert unpack_flow_table(payload, srcs, dsts) == []
+
+    def test_backends_pack_identical_bytes(self):
+        pytest.importorskip("numpy")
+        from repro.kernels import get_backend
+
+        columns = [[0.25, 1e-9, 3.5], [1.0, 2.0, 3.0]]
+        python_bytes = get_backend("python").soa_pack_f64(columns)
+        numpy_bytes = get_backend("numpy").soa_pack_f64(columns)
+        assert python_bytes == numpy_bytes
+        assert get_backend("numpy").soa_unpack_f64(python_bytes, 2) == columns
+        assert get_backend("python").soa_unpack_f64(numpy_bytes, 2) == columns
+
+    def test_ragged_columns_rejected(self):
+        from repro.kernels import get_backend
+
+        with pytest.raises(ConfigurationError):
+            get_backend("python").soa_pack_f64([[1.0, 2.0], [3.0]])
+
+    def test_short_payload_rejected(self):
+        from repro.kernels import get_backend
+
+        with pytest.raises(ConfigurationError):
+            get_backend("python").soa_unpack_f64(b"\x00" * 12, RECORD_COLUMNS)
+
+
+# -- the process-parallel packet engine --------------------------------------
+
+
+class TestShardedPacketEngine:
+    def test_callback_stream_identical_across_shard_counts(self):
+        specs = tiny_specs()
+
+        def collect(shards):
+            seen = []
+            run_sharded_packet_workload(
+                specs,
+                seed=6,
+                horizon=TINY["horizon"],
+                shards=shards,
+                on_packet=lambda spec, t, retrans, fin: seen.append(
+                    (t, spec.flow.packed(), retrans, fin)
+                ),
+            )
+            return seen
+
+        two, three = collect(2), collect(3)
+        assert two == three
+        assert two == sorted(two, key=lambda item: item[0])
+        assert any(fin for *_, fin in two)
+
+    def test_windows_and_result_accounting(self):
+        specs = tiny_specs()
+        result = run_sharded_packet_workload(
+            specs, seed=6, horizon=TINY["horizon"], shards=2
+        )
+        assert result.shards == 2
+        assert result.windows >= 1
+        assert result.packets > 0
+        assert result.events >= result.packets
+        assert sum(result.per_shard_events) == result.events
+        assert result.pipe_bytes > 0
+
+    def test_traceless_run_counts_without_shipping_records(self):
+        specs = tiny_specs()
+        traced = run_sharded_packet_workload(
+            specs, seed=6, horizon=TINY["horizon"], shards=2
+        )
+        bare = run_sharded_packet_workload(
+            specs, seed=6, horizon=TINY["horizon"], shards=2, with_trace=False
+        )
+        assert bare.packets == traced.packets
+        assert bare.pipe_bytes == 0  # nothing to merge, nothing shipped
+        assert bare.windows == 1  # one window spans the horizon
+
+    def test_fast_forward_skips_quiet_regions(self):
+        from dataclasses import replace
+
+        # Two bursts separated by a long silence: the flow-start
+        # transients of the late burst give every shard a known future
+        # bound, so the null-message fast-forward must jump the gap
+        # instead of grinding one-second windows across it.
+        base = blink_attack_specs(seed=6, horizon=5.0, legitimate_flows=8,
+                                  malicious_flows=1)
+        late = [replace(spec, start=spec.start + 150.0) for spec in base]
+        result = run_sharded_packet_workload(
+            base + late, seed=6, horizon=200.0, shards=2, window_s=1.0
+        )
+        assert result.fast_forwards > 0
+        assert result.windows < 60  # far fewer than horizon / window
+
+
+# -- chaos: worker death ------------------------------------------------------
+
+
+class TestShardCrash:
+    def test_killed_worker_fails_fast_with_context(self, tmp_path):
+        flag = tmp_path / "crash"
+        flag.write_text("")
+        with pytest.raises(ShardCrashError) as excinfo:
+            packet_level_experiment(
+                **TINY, seed=4, shards=2, shard_crash_flag=str(flag)
+            )
+        err = excinfo.value
+        assert isinstance(err, SimulationError)
+        assert err.sim_time is not None
+        assert err.shard in (0, 1)
+        assert not flag.exists()  # the flag was consumed, not leaked
+
+    def test_degrade_hook_rebuilds_single_shard(self):
+        calls = []
+
+        def rebuild(shards):
+            calls.append(shards)
+            return f"report-{shards}"
+
+        hook = degrade_to_single_shard(rebuild)
+        assert hook(ValueError("unrelated")) is None
+        replacement = hook(ShardCrashError("boom", sim_time=1.0, shard=0))
+        assert replacement is not None
+        assert replacement() == "report-1"
+        assert calls == [1]
+
+    def test_resilient_runner_degrades_to_single_shard(self, tmp_path):
+        from repro.runner.resilient import ResilientRunner, RetryPolicy
+
+        flag = tmp_path / "crash"
+        flag.write_text("")
+        baseline = packet_level_experiment(**TINY, seed=4)
+
+        def rebuild(shards):
+            return packet_level_experiment(**TINY, seed=4, shards=shards)
+
+        def attempt():
+            return packet_level_experiment(
+                **TINY, seed=4, shards=2, shard_crash_flag=str(flag)
+            )
+
+        runner = ResilientRunner(
+            retry=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+            sleep=lambda s: None,
+        )
+        outcome = runner.run(
+            attempt, label="chaos", degrade=degrade_to_single_shard(rebuild)
+        )
+        assert outcome.succeeded
+        assert outcome.retries == 1
+        assert outcome.attempts[0].error_type == "ShardCrashError"
+        assert outcome.result.shards == 1
+        assert outcome.result.report_hash == baseline.report_hash
+
+
+# -- per-shard metrics labelling ---------------------------------------------
+
+
+class TestShardMetricsLabelling:
+    def test_merged_registry_keeps_shards_distinct(self):
+        from repro.obs import RunLedger, Tracer, activate
+        from repro.obs import metrics as obs_metrics
+
+        registry = obs_metrics.MetricRegistry()
+        tracer = Tracer()
+        with activate(tracer):
+            with obs_metrics.activate(registry):
+                packet_level_experiment(**TINY, seed=4, shards=2)
+        snapshot = registry.to_dict()
+        counters = snapshot["counters"]
+        assert counters.get("sharded.windows", 0) >= 1
+        assert counters.get("sharded.shard0.events", 0) > 0
+        assert counters.get("sharded.shard1.events", 0) > 0
+        # Worker-side rollups arrive under a per-shard prefix, so two
+        # shards' same-named counters never silently sum.
+        for shard in (0, 1):
+            assert any(
+                name.startswith(f"shard{shard}.netsim.") for name in counters
+            ), sorted(counters)
+        assert "sharded.horizon_stall_s" in snapshot["histograms"]
+        # And the ledger sees each shard as its own metrics source.
+        ledger = RunLedger.from_tracer(tracer, attack="blink-packet-level")
+        assert {"shard0", "shard1"} <= set(ledger.metrics)
+
+
+# -- the in-process network reference ----------------------------------------
+
+
+def _chain_topology():
+    topo = Topology("chain")
+    for name in ("a", "b", "c", "d"):
+        topo.add_node(name)
+    topo.add_node("hsrc", role="host")
+    topo.add_node("hdst", role="host")
+    topo.add_link("hsrc", "a", delay_s=0.0007)
+    topo.add_link("a", "b", delay_s=0.002)
+    topo.add_link("b", "c", delay_s=0.0031)
+    topo.add_link("c", "d", delay_s=0.0043)
+    topo.add_link("d", "hdst", delay_s=0.0009)
+    return topo
+
+
+class TestShardedNetworkSim:
+    def _deliveries(self, sim_or_net):
+        got = []
+        sim_or_net.attach_host(
+            "hdst", lambda p, t: got.append((p.src, p.tcp.seq, t))
+        )
+        for k in range(5):
+            sim_or_net.send(tcp_packet("hsrc", "hdst", 1000 + k, 80, seq=k))
+        sim_or_net.run_until(1.0)
+        return got
+
+    def test_matches_monolithic_network(self):
+        topo = _chain_topology()
+        mono = self._deliveries(Network(topo, seed=1))
+        sharded_sim = ShardedNetworkSim(topo, 2, seed=1)
+        sharded = self._deliveries(sharded_sim)
+        assert len(mono) == 5
+        assert sharded == mono
+        assert sharded_sim.boundary_packets > 0  # traffic really crossed
+        assert sharded_sim.windows >= 1
+
+    def test_fast_forward_over_quiet_tail(self):
+        topo = _chain_topology()
+        sim = ShardedNetworkSim(topo, 2, seed=1)
+        self._deliveries(sim)
+        # ~20ms of traffic against a 1s horizon at a few-ms lookahead:
+        # without fast-forward this would take hundreds of windows.
+        assert sim.fast_forwards > 0
+        assert sim.windows < 200
+
+    def test_zero_delay_cut_rejected(self):
+        topo = line_topology(4, delay_s=0.0)
+        with pytest.raises(ConfigurationError, match="zero delay"):
+            ShardedNetworkSim(topo, 2)
+
+    def test_shard_of_and_now(self):
+        topo = _chain_topology()
+        sim = ShardedNetworkSim(topo, 2, seed=1)
+        assert {sim.shard_of(n) for n in topo.nodes()} == {0, 1}
+        assert sim.now == 0.0
