@@ -192,6 +192,7 @@ def packet_level_experiment(
     ring_capacity: int = 256,
     fault: Optional[object] = None,
     shards: Optional[int] = None,
+    adaptive_window: Optional[bool] = None,
     shard_crash_flag: Optional[str] = None,
 ) -> PacketLevelReport:
     """Run the packet-level capture experiment through the event loop.
@@ -205,6 +206,9 @@ def packet_level_experiment(
             per-shard event loops in forked processes whose merged
             observation order — and therefore ``report_hash`` — is
             byte-identical to the single-loop run.
+        adaptive_window: grow sharded sync windows over quiet stretches
+            (None resolves via ``REPRO_ADAPTIVE_WINDOW`` then off);
+            a pure execution knob — the report hash never changes.
         shard_crash_flag: optional crash-flag file path consumed by one
             shard worker (chaos drills; see
             :func:`repro.faults.process.consume_crash_flag`).
@@ -369,6 +373,7 @@ def packet_level_experiment(
             horizon=horizon,
             shards=shard_count,
             scheduler=scheduler_name,
+            adaptive_window=adaptive_window,
             preload=preload,
             with_trace=with_trace,
             crash_flag=shard_crash_flag,

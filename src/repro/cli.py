@@ -177,6 +177,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         # across shard counts, so the knob must stay out of cache keys.
         os.environ[SHARDS_ENV] = str(resolved_shards)
 
+    if args.adaptive_window or os.environ.get("REPRO_ADAPTIVE_WINDOW"):
+        from repro.core.errors import ConfigurationError
+        from repro.netsim.sharded import ADAPTIVE_WINDOW_ENV, resolve_adaptive_window
+
+        try:
+            resolved_adaptive = resolve_adaptive_window(
+                True if args.adaptive_window else None
+            )
+        except ConfigurationError as exc:
+            print(f"invalid adaptive-window setting: {exc}", file=sys.stderr)
+            return 2
+        # Exported like --shards: the window policy never changes the
+        # physics, so it must stay out of cache keys too.
+        os.environ[ADAPTIVE_WINDOW_ENV] = "1" if resolved_adaptive else "0"
+
     if args.faults:
         from repro.core.errors import FaultSpecError
         from repro.faults import coerce_plan
@@ -780,6 +795,18 @@ def cmd_scenarios(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"invalid shard count: {exc}", file=sys.stderr)
             return 2
+    if args.adaptive_window or os.environ.get("REPRO_ADAPTIVE_WINDOW"):
+        from repro.netsim.sharded import ADAPTIVE_WINDOW_ENV, resolve_adaptive_window
+
+        try:
+            os.environ[ADAPTIVE_WINDOW_ENV] = (
+                "1"
+                if resolve_adaptive_window(True if args.adaptive_window else None)
+                else "0"
+            )
+        except ConfigurationError as exc:
+            print(f"invalid adaptive-window setting: {exc}", file=sys.stderr)
+            return 2
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = ResultCache(args.cache_dir)
@@ -874,6 +901,42 @@ def _load_ledger_tolerant(path: str):
     return ledger
 
 
+def _sharded_adaptivity_line(metric_values: Dict[str, object]) -> Optional[str]:
+    """One-line sharded-coordinator digest for the ``top`` view.
+
+    Summarises the adaptive-window controller — sync rounds, window
+    grows/resets, fast-forwards and the window-width distribution —
+    whenever a metrics source carries ``sharded.*`` series.
+    """
+    windows = metric_values.get("counter.sharded.windows")
+    if windows is None:
+        return None
+    parts = [f"windows={format_value(windows)}"]
+    for label, key in (
+        ("fast_forwards", "counter.sharded.fast_forwards"),
+        ("grows", "counter.sharded.adaptive_grows"),
+        ("resets", "counter.sharded.adaptive_resets"),
+        ("boundary", "counter.sharded.boundary_packets"),
+    ):
+        value = metric_values.get(key)
+        if value is not None:
+            parts.append(f"{label}={format_value(value)}")
+    hist = metric_values.get("hist.sharded.window_width_s")
+    if isinstance(hist, dict) and hist.get("count"):
+        parts.append(
+            "width_s p50={} p95={} max={}".format(
+                format_value(hist.get("p50")),
+                format_value(hist.get("p95")),
+                format_value(hist.get("max")),
+            )
+        )
+    else:
+        width = metric_values.get("gauge.sharded.window_width")
+        if width is not None:
+            parts.append(f"width_s={format_value(width)}")
+    return "sharded adaptivity: " + " ".join(parts)
+
+
 def _render_top(ledger, snapshots: List[dict], source: str, width: int) -> str:
     """One frame of the ``top`` view: run header, event mix, metrics."""
     from repro.analysis.reporting import sparkline
@@ -928,6 +991,9 @@ def _render_top(ledger, snapshots: List[dict], source: str, width: int) -> str:
         lines.append(f"metrics (ledger source {source!r}):")
         metric_values = dict(ledger.metrics[source])
     if metric_values:
+        adaptivity = _sharded_adaptivity_line(metric_values)
+        if adaptivity:
+            lines.append(adaptivity)
         name_width = max(len(name) for name in metric_values)
         for name in sorted(metric_values):
             value = metric_values[name]
@@ -1087,6 +1153,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for packet-level simulations "
         "(default: $REPRO_SHARDS, then 1 = in-process); report hashes "
         "are identical at every shard count",
+    )
+    run_parser.add_argument(
+        "--adaptive-window",
+        action="store_true",
+        default=None,
+        help="adaptive conservative-lookahead windows for sharded "
+        "simulation (default: $REPRO_ADAPTIVE_WINDOW, then off); "
+        "report hashes are window-policy-agnostic",
     )
     run_parser.add_argument(
         "--profile",
@@ -1435,6 +1509,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for packet-level simulation (default: "
         "$REPRO_SHARDS, then 1); goldens and cache keys are shard-agnostic",
+    )
+    scenarios_run.add_argument(
+        "--adaptive-window",
+        action="store_true",
+        default=None,
+        help="adaptive conservative-lookahead windows for sharded "
+        "simulation (default: $REPRO_ADAPTIVE_WINDOW, then off); "
+        "goldens and cache keys are window-policy-agnostic",
     )
     scenarios_run.add_argument(
         "--json", action="store_true", help="emit the outcome as one JSON object"

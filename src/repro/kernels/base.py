@@ -210,3 +210,18 @@ class KernelBackend(abc.ABC):
         :class:`ConfigurationError` when the payload length is not a
         multiple of ``columns`` doubles.
         """
+
+    @abc.abstractmethod
+    def soa_sort_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        """Sort rows lexicographically (column 0 first), then pack.
+
+        The canonicalisation step behind the sharded forwarding
+        engine's ``report_hash``: delivery records arrive per-window
+        per-shard, so their *order* depends on the shard count, but the
+        record *set* does not — a stable lexicographic row sort
+        followed by :meth:`soa_pack_f64` yields one canonical byte
+        string for any arrival order.  Values must be NaN-free (NaN
+        has no consistent sort order across implementations); both
+        backends must return byte-identical output, and ties are broken
+        stably in input order.
+        """

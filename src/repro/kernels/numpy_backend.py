@@ -432,3 +432,19 @@ class NumpyBackend(KernelBackend):
             )
         n = len(payload) // stride
         return np.frombuffer(payload, dtype="<f8").reshape(columns, n).tolist()
+
+    def soa_sort_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        n = len(columns[0]) if columns else 0
+        if any(len(col) != n for col in columns):
+            raise ConfigurationError(
+                "soa_sort_pack_f64 needs equal-length columns, got "
+                f"{[len(c) for c in columns]}"
+            )
+        if n == 0:
+            return self.soa_pack_f64(columns)
+        matrix = np.asarray(columns, dtype="<f8")
+        # lexsort's *last* key is primary, so feed the rows reversed;
+        # it is stable, matching the python backend's sorted() on row
+        # tuples exactly (for NaN-free input, the documented domain).
+        order = np.lexsort(matrix[::-1])
+        return matrix[:, order].tobytes()

@@ -267,3 +267,15 @@ class PythonBackend(KernelBackend):
             list(struct.unpack_from(fmt, payload, 8 * n * c))
             for c in range(columns)
         ]
+
+    def soa_sort_pack_f64(self, columns: Sequence[Sequence[float]]) -> bytes:
+        n = len(columns[0]) if columns else 0
+        if any(len(col) != n for col in columns):
+            raise ConfigurationError(
+                "soa_sort_pack_f64 needs equal-length columns, got "
+                f"{[len(c) for c in columns]}"
+            )
+        if n == 0:
+            return self.soa_pack_f64(columns)
+        rows = sorted(zip(*columns))
+        return self.soa_pack_f64([list(col) for col in zip(*rows)])

@@ -39,20 +39,27 @@ from repro.netsim.topology import (
     LinkProperties,
     NodeProperties,
     Topology,
+    cluster_assignment,
+    clustered_random_topology,
     dumbbell_topology,
+    fat_tree_topology,
     line_topology,
     partition_cut_edges,
     partition_lookahead,
     partition_nodes,
+    partition_out_lookaheads,
+    partition_weights,
     random_topology,
+    scaled_random_topology,
     star_topology,
     triangle_with_hosts,
 )
 
-# NOTE: the sharded engines live in ``repro.netsim.sharded`` and are
-# imported as a submodule (``from repro.netsim.sharded import ...``)
-# rather than re-exported here: the module pulls in ``multiprocessing``
-# and the flow generators, which the plain simulator path never needs.
+# NOTE: the sharded engines live in ``repro.netsim.sharded`` and
+# ``repro.netsim.forwarding`` and are imported as submodules
+# (``from repro.netsim.forwarding import ...``) rather than re-exported
+# here: they pull in ``multiprocessing`` and the flow generators, which
+# the plain simulator path never needs.
 from repro.netsim.trace import (
     FlowStats,
     StreamingTraceAggregator,
@@ -94,15 +101,21 @@ __all__ = [
     "TraceCollector",
     "TraceRecord",
     "available_schedulers",
+    "cluster_assignment",
+    "clustered_random_topology",
     "dumbbell_topology",
+    "fat_tree_topology",
     "flow_key",
     "icmp_time_exceeded",
     "line_topology",
     "partition_cut_edges",
     "partition_lookahead",
     "partition_nodes",
+    "partition_out_lookaheads",
+    "partition_weights",
     "random_topology",
     "resolve_scheduler_name",
+    "scaled_random_topology",
     "star_topology",
     "tcp_packet",
     "triangle_with_hosts",

@@ -53,12 +53,20 @@ class Network:
         scheduler: Optional[str] = None,
         local_nodes: "Optional[set] | None" = None,
         remote_egress: Optional[RemoteEgress] = None,
+        router: Optional[StaticRouter] = None,
     ):
         self.topology = topology
         self.loop = loop or EventLoop(scheduler=scheduler)
         self.metrics = metrics or MetricRegistry()
-        self.router = StaticRouter(topology)
-        self.router.compute()
+        if router is not None:
+            # A precomputed (possibly destination-restricted) router,
+            # shared across shard networks: tables for a 1k-router
+            # topology are expensive to build and identical per shard,
+            # so the sharded coordinator computes them once pre-fork.
+            self.router = router
+        else:
+            self.router = StaticRouter(topology)
+            self.router.compute()
         # Sharded operation: the network owns only `local_nodes` (None =
         # everything).  Links whose source is local are instantiated —
         # including boundary links, whose far end lives in another
@@ -105,6 +113,10 @@ class Network:
         if not self.topology.has_node(node):
             raise ConfigurationError(f"unknown node {node!r}")
         self._programs.setdefault(node, []).append(program)
+
+    def links(self) -> List[Link]:
+        """Every instantiated (locally owned) unidirectional link."""
+        return list(self._links.values())
 
     def link(self, src: str, dst: str) -> Link:
         """The unidirectional link object ``src -> dst`` (for taps)."""

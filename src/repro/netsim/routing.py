@@ -10,7 +10,9 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import networkx as nx
 
 from repro.core.errors import RoutingError
 from repro.netsim.topology import Topology
@@ -91,22 +93,47 @@ class StaticRouter:
         }
         self._prefix_homes: Dict[str, str] = {}
 
-    def compute(self) -> None:
-        """(Re)build all symbolic routes from current topology state."""
-        for node in self.topology.nodes():
-            table = self.tables[node]
-            for destination in self.topology.nodes():
-                if destination == node:
-                    continue
-                try:
-                    path = self.topology.shortest_path(node, destination)
-                except Exception as exc:
-                    raise RoutingError(
-                        f"no path {node} -> {destination}: {exc}"
-                    ) from exc
-                table.install(destination, path[1], origin="spf")
+    def compute(self, destinations: Optional[Iterable[str]] = None) -> None:
+        """(Re)build symbolic routes from current topology state.
+
+        One Dijkstra *per destination* instead of one per (source,
+        destination) pair: the shortest-path tree rooted at ``d`` gives
+        every node's next hop toward ``d`` at once (the penultimate hop
+        of the root-to-node path — valid because link weights are
+        symmetric), turning the all-pairs table build from ``O(n^2)``
+        shortest-path calls into ``O(n)``.  ``destinations`` restricts
+        the build to routes *toward* those nodes — the internet-scale
+        forwarding path computes tables only for actual traffic
+        endpoints, which on a 1k-router network is the difference
+        between ~64 Dijkstras and ~1M pair queries.
+        """
+        if destinations is None:
+            destinations = self.topology.nodes()
+        for destination in destinations:
+            self._install_tree(destination, destination, origin="spf")
         for prefix, home in self._prefix_homes.items():
             self._install_prefix(prefix, home)
+
+    def _install_tree(self, prefix: str, root: str, origin: str = "spf") -> None:
+        """Install ``prefix -> next hop toward root`` at every node."""
+        if not self.topology.has_node(root):
+            raise RoutingError(f"no node {root!r} to route toward")
+        paths = nx.single_source_dijkstra_path(
+            self.topology.graph,
+            root,
+            weight=lambda a, b, data: data["props"].weight,
+        )
+        missing = [n for n in self.topology.nodes() if n not in paths]
+        if missing:
+            raise RoutingError(
+                f"no path {missing[0]} -> {root}: graph is disconnected"
+            )
+        for node, path in paths.items():
+            if node == root:
+                continue
+            # ``path`` runs root -> node; the next hop from ``node``
+            # toward ``root`` is the penultimate element.
+            self.tables[node].install(prefix, path[-2], origin=origin)
 
     def announce_prefix(self, prefix: str, at_node: str) -> None:
         """Attach an IP prefix to a node and install routes toward it."""
@@ -116,11 +143,7 @@ class StaticRouter:
         self._install_prefix(prefix, at_node)
 
     def _install_prefix(self, prefix: str, home: str) -> None:
-        for node in self.topology.nodes():
-            if node == home:
-                continue
-            path = self.topology.shortest_path(node, home)
-            self.tables[node].install(prefix, path[1], origin="spf")
+        self._install_tree(prefix, home, origin="spf")
 
     def table(self, node: str) -> RoutingTable:
         if node not in self.tables:

@@ -47,6 +47,7 @@ same flows on the same shards.
 from __future__ import annotations
 
 import heapq
+import math
 import multiprocessing as mp
 import os
 import time as _wallclock
@@ -57,13 +58,18 @@ from repro.core.errors import ConfigurationError, ShardCrashError, SimulationErr
 from repro.faults.process import consume_crash_flag
 from repro.flows.flow import FiveTuple
 from repro.flows.generators import FlowSpec, flow_packet_schedule, flow_stream_seed
-from repro.netsim.events import EventLoop, resolve_scheduler_name
+from repro.netsim.events import (
+    EventLoop,
+    resolve_scheduler_name,
+    suggest_bucket_width,
+)
 from repro.netsim.network import Network
 from repro.netsim.topology import (
     Topology,
     partition_cut_edges,
     partition_lookahead,
     partition_nodes,
+    partition_out_lookaheads,
     star_topology,
 )
 from repro.obs import metrics as obs_metrics
@@ -72,6 +78,10 @@ from repro.obs import tracer as obs
 #: Environment variable naming the shard count, mirroring
 #: ``REPRO_SCHEDULER``: an execution knob, never part of cache keys.
 SHARDS_ENV = "REPRO_SHARDS"
+
+#: Environment variable enabling adaptive lookahead windows, mirroring
+#: ``REPRO_SHARDS``: an execution knob, never part of cache keys.
+ADAPTIVE_WINDOW_ENV = "REPRO_ADAPTIVE_WINDOW"
 
 #: Leaf count of the fan-in topology flows are hashed onto before the
 #: partitioner splits the leaves over shards.  Also the ceiling on the
@@ -88,6 +98,9 @@ _RECORD_FIN = 2
 
 #: Seconds between liveness probes while waiting on a shard pipe.
 _POLL_INTERVAL_S = 0.05
+
+#: Event-time sample size for shard-local calendar bucket tuning.
+_TUNE_SAMPLE_CAP = 4096
 
 
 def resolve_shard_count(count: Optional[int] = None) -> int:
@@ -111,6 +124,95 @@ def resolve_shard_count(count: Optional[int] = None) -> int:
             "flow fan-in; raise FLOW_SOURCE_NODES to shard wider"
         )
     return count
+
+
+def resolve_adaptive_window(flag: Optional[bool] = None) -> bool:
+    """Resolve the adaptive-window knob: arg > env > off.
+
+    The environment value follows the usual boolean spelling: ``1``,
+    ``true``, ``yes``, ``on`` (case-insensitive) enable, ``0``,
+    ``false``, ``no``, ``off`` and the empty string disable; anything
+    else is a configuration error.
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(ADAPTIVE_WINDOW_ENV, "").strip().lower()
+    if raw in ("", "0", "false", "no", "off"):
+        return False
+    if raw in ("1", "true", "yes", "on"):
+        return True
+    raise ConfigurationError(
+        f"{ADAPTIVE_WINDOW_ENV} must be a boolean flag, got {raw!r}"
+    )
+
+
+class AdaptiveWindow:
+    """Bounded multiplicative controller for the lookahead window width.
+
+    The fixed conservative window is pessimal on sparse-cut workloads:
+    shards synchronise every ``L`` seconds even when no boundary
+    traffic crossed for thousands of windows.  This controller widens
+    the window geometrically while windows stay quiet (no boundary
+    records) and snaps back to the base width the moment boundary
+    traffic reappears:
+
+    * ``width() = base_s * factor`` with ``factor`` in
+      ``[1, max_factor]``;
+    * ``observe(n)`` with ``n == 0`` grows ``factor`` by ``grow``
+      (clamped), with ``n > 0`` resets it to 1.
+
+    The controller only *proposes* a width — each engine clamps the
+    proposal to whatever barrier its own causality argument proves safe
+    (the packet engine's shards exchange no inputs, so any width is
+    safe there; the network engines clamp to the per-shard
+    bound-plus-outgoing-lookahead frontier).  Determinism: the factor
+    is a pure function of the observed boundary-record counts, which
+    are themselves deterministic, so adaptive runs produce the same
+    barrier sequence on every execution.
+    """
+
+    def __init__(
+        self,
+        base_s: float,
+        grow: float = 2.0,
+        max_factor: float = 32.0,
+    ):
+        if base_s <= 0:
+            raise ConfigurationError(f"base_s must be positive, got {base_s}")
+        if grow <= 1.0:
+            raise ConfigurationError(f"grow must exceed 1, got {grow}")
+        if max_factor < 1.0:
+            raise ConfigurationError(
+                f"max_factor must be >= 1, got {max_factor}"
+            )
+        self.base_s = base_s
+        self.grow = grow
+        self.max_factor = max_factor
+        self.factor = 1.0
+        self.grows = 0
+        self.resets = 0
+
+    def width(self) -> float:
+        """The current window-width proposal in seconds."""
+        return self.base_s * self.factor
+
+    def observe(self, boundary_records: int) -> None:
+        """Feed back one window's boundary-record count."""
+        if boundary_records > 0:
+            if self.factor != 1.0:
+                self.factor = 1.0
+                self.resets += 1
+                obs_metrics.inc("sharded.adaptive_resets")
+        elif self.factor < self.max_factor:
+            self.factor = min(self.factor * self.grow, self.max_factor)
+            self.grows += 1
+            obs_metrics.inc("sharded.adaptive_grows")
+
+
+def _observe_window_width(width: float) -> None:
+    """Record the width actually used for one barrier window."""
+    obs_metrics.gauge_set("sharded.window_width", width)
+    obs_metrics.observe("sharded.window_width_s", width)
 
 
 # -- struct-of-arrays flow table ---------------------------------------
@@ -313,7 +415,24 @@ def _shard_worker(conn, config: Dict[str, object]) -> None:
             schedules.append((fid, spec, times, flags))
             counts.append((fid, len(times)))
 
-        loop = EventLoop(scheduler=config.get("scheduler"))
+        # Shard-local calendar tuning: this shard's event population is
+        # known before anything is scheduled, so size the calendar
+        # buckets from *its own* observed inter-event gaps rather than
+        # the global default — shards with sparse schedules get wide
+        # buckets, dense ones narrow.  Tuning never changes results
+        # (schedulers are byte-identical by contract), only speed.
+        bucket_width = None
+        if resolve_scheduler_name(config.get("scheduler")) == "calendar":
+            sample: List[float] = []
+            for _fid, spec, times, _flags in schedules:
+                sample.append(spec.start)
+                sample.extend(times[: _TUNE_SAMPLE_CAP - len(sample)])
+                if len(sample) >= _TUNE_SAMPLE_CAP:
+                    break
+            bucket_width = suggest_bucket_width(sample)
+        loop = EventLoop(
+            scheduler=config.get("scheduler"), bucket_width=bucket_width
+        )
         with_trace = bool(config["with_trace"])
         records: List[Tuple[float, int, int, int]] = []
         packets = [0]
@@ -395,6 +514,8 @@ def _shard_worker(conn, config: Dict[str, object]) -> None:
         events_total = 0
         remaining = int(config.get("max_events") or 50_000_000)
         with obs_metrics.activate(registry):
+            if bucket_width is not None:
+                obs_metrics.gauge_set("calendar.bucket_width", bucket_width)
             while True:
                 message = conn.recv()
                 if message[0] == "done":
@@ -459,7 +580,77 @@ class ShardedRunResult:
     per_shard_events: List[int] = field(default_factory=list)
 
 
-class ShardedPacketEngine:
+class ShardPipeMixin:
+    """Pipe plumbing shared by the process-parallel coordinators.
+
+    Owns ``self._procs`` / ``self._conns`` (parallel lists of worker
+    processes and parent pipe ends) and provides crash-aware send /
+    receive plus orderly shutdown.  Both :class:`ShardedPacketEngine`
+    and :class:`repro.netsim.forwarding.ShardedForwardingSim` drive
+    their workers through this exact protocol skin.
+    """
+
+    _procs: List[mp.process.BaseProcess]
+    _conns: List
+
+    def _send(self, shard: int, message: tuple, sim_time: float) -> None:
+        try:
+            self._conns[shard].send(message)
+        except (BrokenPipeError, OSError):
+            raise ShardCrashError(
+                f"shard {shard} worker died (pipe closed on send)",
+                sim_time=sim_time,
+                shard=shard,
+            ) from None
+
+    def _recv(self, shard: int, sim_time: float) -> tuple:
+        """Receive one message, failing fast if the worker died.
+
+        A killed worker (``kill -9``, OOM, chaos flag) never closes the
+        protocol cleanly; polling with a liveness probe turns the
+        would-be-forever pipe read into a :class:`ShardCrashError`
+        carrying the simulation time being synchronised and the shard.
+        """
+        conn = self._conns[shard]
+        proc = self._procs[shard]
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL_S):
+                    message = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise ShardCrashError(
+                    f"shard {shard} worker died (pipe closed)",
+                    sim_time=sim_time,
+                    shard=shard,
+                ) from None
+            if not proc.is_alive():
+                raise ShardCrashError(
+                    f"shard {shard} worker exited with code "
+                    f"{proc.exitcode} at t={sim_time}",
+                    sim_time=sim_time,
+                    shard=shard,
+                )
+        if message[0] == "error":
+            raise SimulationError(f"shard {shard} failed: {message[1]}")
+        return message
+
+    def _shutdown(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=2.0)
+        self._conns = []
+        self._procs = []
+
+
+class ShardedPacketEngine(ShardPipeMixin):
     """Coordinator for the process-parallel packet-level workload.
 
     Usage::
@@ -495,6 +686,7 @@ class ShardedPacketEngine:
         preload: bool = False,
         with_trace: bool = True,
         window_s: Optional[float] = None,
+        adaptive_window: Optional[bool] = None,
         crash_flag: Optional[str] = None,
         max_events: int = 50_000_000,
     ):
@@ -517,6 +709,15 @@ class ShardedPacketEngine:
         if window_s <= 0:
             raise ConfigurationError("window_s must be positive")
         self.window_s = window_s
+        # Packet-engine shards exchange no inputs (records only flow
+        # worker -> coordinator), so *any* window width is causally
+        # safe: the adaptive proposal needs no clamping here beyond
+        # the horizon.  Quiet windows are ones that shipped no records.
+        self.adaptive: Optional[AdaptiveWindow] = (
+            AdaptiveWindow(window_s)
+            if resolve_adaptive_window(adaptive_window)
+            else None
+        )
         self._procs: List[mp.process.BaseProcess] = []
         self._conns: List = []
         self._bases: List[int] = []
@@ -619,7 +820,13 @@ class ShardedPacketEngine:
             t = 0.0
             horizon = self.horizon
             while t < horizon:
-                target = min(t + self.window_s, horizon)
+                width = (
+                    self.adaptive.width()
+                    if self.adaptive is not None
+                    else self.window_s
+                )
+                target = min(t + width, horizon)
+                _observe_window_width(target - t)
                 known = [b for b in self._bounds if b is not None]
                 if not known:
                     target = horizon
@@ -669,6 +876,8 @@ class ShardedPacketEngine:
                                 for k in range(count)
                             ]
                         )
+                if self.adaptive is not None:
+                    self.adaptive.observe(sum(len(s) for s in streams))
                 result.windows += 1
                 result.pipe_bytes += window_bytes
                 self._pipe_bytes += window_bytes
@@ -726,65 +935,6 @@ class ShardedPacketEngine:
             self._shutdown()
         return result
 
-    # -- plumbing ----------------------------------------------------
-
-    def _send(self, shard: int, message: tuple, sim_time: float) -> None:
-        try:
-            self._conns[shard].send(message)
-        except (BrokenPipeError, OSError):
-            raise ShardCrashError(
-                f"shard {shard} worker died (pipe closed on send)",
-                sim_time=sim_time,
-                shard=shard,
-            ) from None
-
-    def _recv(self, shard: int, sim_time: float) -> tuple:
-        """Receive one message, failing fast if the worker died.
-
-        A killed worker (``kill -9``, OOM, chaos flag) never closes the
-        protocol cleanly; polling with a liveness probe turns the
-        would-be-forever pipe read into a :class:`ShardCrashError`
-        carrying the simulation time being synchronised and the shard.
-        """
-        conn = self._conns[shard]
-        proc = self._procs[shard]
-        while True:
-            try:
-                if conn.poll(_POLL_INTERVAL_S):
-                    message = conn.recv()
-                    break
-            except (EOFError, OSError):
-                raise ShardCrashError(
-                    f"shard {shard} worker died (pipe closed)",
-                    sim_time=sim_time,
-                    shard=shard,
-                ) from None
-            if not proc.is_alive():
-                raise ShardCrashError(
-                    f"shard {shard} worker exited with code "
-                    f"{proc.exitcode} at t={sim_time}",
-                    sim_time=sim_time,
-                    shard=shard,
-                )
-        if message[0] == "error":
-            raise SimulationError(f"shard {shard} failed: {message[1]}")
-        return message
-
-    def _shutdown(self) -> None:
-        for conn in self._conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        for proc in self._procs:
-            proc.join(timeout=2.0)
-            if proc.is_alive():
-                proc.terminate()
-                proc.join(timeout=2.0)
-        self._conns = []
-        self._procs = []
-
-
 def run_sharded_packet_workload(
     specs: Sequence[FlowSpec],
     *,
@@ -798,6 +948,7 @@ def run_sharded_packet_workload(
     loop: Optional[EventLoop] = None,
     advance_loop: bool = False,
     window_s: Optional[float] = None,
+    adaptive_window: Optional[bool] = None,
     crash_flag: Optional[str] = None,
 ) -> ShardedRunResult:
     """One-shot convenience: prepare + run a :class:`ShardedPacketEngine`."""
@@ -810,6 +961,7 @@ def run_sharded_packet_workload(
         preload=preload,
         with_trace=with_trace,
         window_s=window_s,
+        adaptive_window=adaptive_window,
         crash_flag=crash_flag,
     )
     engine.prepare()
@@ -868,6 +1020,7 @@ class ShardedNetworkSim:
         scheduler: Optional[str] = None,
         default_queue_packets: int = 1000,
         partition_seed: int = 0,
+        adaptive_window: Optional[bool] = None,
     ):
         self.topology = topology
         self.shards = shards
@@ -878,6 +1031,12 @@ class ShardedNetworkSim:
             raise ConfigurationError(
                 f"cannot shard: a cut link has zero delay (cut={cut})"
             )
+        self.out_lookaheads = partition_out_lookaheads(topology, self.assignment)
+        self.adaptive: Optional[AdaptiveWindow] = (
+            AdaptiveWindow(self.lookahead)
+            if self.lookahead is not None and resolve_adaptive_window(adaptive_window)
+            else None
+        )
         self.loops: List[EventLoop] = []
         self.networks: List[Network] = []
         self._outboxes: List[List[Tuple[float, int, int, object, str]]] = [
@@ -943,30 +1102,63 @@ class ShardedNetworkSim:
             if window is None:
                 target = end_time
             else:
-                target = min(t + window, end_time)
+                width = window
+                if self.adaptive is not None:
+                    width = max(window, self.adaptive.width())
                 bounds = [loop.next_event_bound() for loop in self.loops]
                 known = [b for b in bounds if b is not None]
+                target = min(t + width, end_time)
+                if width > window:
+                    # Adaptive widening is only safe up to the frontier
+                    # min over shards of (next-event bound + fastest
+                    # outgoing cut link): a shard cannot emit boundary
+                    # traffic before its next event fires, so nothing
+                    # can arrive anywhere before the frontier.  Never
+                    # clamp below the always-safe fixed barrier.
+                    frontier = self._boundary_safe_frontier(bounds)
+                    if target > frontier:
+                        target = min(max(frontier, t + window), end_time)
                 if not known:
                     target = end_time
                 elif min(known) > target:
                     target = min(min(known), end_time)
                     self.fast_forwards += 1
                     obs_metrics.inc("sharded.fast_forwards")
+                _observe_window_width(target - t)
             for loop in self.loops:
                 processed += loop.run_until(target, max_events=max_events)
-            self._exchange_boundary()
+            crossed = self._exchange_boundary()
+            if self.adaptive is not None:
+                self.adaptive.observe(crossed)
             self.windows += 1
             obs_metrics.inc("sharded.windows")
             t = target
         return processed
 
-    def _exchange_boundary(self) -> None:
+    def _boundary_safe_frontier(self, bounds: Sequence[Optional[float]]) -> float:
+        """Latest barrier provably free of unseen boundary arrivals.
+
+        Shard ``i``'s earliest possible boundary emission is its next
+        event, so nothing from it can land anywhere before
+        ``bound_i + out_lookahead_i``.  Shards with no pending events
+        (or no outgoing cut links) cannot emit at all and drop out of
+        the minimum.  Already-injected packets are loop events and are
+        therefore folded into the bounds.
+        """
+        frontier = math.inf
+        for shard, out_la in self.out_lookaheads.items():
+            bound = bounds[shard]
+            if bound is not None:
+                frontier = min(frontier, bound + out_la)
+        return frontier
+
+    def _exchange_boundary(self) -> int:
         pending: List[Tuple[float, int, int, object, str]] = []
         for outbox in self._outboxes:
             pending.extend(outbox)
             outbox.clear()
         if not pending:
-            return
+            return 0
         # Deterministic admission: arrival time, then source shard,
         # then egress sequence — stable for a given shard count.
         pending.sort(key=lambda item: (item[0], item[1], item[2]))
@@ -976,3 +1168,4 @@ class ShardedNetworkSim:
             self.networks[self.shard_of(ingress)].inject_remote(
                 packet, ingress, arrival
             )
+        return len(pending)

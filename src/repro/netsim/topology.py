@@ -272,6 +272,235 @@ def random_topology(
     return topo
 
 
+def _edge_jitter(seed: int, a: str, b: str) -> float:
+    """Deterministic per-link jitter fraction in ``[0, 1)``.
+
+    sha256 over a length-prefixed, order-normalised encoding: the same
+    (seed, endpoints) always yields the same fraction, in any process.
+    Jittered delays keep independently routed packets off *exactly*
+    tying float timestamps, which is what lets the sharded forwarding
+    engine promise monolithic-identical delivery records without a
+    global tie-break channel.
+    """
+    lo, hi = sorted((a, b))
+    payload = f"jitter|{seed}|{len(lo)}:{lo}|{len(hi)}:{hi}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(payload).digest()[:8], "big") / 2.0**64
+
+
+def fat_tree_topology(
+    k: int,
+    hosts_per_edge: Optional[int] = None,
+    bandwidth_bps: float = 10e9,
+    core_delay_s: float = 0.004,
+    agg_delay_s: float = 0.002,
+    host_delay_s: float = 0.0005,
+    delay_jitter: float = 0.25,
+    seed: int = 0,
+) -> Topology:
+    """The standard ``k``-ary fat-tree (Al-Fares et al.): ``k`` pods of
+    ``k/2`` aggregation + ``k/2`` edge switches under ``(k/2)^2`` core
+    switches — ``5k^2/4`` routers total, ``k^3/4`` hosts by default.
+
+    The internet-scale shape the sharded forwarding engine is fed:
+    ``fat_tree_topology(16)`` is a 320-router, 1024-host network and
+    ``k`` scales it quadratically from there.  ``hosts_per_edge``
+    overrides the per-edge-switch host count (0 = switches only).  Every
+    link's propagation delay carries a deterministic per-link jitter of
+    up to ``delay_jitter`` of its base (sha256 of the endpoints, not an
+    RNG stream) so no two distinct paths sum to exactly tying floats.
+    """
+    if k < 2 or k % 2:
+        raise ConfigurationError(f"fat-tree arity must be even and >= 2, got {k}")
+    if delay_jitter < 0 or delay_jitter >= 1:
+        raise ConfigurationError("delay_jitter must be in [0, 1)")
+    half = k // 2
+    if hosts_per_edge is None:
+        hosts_per_edge = half
+    if hosts_per_edge < 0:
+        raise ConfigurationError("hosts_per_edge must be >= 0")
+    topo = Topology(f"fat-tree-{k}")
+
+    def link(a: str, b: str, base_delay: float) -> None:
+        delay = base_delay * (1.0 + delay_jitter * _edge_jitter(seed, a, b))
+        topo.add_link(a, b, bandwidth_bps=bandwidth_bps, delay_s=delay)
+
+    cores = [f"core{i}" for i in range(half * half)]
+    for core in cores:
+        topo.add_node(core)
+    for pod in range(k):
+        for i in range(half):
+            topo.add_node(f"agg{pod}_{i}")
+            topo.add_node(f"edge{pod}_{i}")
+        for i in range(half):
+            # Aggregation switch i of every pod uplinks to core group i.
+            for j in range(half):
+                link(f"agg{pod}_{i}", cores[i * half + j], core_delay_s)
+            for j in range(half):
+                link(f"agg{pod}_{i}", f"edge{pod}_{j}", agg_delay_s)
+        for i in range(half):
+            for h in range(hosts_per_edge):
+                host = f"h{pod}_{i}_{h}"
+                topo.add_node(host, role="host")
+                link(f"edge{pod}_{i}", host, host_delay_s)
+    return topo
+
+
+def scaled_random_topology(
+    nodes: int,
+    extra_links_per_node: int = 2,
+    seed: Optional[int] = None,
+    bandwidth_bps: float = 10e9,
+    base_delay_s: float = 0.002,
+    delay_jitter: float = 0.5,
+) -> Topology:
+    """Connected random topology in ``O(nodes * degree)`` — the scaled
+    generator path for 1k+ router networks.
+
+    :func:`random_topology` draws an ``O(n^2)`` coin per node pair,
+    which is fine for NetHide's medium benches but not for
+    internet-scale inputs.  This builds the same random-spanning-tree
+    backbone, then adds ``extra_links_per_node`` random chords per
+    node, skipping duplicates — linear-time, average degree about
+    ``2 * (1 + extra_links_per_node)``.  Link delays carry the
+    deterministic sha256 per-link jitter (see :func:`fat_tree_topology`)
+    so distinct multi-hop paths land on distinct float timestamps.
+    """
+    if nodes < 2:
+        raise ConfigurationError("scaled random topology needs at least 2 nodes")
+    if extra_links_per_node < 0:
+        raise ConfigurationError("extra_links_per_node must be >= 0")
+    if delay_jitter < 0 or delay_jitter >= 1:
+        raise ConfigurationError("delay_jitter must be in [0, 1)")
+    rng = random.Random(seed)
+    jitter_seed = seed if seed is not None else 0
+    topo = Topology(f"scaled-random-{nodes}")
+    names = [f"r{i}" for i in range(nodes)]
+    for name in names:
+        topo.add_node(name)
+
+    def link(a: str, b: str) -> None:
+        delay = base_delay_s * (1.0 + delay_jitter * _edge_jitter(jitter_seed, a, b))
+        topo.add_link(a, b, bandwidth_bps=bandwidth_bps, delay_s=delay)
+
+    shuffled = names[:]
+    rng.shuffle(shuffled)
+    for i in range(1, nodes):
+        link(shuffled[i], shuffled[rng.randrange(i)])
+    for i in range(nodes):
+        for _ in range(extra_links_per_node):
+            j = rng.randrange(nodes)
+            if j != i and not topo.has_link(names[i], names[j]):
+                link(names[i], names[j])
+    return topo
+
+
+def clustered_random_topology(
+    clusters: int,
+    cluster_nodes: int,
+    extra_links_per_node: int = 2,
+    backbone_links: int = 1,
+    seed: Optional[int] = None,
+    bandwidth_bps: float = 10e9,
+    intra_delay_s: float = 0.002,
+    backbone_delay_s: "float | Sequence[float]" = 0.030,
+    delay_jitter: float = 0.5,
+) -> Topology:
+    """Islands and backbone: dense random clusters on a sparse
+    high-latency ring — the canonical sparse-cut input for conservative
+    parallel simulation.
+
+    Each cluster is a :func:`scaled_random_topology`-style region
+    (spanning tree plus ``extra_links_per_node`` chords, ~2 ms links);
+    adjacent clusters are joined by ``backbone_links`` long-haul links
+    (~30 ms).  Cutting on cluster boundaries therefore yields a
+    lookahead an order of magnitude above any internal link, and
+    shortest paths between same-cluster endpoints never leave the
+    cluster — cross-cut traffic is exactly the flows whose endpoints
+    live in different clusters.  Node ``c<r>n<i>`` is node ``i`` of
+    cluster ``r``; nodes ``c<r>n0..`` (one per backbone link) are the
+    gateways.  Delays carry the deterministic per-link sha256 jitter
+    (see :func:`fat_tree_topology`).
+
+    ``backbone_delay_s`` may be a sequence — ring segment ``r`` (the
+    links from cluster ``r`` to ``r+1``) then uses
+    ``backbone_delay_s[r % len]``, giving a heterogeneous cut whose
+    per-shard outgoing lookaheads differ: the input that separates the
+    adaptive-window synchroniser from a fixed global window.
+    """
+    if clusters < 1:
+        raise ConfigurationError("need at least one cluster")
+    if cluster_nodes < 2:
+        raise ConfigurationError("clusters need at least 2 nodes")
+    if extra_links_per_node < 0:
+        raise ConfigurationError("extra_links_per_node must be >= 0")
+    if not 0 < backbone_links <= cluster_nodes:
+        raise ConfigurationError(
+            f"backbone_links must be in [1, {cluster_nodes}], got {backbone_links}"
+        )
+    if delay_jitter < 0 or delay_jitter >= 1:
+        raise ConfigurationError("delay_jitter must be in [0, 1)")
+    backbone_delays = (
+        list(backbone_delay_s)
+        if isinstance(backbone_delay_s, (list, tuple))
+        else [float(backbone_delay_s)]
+    )
+    if any(d <= intra_delay_s * (1 + delay_jitter) for d in backbone_delays):
+        raise ConfigurationError(
+            "backbone delays must exceed the jittered intra-cluster delay "
+            "(otherwise the cut is not the slowest place in the graph)"
+        )
+    rng = random.Random(seed)
+    jitter_seed = seed if seed is not None else 0
+    topo = Topology(f"clustered-random-{clusters}x{cluster_nodes}")
+
+    def link(a: str, b: str, base_delay: float) -> None:
+        delay = base_delay * (1.0 + delay_jitter * _edge_jitter(jitter_seed, a, b))
+        topo.add_link(a, b, bandwidth_bps=bandwidth_bps, delay_s=delay)
+
+    for region in range(clusters):
+        names = [f"c{region}n{i}" for i in range(cluster_nodes)]
+        for name in names:
+            topo.add_node(name)
+        shuffled = names[:]
+        rng.shuffle(shuffled)
+        for i in range(1, cluster_nodes):
+            link(shuffled[i], shuffled[rng.randrange(i)], intra_delay_s)
+        for i in range(cluster_nodes):
+            for _ in range(extra_links_per_node):
+                j = rng.randrange(cluster_nodes)
+                if j != i and not topo.has_link(names[i], names[j]):
+                    link(names[i], names[j], intra_delay_s)
+    if clusters > 1:
+        for region in range(clusters if clusters > 2 else 1):
+            peer = (region + 1) % clusters
+            delay = backbone_delays[region % len(backbone_delays)]
+            for b in range(backbone_links):
+                link(f"c{region}n{b}", f"c{peer}n{b}", delay)
+    return topo
+
+
+def cluster_assignment(topology: Topology, shards: int) -> Dict[str, int]:
+    """Shard assignment along :func:`clustered_random_topology` seams.
+
+    Maps cluster ``r`` onto shard ``r % shards`` — with ``shards`` equal
+    to (or dividing) the cluster count, the only cut links are the
+    backbone, so the partition's lookahead is the backbone delay.  The
+    explicit-assignment companion to :func:`partition_nodes`, whose
+    digest-seeded growth cannot promise two region seeds never land in
+    the same island.
+    """
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    assignment = {}
+    for node in topology.nodes():
+        if not node.startswith("c") or "n" not in node:
+            raise ConfigurationError(
+                f"node {node!r} does not follow the c<cluster>n<i> scheme"
+            )
+        assignment[node] = int(node[1:].split("n", 1)[0]) % shards
+    return assignment
+
+
 # -- sharding ---------------------------------------------------------
 
 
@@ -300,6 +529,16 @@ def partition_nodes(
     no RNG stream, no dict-order dependence.  Disconnected nodes (or
     components no region seed landed in) are distributed round-robin
     over the smallest regions, in digest order.
+
+    A weight-aware rebalance pass runs after the greedy growth: regions
+    are re-weighed by link endpoints (``degree + 1`` per node, so the
+    simulation work a shard owns — links are where events happen — is
+    what gets balanced, with a node-count tie-nudge), and nodes migrate
+    from the heaviest to the lightest region while a move strictly
+    shrinks the imbalance.  Without it, hub-heavy graphs could land
+    >60% of all link endpoints on one shard even though node *counts*
+    were balanced — the shard owning the hub became the critical path
+    and the multi-core speedup evaporated.
     """
     nodes = topology.nodes()
     if shards < 1:
@@ -344,7 +583,84 @@ def partition_nodes(
             region = min(range(shards), key=lambda r: (sizes[r], r))
             assignment[node] = region
             sizes[region] += 1
+    _rebalance_by_weight(topology, assignment, shards, sizes, cap, seed)
     return assignment
+
+
+def _partition_node_weight(topology: Topology, node: str) -> int:
+    """Balance weight of one node: its link endpoints plus itself."""
+    return topology.degree(node) + 1
+
+
+def _rebalance_by_weight(
+    topology: Topology,
+    assignment: Dict[str, int],
+    shards: int,
+    sizes: List[int],
+    cap: int,
+    seed: int,
+) -> None:
+    """Migrate nodes from the heaviest to the lightest region in place.
+
+    A move is legal when the source keeps at least one node, the target
+    stays under the size cap, and the node's weight ``w`` is strictly
+    below the current heaviest-lightest gap (so the squared-weight
+    potential drops by ``2*w*(gap - w) > 0`` — guaranteed termination).
+    Among legal candidates the one closing the most gap wins, digest
+    then name breaking ties, keeping the pass a pure function of
+    ``(topology, shards, seed)`` like the greedy phase it follows.
+    """
+    if shards < 2:
+        return
+    weights = [0] * shards
+    members: List[List[str]] = [[] for _ in range(shards)]
+    for node in sorted(assignment, key=lambda n: (_node_digest(seed, n), n)):
+        region = assignment[node]
+        weights[region] += _partition_node_weight(topology, node)
+        members[region].append(node)
+
+    # Potential strictly decreases by >= 2 per move, so this converges;
+    # the explicit ceiling is a defensive bound, not a tuning knob.
+    for _ in range(4 * len(assignment) + 8):
+        heavy = max(range(shards), key=lambda r: (weights[r], -r))
+        open_regions = [r for r in range(shards) if sizes[r] < cap and r != heavy]
+        if not open_regions or sizes[heavy] <= 1:
+            return
+        light = min(open_regions, key=lambda r: (weights[r], r))
+        gap = weights[heavy] - weights[light]
+        if gap <= 1:
+            return
+        best: Optional[Tuple[int, int, str]] = None
+        for node in members[heavy]:
+            w = _partition_node_weight(topology, node)
+            if not 0 < w < gap:
+                continue
+            key = (w * (gap - w), -_node_digest(seed, node), node)
+            if best is None or key > best:
+                best = key
+                best_node = node
+                best_w = w
+        if best is None:
+            return
+        members[heavy].remove(best_node)
+        members[light].append(best_node)
+        assignment[best_node] = light
+        sizes[heavy] -= 1
+        sizes[light] += 1
+        weights[heavy] -= best_w
+        weights[light] += best_w
+
+
+def partition_weights(
+    topology: Topology, assignment: Dict[str, int]
+) -> List[int]:
+    """Per-shard balance weight (sum of ``degree + 1`` over members) —
+    the quantity :func:`partition_nodes`'s rebalance pass equalises."""
+    shards = max(assignment.values()) + 1 if assignment else 0
+    weights = [0] * shards
+    for node, region in assignment.items():
+        weights[region] += _partition_node_weight(topology, node)
+    return weights
 
 
 def partition_cut_edges(
@@ -370,6 +686,29 @@ def partition_lookahead(
     if not cut:
         return None
     return min(topology.link_properties(a, b).delay_s for a, b in cut)
+
+
+def partition_out_lookaheads(
+    topology: Topology, assignment: Dict[str, int]
+) -> Dict[int, float]:
+    """Per-shard *outgoing* lookahead: the minimum propagation delay
+    over cut links leaving each shard.
+
+    The adaptive-window synchroniser's safety bound: a shard whose next
+    event fires no earlier than ``b`` cannot land a packet on any other
+    shard before ``b + out_lookahead[shard]``, so a barrier at
+    ``min over shards`` of that sum is provably causal even when it
+    exceeds the fixed global lookahead.  Shards with no outgoing cut
+    links are absent from the map (they can never perturb a neighbour).
+    """
+    out: Dict[int, float] = {}
+    for a, b in partition_cut_edges(topology, assignment):
+        delay = topology.link_properties(a, b).delay_s
+        for src in (a, b):  # undirected link = one boundary link each way
+            shard = assignment[src]
+            if shard not in out or delay < out[shard]:
+                out[shard] = delay
+    return out
 
 
 def star_topology(

@@ -143,3 +143,26 @@ class TestSafetyLimits:
         loop.schedule_at(2.0, lambda: None)
         event.cancel()
         assert loop.pending_events == 1
+
+
+class TestNextEventBound:
+    def test_empty_queue_has_no_bound(self, loop):
+        assert loop.next_event_bound() is None
+
+    def test_bound_is_exact_for_pending_events(self, loop):
+        # Exactness matters for the sharded synchroniser: a quiet
+        # shard's bound lead becomes window width, so a bucket-floor
+        # quantised bound (the calendar queue's old behaviour) costs
+        # real parallel speedup even though it is technically still a
+        # safe lower bound.
+        loop.schedule_at(0.0137, lambda: None)
+        loop.schedule_at(0.019, lambda: None)
+        assert loop.next_event_bound() == 0.0137
+
+    def test_bound_never_exceeds_true_next_firing(self, loop):
+        first = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        first.cancel()
+        bound = loop.next_event_bound()
+        assert bound is not None
+        assert bound <= 2.0  # heap may still report the cancelled 1.0

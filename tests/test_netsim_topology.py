@@ -6,9 +6,15 @@ from repro.core.errors import ConfigurationError
 from repro.netsim.topology import (
     LinkProperties,
     Topology,
+    cluster_assignment,
+    clustered_random_topology,
     dumbbell_topology,
+    fat_tree_topology,
     line_topology,
+    partition_lookahead,
+    partition_out_lookaheads,
     random_topology,
+    scaled_random_topology,
     triangle_with_hosts,
 )
 
@@ -113,3 +119,94 @@ class TestGenerators:
         topo = triangle_with_hosts()
         paths = topo.all_shortest_paths("r0", "r2")
         assert ["r0", "r2"] in paths
+
+
+class TestScaledGenerators:
+    """The internet-scale generator path feeding the sharded engines."""
+
+    def test_fat_tree_counts(self):
+        # k=4: 4 cores + 4 pods * (2 agg + 2 edge) = 20 switches,
+        # k^3/4 = 16 hosts.
+        topo = fat_tree_topology(4)
+        assert len(topo.nodes(role="router")) == 20
+        assert len(topo.nodes(role="host")) == 16
+        assert topo.is_connected()
+
+    def test_fat_tree_hosts_override_and_arity(self):
+        assert len(fat_tree_topology(4, hosts_per_edge=0).nodes(role="host")) == 0
+        with pytest.raises(ConfigurationError):
+            fat_tree_topology(3)
+
+    def test_fat_tree_delays_jittered_and_deterministic(self):
+        a = fat_tree_topology(4, seed=1)
+        b = fat_tree_topology(4, seed=1)
+        delays_a = sorted(a.link_properties(x, y).delay_s for x, y in a.links())
+        delays_b = sorted(b.link_properties(x, y).delay_s for x, y in b.links())
+        assert delays_a == delays_b
+        # Jitter spreads the core links: no two distinct delays tie.
+        assert len(set(delays_a)) == len(delays_a)
+
+    def test_scaled_random_connected_and_deterministic(self):
+        a = scaled_random_topology(120, seed=9)
+        assert a.is_connected()
+        assert sorted(a.links()) == sorted(scaled_random_topology(120, seed=9).links())
+        # Spanning tree + chords: at least n-1 links, roughly linear.
+        assert len(a.nodes()) - 1 <= len(a.links()) <= 3 * len(a.nodes())
+
+    def test_clustered_islands_and_backbone(self):
+        topo = clustered_random_topology(4, 8, seed=2)
+        assert topo.is_connected()
+        assert len(topo.nodes()) == 32
+        # The only inter-cluster links are the backbone ring, and every
+        # backbone link is an order of magnitude slower than any
+        # intra-cluster link.
+        cross = [
+            (a, b)
+            for a, b in topo.links()
+            if a.split("n")[0] != b.split("n")[0]
+        ]
+        assert len(cross) == 4  # ring over 4 clusters, one link per seam
+        slowest_intra = max(
+            topo.link_properties(a, b).delay_s
+            for a, b in topo.links()
+            if (a, b) not in cross and (b, a) not in cross
+        )
+        fastest_backbone = min(topo.link_properties(a, b).delay_s for a, b in cross)
+        assert fastest_backbone > slowest_intra
+
+    def test_clustered_local_paths_stay_local(self):
+        topo = clustered_random_topology(3, 10, seed=5)
+        path = topo.shortest_path("c1n2", "c1n7")
+        assert all(node.startswith("c1n") for node in path)
+
+    def test_clustered_heterogeneous_backbone(self):
+        delays = [0.010, 0.100, 0.100, 0.100]
+        topo = clustered_random_topology(
+            4, 8, seed=2, backbone_delay_s=delays
+        )
+        assignment = cluster_assignment(topo, 4)
+        out = partition_out_lookaheads(topo, assignment)
+        # The 10 ms seam joins shards 0 and 1; shards 2 and 3 only
+        # touch 100 ms links, so their outgoing lookahead is 10x wider.
+        assert out[0] < 0.016 and out[1] < 0.016
+        assert out[2] > 0.09 and out[3] > 0.09
+        assert partition_lookahead(topo, assignment) == min(out.values())
+
+    def test_clustered_backbone_must_dominate_intra_delay(self):
+        with pytest.raises(ConfigurationError, match="backbone delays"):
+            clustered_random_topology(2, 8, seed=1, backbone_delay_s=0.002)
+
+    def test_cluster_assignment_maps_region_modulo(self):
+        topo = clustered_random_topology(4, 6, seed=3)
+        assignment = cluster_assignment(topo, 2)
+        assert assignment["c0n1"] == 0
+        assert assignment["c1n4"] == 1
+        assert assignment["c2n0"] == 0
+        assert assignment["c3n5"] == 1
+
+    def test_cluster_assignment_rejects_foreign_names(self):
+        topo = line_topology(3)
+        with pytest.raises(ConfigurationError, match="scheme"):
+            cluster_assignment(topo, 2)
+        with pytest.raises(ConfigurationError):
+            cluster_assignment(clustered_random_topology(2, 4, seed=0), 0)
